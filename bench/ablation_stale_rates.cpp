@@ -1,0 +1,91 @@
+/// Ablation — practical rate adaptation: staleness and safety margin. The
+/// paper assumes "each packet is transmitted at the best feasible rate";
+/// Section 1 concedes a practical adapter leaves slack. A practical
+/// adapter on a drifting channel (AR(1) shadowing) must back off by a
+/// safety margin or it loses packets outright — and that margin is exactly
+/// the slack SIC can harvest from collisions. This bench sweeps both knobs
+/// and reports, for a two-client collision at the AP:
+///
+///   clean ok    — both packets would survive *without* a collision
+///   capture     — the stronger packet survives the collision
+///   full SIC    — both packets survive the collision
+///
+/// Findings (the paper's pessimism, quantified): without margin, staleness
+/// just breaks links; moderate margins (3-6 dB) restore clean delivery but
+/// still salvage almost nothing from collisions; only drastic margins
+/// begin to make collisions fully decodable — "the slack is fast
+/// disappearing" holds even for sloppy adapters.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "channel/fading.hpp"
+#include "phy/sic_decoder.hpp"
+#include "topology/samplers.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sic;
+  bench::header("Ablation — stale rates and safety margins",
+                "the adapter's backoff margin is SIC's only food, and "
+                "realistic margins are thin");
+
+  const phy::ShannonRateAdapter shannon{megahertz(20.0)};
+  const phy::SicDecoder decoder{shannon};
+  topology::SamplerConfig config;
+  constexpr int kTrials = 20000;
+  const Decibels sigma{4.0};
+
+  std::printf("%-8s %-10s %-12s %-12s %-12s\n", "rho", "margin", "clean ok",
+              "capture", "full SIC");
+  for (const double rho : {1.0, 0.9, 0.6}) {
+    for (const double margin_db : {0.0, 3.0, 6.0, 12.0}) {
+      Rng rng{2718};
+      int clean_ok = 0;
+      int capture = 0;
+      int full_sic = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        const auto sample = topology::sample_two_to_one(rng, config);
+        channel::Ar1ShadowingTrack track1{rho, sigma, rng};
+        channel::Ar1ShadowingTrack track2{rho, sigma, rng};
+        const double seen1 = track1.current().value();
+        const double seen2 = track2.current().value();
+        const double now1 = track1.step(rng).value();
+        const double now2 = track2.step(rng).value();
+
+        const Milliwatts s1_now = sample.s1 * Decibels{now1}.linear();
+        const Milliwatts s2_now = sample.s2 * Decibels{now2}.linear();
+        // Rates picked on the stale view, backed off by the margin.
+        const auto r1 = shannon.rate(
+            sample.s1.value() * Decibels{seen1 - margin_db}.linear() /
+            sample.noise.value());
+        const auto r2 = shannon.rate(
+            sample.s2.value() * Decibels{seen2 - margin_db}.linear() /
+            sample.noise.value());
+
+        if (shannon.feasible(r1, s1_now / sample.noise) &&
+            shannon.feasible(r2, s2_now / sample.noise)) {
+          ++clean_ok;
+        }
+        const auto arrival =
+            phy::TwoSignalArrival::make(s1_now, s2_now, sample.noise);
+        const bool one_stronger = s1_now >= s2_now;
+        const auto outcome = decoder.decode(
+            arrival, one_stronger ? r1 : r2, one_stronger ? r2 : r1);
+        if (outcome.stronger_decoded) ++capture;
+        if (outcome.both()) ++full_sic;
+      }
+      std::printf("%-8.2f %-10.1f %-12.4f %-12.4f %-12.4f\n", rho, margin_db,
+                  static_cast<double>(clean_ok) / kTrials,
+                  static_cast<double>(capture) / kTrials,
+                  static_cast<double>(full_sic) / kTrials);
+    }
+  }
+  std::printf("\n(rho = channel correlation between rate choice and packet "
+              "flight; margin = adapter SNR backoff. rho=1,margin=0 is the "
+              "paper's ideal-rate world: collisions never decode. Clean "
+              "delivery needs ~1.5-2 sigma of margin once the channel "
+              "drifts; even 12 dB of margin mostly yields capture, not "
+              "full SIC.)\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef SICMAC_BENCH_BENCH_UTIL_HPP
+#define SICMAC_BENCH_BENCH_UTIL_HPP
+
+/// \file bench_util.hpp
+/// Shared output helpers for the figure-reproduction binaries. Every
+/// figure binary prints: a header naming the paper artifact, the series
+/// the paper reports (as aligned text tables the EXPERIMENTS.md rows are
+/// copied from), and the deterministic seed it ran with.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/stats.hpp"
+
+namespace sic::bench {
+
+/// Parses `--csv <prefix>` from argv: when present, figure benches also
+/// write machine-readable CSVs as <prefix><series>.csv for plotting.
+inline std::optional<std::string> csv_prefix(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+inline void write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  os << content;
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Full empirical CDF as "value,cumulative_probability" rows.
+inline std::string cdf_csv(const analysis::EmpiricalCdf& cdf) {
+  std::ostringstream os;
+  os << "value,cumulative_probability\n";
+  const auto samples = cdf.sorted_samples();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << samples[i] << ','
+       << static_cast<double>(i + 1) / static_cast<double>(samples.size())
+       << '\n';
+  }
+  return os.str();
+}
+
+inline void header(const std::string& figure, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Prints an (x, F(x)) CDF as the paper's figures plot them.
+inline void print_cdf(const std::string& label,
+                      const analysis::EmpiricalCdf& cdf, int points = 13) {
+  std::printf("%-28s", (label + " CDF:").c_str());
+  for (const auto& p : cdf.curve(points)) {
+    std::printf(" (%.2f,%.2f)", p.x, p.f);
+  }
+  std::printf("\n");
+}
+
+/// Prints the headline fractions the paper quotes ("X%% of cases gain over
+/// 20%%").
+inline void print_fractions(const std::string& label,
+                            const analysis::EmpiricalCdf& cdf) {
+  std::printf("%-22s  no-gain %.1f%%  >5%% %.1f%%  >20%% %.1f%%  >50%% %.1f%%  median %.3f\n",
+              label.c_str(), 100.0 * cdf.at(1.0 + 1e-9),
+              100.0 * cdf.fraction_above(1.05),
+              100.0 * cdf.fraction_above(1.2),
+              100.0 * cdf.fraction_above(1.5), cdf.quantile(0.5));
+}
+
+}  // namespace sic::bench
+
+#endif  // SICMAC_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,82 @@
+/// Performance of the matching engines: the O(n³) blossom matcher (the
+/// paper quotes O(n²m) for Edmonds; our dense implementation is O(n³)),
+/// the greedy heuristic, and the exponential oracle. Also reports the
+/// blossom-vs-greedy quality gap as a counter (schedule cost ratio).
+
+#include <benchmark/benchmark.h>
+
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "matching/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sic;
+using namespace sic::matching;
+
+CostMatrix random_costs(int n, std::uint64_t seed) {
+  Rng rng{seed};
+  CostMatrix costs{n};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) costs.set(i, j, rng.uniform(1.0, 100.0));
+  }
+  return costs;
+}
+
+void BM_BlossomPerfectMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto costs = random_costs(n, 42);
+  for (auto _ : state) {
+    const auto m = min_weight_perfect_matching(costs);
+    benchmark::DoNotOptimize(m.total_cost);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BlossomPerfectMatching)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_GreedyPerfectMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto costs = random_costs(n, 42);
+  for (auto _ : state) {
+    const auto m = greedy_min_weight_perfect_matching(costs);
+    benchmark::DoNotOptimize(m.total_cost);
+  }
+}
+BENCHMARK(BM_GreedyPerfectMatching)->RangeMultiplier(2)->Range(8, 128);
+
+void BM_OraclePerfectMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto costs = random_costs(n, 42);
+  for (auto _ : state) {
+    const auto m = min_weight_perfect_matching_oracle(costs);
+    benchmark::DoNotOptimize(m.total_cost);
+  }
+}
+BENCHMARK(BM_OraclePerfectMatching)->DenseRange(8, 16, 4);
+
+void BM_GreedyQualityGap(benchmark::State& state) {
+  // Not a speed benchmark: reports how much schedule cost greedy leaves on
+  // the table vs the exact matcher, averaged over instances.
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (auto _ : state) {
+    const auto costs = random_costs(n, seed++);
+    const double exact = min_weight_perfect_matching(costs).total_cost;
+    const double greedy = greedy_min_weight_perfect_matching(costs).total_cost;
+    ratio_sum += greedy / exact;
+    ++count;
+    benchmark::DoNotOptimize(greedy);
+  }
+  state.counters["greedy/optimal"] = ratio_sum / count;
+}
+BENCHMARK(BM_GreedyQualityGap)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/// Performance and quality of the SIC-aware scheduler (Section 6): end-to-
+/// end schedule construction (pair costs + blossom matching) versus client
+/// count, the greedy-pairing ablation, and the cost of enabling the
+/// Section 5 techniques in the pair-cost model.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "topology/samplers.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sic;
+
+std::vector<channel::LinkBudget> random_clients(int n, std::uint64_t seed) {
+  Rng rng{seed};
+  topology::SamplerConfig config;
+  return topology::sample_upload_clients(rng, config, n);
+}
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+void BM_ScheduleUpload(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto clients = random_clients(n, 7);
+  core::SchedulerOptions options;
+  double gain = 0.0;
+  for (auto _ : state) {
+    const auto schedule = core::schedule_upload(clients, kShannon, options);
+    gain = core::serial_upload_airtime(clients, kShannon,
+                                       options.packet_bits) /
+           schedule.total_airtime;
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+  state.counters["gain_vs_serial"] = gain;
+}
+BENCHMARK(BM_ScheduleUpload)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ScheduleUploadGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto clients = random_clients(n, 7);
+  core::SchedulerOptions options;
+  options.pairing = core::SchedulerOptions::Pairing::kGreedy;
+  for (auto _ : state) {
+    const auto schedule = core::schedule_upload(clients, kShannon, options);
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+}
+BENCHMARK(BM_ScheduleUploadGreedy)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_ScheduleUploadWithTechniques(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto clients = random_clients(n, 7);
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  double gain = 0.0;
+  for (auto _ : state) {
+    const auto schedule = core::schedule_upload(clients, kShannon, options);
+    gain = core::serial_upload_airtime(clients, kShannon,
+                                       options.packet_bits) /
+           schedule.total_airtime;
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+  state.counters["gain_vs_serial"] = gain;
+}
+BENCHMARK(BM_ScheduleUploadWithTechniques)->RangeMultiplier(2)->Range(4, 64);
+
+void BM_PairPlan(benchmark::State& state) {
+  const auto clients = random_clients(2, 11);
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  for (auto _ : state) {
+    const auto plan =
+        core::best_pair_plan(clients[0], clients[1], kShannon, options);
+    benchmark::DoNotOptimize(plan.airtime);
+  }
+}
+BENCHMARK(BM_PairPlan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

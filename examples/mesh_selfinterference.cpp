@@ -1,0 +1,43 @@
+/// Multihop mesh self-interference (Section 4.3, Fig. 7c): packets route
+/// A → C → D → E over a long-short-long chain — "a perfect recipe for SIC
+/// at C": the A→C and D→E transmissions can run concurrently because C can
+/// decode (and cancel) D's strong signal. The example sweeps the hop
+/// geometry to expose the paper's tension:
+///
+///   - short hops: D's rate to E is too high for C to decode → no SIC;
+///   - long hops: SIC turns on and pipelining gains up to ~1.5×, but the
+///     long hops themselves throttle the absolute end-to-end throughput
+///     ("the long-hop transmissions become the bottleneck").
+
+#include <cstdio>
+
+#include "core/mesh.hpp"
+#include "topology/scenarios.hpp"
+
+int main() {
+  using namespace sic;
+  const phy::ShannonRateAdapter adapter{megahertz(20.0)};
+
+  std::printf("%-10s %-10s %-9s %-8s %-14s %-14s\n", "long (m)", "short (m)",
+              "SIC at C", "gain", "serial Mbps", "pipelined Mbps");
+  for (double long_hop = 15.0; long_hop <= 45.0; long_hop += 5.0) {
+    auto chain = topology::make_mesh_chain(long_hop, 10.0);
+    // Outdoor-urban mesh propagation: α = 4 gives the spatial isolation a
+    // real deployment relies on; mesh radios run a bit hotter than clients.
+    chain.pathloss = channel::LogDistancePathLoss::for_carrier(4.0);
+    for (auto& node : chain.nodes) node.tx_power = Dbm{23.0};
+
+    const auto report = core::analyze_mesh_chain(chain, adapter);
+    std::printf("%-10.0f %-10.0f %-9s %-8.3f %-14.1f %-14.1f\n", long_hop,
+                10.0, report.sic_feasible_at_relay ? "yes" : "no",
+                report.gain, report.serial_throughput_bps / 1e6,
+                report.pipelined_throughput_bps / 1e6);
+  }
+
+  std::printf(
+      "\nNote the paper's trade-off: stretching the long hops switches SIC "
+      "on (C can decode D's now-lower-rate signal) and the pipelining gain "
+      "climbs toward 1.5x, but the absolute end-to-end throughput still "
+      "falls — the long hops are the bottleneck either way.\n");
+  return 0;
+}

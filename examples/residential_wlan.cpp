@@ -1,0 +1,80 @@
+/// Residential WLANs (Section 4.2, Fig. 7b): two WPA-locked apartments.
+/// Client C2 sits at the shared wall — closer to the *neighbor's* AP than
+/// to its own. The example shows the paper's asymmetry: AP1→C2 can run
+/// concurrently with AP2→C4 (C2 cancels the neighbor's strong, slow-rate
+/// interference) but NOT with AP2→C3 (the neighbor's rate to its nearby
+/// client is too high for C2 to decode).
+
+#include <cstdio>
+#include <utility>
+
+#include "core/cross_link.hpp"
+#include "topology/scenarios.hpp"
+
+int main() {
+  using namespace sic;
+  using topology::NodeRole;
+
+  const auto home = topology::make_residential();
+  const auto& ap1 = home.by_role(NodeRole::kAccessPoint, 0);
+  const auto& ap2 = home.by_role(NodeRole::kAccessPoint, 1);
+  const auto& c2 = home.by_role(NodeRole::kClient, 1);   // at the wall
+  const auto& c3 = home.by_role(NodeRole::kClient, 2);   // near AP2
+  const auto& c4 = home.by_role(NodeRole::kClient, 3);   // far end of apt 2
+
+  const phy::ShannonRateAdapter adapter{megahertz(20.0)};
+
+  const auto snr_db = [&](const topology::Node& from,
+                          const topology::Node& to) {
+    return Decibels::from_linear(home.rss(from, to) / home.noise()).value();
+  };
+  std::printf("link SNRs:\n");
+  std::printf("  AP1 -> C2 (own, through the wall): %5.1f dB\n",
+              snr_db(ap1, c2));
+  std::printf("  AP2 -> C2 (neighbor, nearby):      %5.1f dB\n",
+              snr_db(ap2, c2));
+  std::printf("  AP2 -> C3 (neighbor's near link):  %5.1f dB\n",
+              snr_db(ap2, c3));
+  std::printf("  AP2 -> C4 (neighbor's far link):   %5.1f dB\n",
+              snr_db(ap2, c4));
+
+  // Build the two-link RSS matrices. Link 1 is always AP1→C2.
+  const auto cross = [&](const topology::Node& other_client) {
+    channel::TwoLinkRss rss;
+    rss.s11 = home.rss(ap1, c2);
+    rss.s12 = home.rss(ap2, c2);
+    rss.s21 = home.rss(ap1, other_client);
+    rss.s22 = home.rss(ap2, other_client);
+    rss.noise = home.noise();
+    return rss;
+  };
+
+  const std::pair<const char*, const topology::Node*> partners[] = {
+      {"AP2->C4 (far)", &c4}, {"AP2->C3 (near)", &c3}};
+  for (const auto& [label, client] : partners) {
+    const auto result = core::evaluate_cross_link(cross(*client), adapter);
+    std::printf("\nAP1->C2 concurrent with %s:\n", label);
+    std::printf("  case: %s, SIC feasible at C2: %s\n",
+                to_string(result.kase), result.sic_feasible ? "YES" : "no");
+    if (result.sic_feasible) {
+      std::printf("  serial %.0f us, concurrent %.0f us, one-shot gain %.2fx\n",
+                  1e6 * result.serial_airtime, 1e6 * result.concurrent_airtime,
+                  result.gain);
+      // One packet each rarely pays off — the fast link idles while the
+      // slow neighbor transmission drags on. Packet packing (Section 5.4)
+      // fills that slack: AP1 streams several frames to C2 inside AP2's
+      // long transmission.
+      std::printf("  with packet packing: per-packet gain %.2fx\n",
+                  core::cross_link_packing_gain(cross(*client), adapter));
+    } else {
+      std::printf("  serial %.0f us, concurrent infeasible, gain 1.00x\n",
+                  1e6 * result.serial_airtime);
+    }
+  }
+
+  std::printf("\npaper's conclusion: residential WLANs offer SIC "
+              "opportunities only when the client's own AP is farther than "
+              "the neighbor's AP and the neighbor is serving a *far* "
+              "client (low rate C2 can decode).\n");
+  return 0;
+}

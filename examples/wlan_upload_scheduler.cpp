@@ -1,0 +1,74 @@
+/// WLAN upload scheduling end to end (Sections 5-6): a random cell of
+/// backlogged clients is paired by the blossom-matching scheduler, the
+/// schedule is printed, and then *executed* on the discrete-event MAC
+/// simulator to confirm every planned concurrent pair actually decodes at
+/// the AP — and to compare against plain CSMA/CA contention.
+
+#include <cstdio>
+
+#include "core/scheduler.hpp"
+#include "mac/upload_sim.hpp"
+#include "topology/samplers.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace sic;
+
+  // A cell of 10 clients uniformly placed around the AP.
+  Rng rng{2024};
+  topology::SamplerConfig cell;
+  const auto clients = topology::sample_upload_clients(rng, cell, 10);
+  const phy::ShannonRateAdapter adapter{megahertz(20.0)};
+
+  std::printf("clients (sorted by RSS at AP):\n");
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    std::printf("  C%-2zu SNR %.1f dB, solo airtime %.0f us\n", i,
+                Decibels::from_linear(clients[i].snr()).value(),
+                1e6 * core::solo_airtime(clients[i], adapter, 12000.0));
+  }
+
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  const auto schedule = core::schedule_upload(clients, adapter, options);
+  const double serial = core::serial_upload_airtime(clients, adapter, 12000.0);
+
+  std::printf("\nSIC-aware schedule (blossom pairing + power control):\n");
+  for (const auto& slot : schedule.slots) {
+    if (slot.second < 0) {
+      std::printf("  C%-2d solo              %8.0f us\n", slot.first,
+                  1e6 * slot.plan.airtime);
+    } else {
+      std::printf("  C%-2d + C%-2d %-12s %8.0f us", slot.first, slot.second,
+                  to_string(slot.plan.mode), 1e6 * slot.plan.airtime);
+      if (slot.plan.mode == core::PairMode::kSicPowerControl) {
+        std::printf("  (weaker scaled %.2f)", slot.plan.weaker_power_scale);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("total: %.0f us vs serial %.0f us  -> gain %.2fx\n",
+              1e6 * schedule.total_airtime, 1e6 * serial,
+              serial / schedule.total_airtime);
+
+  // Execute the schedule on the simulator: every planned pair must decode.
+  mac::UploadSimConfig sim;
+  const auto run = mac::run_scheduled_upload(clients, adapter, schedule, sim);
+  std::printf("\nsimulator: %llu/%llu frames decoded at the AP, "
+              "%llu via SIC, completion %.1f ms\n",
+              static_cast<unsigned long long>(run.delivered),
+              static_cast<unsigned long long>(run.offered),
+              static_cast<unsigned long long>(run.medium.sic_decodes),
+              1e3 * run.completion_s);
+
+  // Baseline: the same backlog under plain CSMA/CA contention.
+  mac::UploadSimConfig dcf;
+  dcf.frames_per_client = 1;
+  const auto contention = mac::run_dcf_upload(clients, adapter, dcf);
+  std::printf("plain DCF: %llu/%llu delivered, %llu retries, "
+              "completion %.1f ms\n",
+              static_cast<unsigned long long>(contention.delivered),
+              static_cast<unsigned long long>(contention.offered),
+              static_cast<unsigned long long>(contention.retries),
+              1e3 * contention.completion_s);
+  return 0;
+}

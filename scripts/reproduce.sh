@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full reproduction: build, run the test suite, regenerate every figure and
+# ablation, and (optionally) export plot-ready CSVs.
+#
+#   scripts/reproduce.sh [csv-output-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+CSV_DIR="${1:-}"
+for bench in build/bench/fig* build/bench/ablation_*; do
+  echo
+  if [[ -n "${CSV_DIR}" ]]; then
+    mkdir -p "${CSV_DIR}"
+    "${bench}" --csv "${CSV_DIR}/"
+  else
+    "${bench}"
+  fi
+done
+
+echo
+echo "perf benches (shortened):"
+for bench in build/bench/perf_*; do
+  "${bench}" --benchmark_min_time=0.05 || "${bench}"
+done

@@ -1,0 +1,82 @@
+#include "analysis/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sic::analysis {
+
+Grid2D::Grid2D(Axis x, Axis y) : x_(std::move(x)), y_(std::move(y)) {
+  SIC_CHECK(x_.steps >= 1 && y_.steps >= 1);
+  values_.assign(static_cast<std::size_t>(x_.steps) * y_.steps, 0.0);
+}
+
+void Grid2D::fill(const std::function<double(double, double)>& f) {
+  for (int iy = 0; iy < y_.steps; ++iy) {
+    for (int ix = 0; ix < x_.steps; ++ix) {
+      set(ix, iy, f(x_.value(ix), y_.value(iy)));
+    }
+  }
+}
+
+double Grid2D::at(int ix, int iy) const {
+  SIC_DCHECK(ix >= 0 && ix < x_.steps && iy >= 0 && iy < y_.steps);
+  return values_[static_cast<std::size_t>(iy) * x_.steps + ix];
+}
+
+void Grid2D::set(int ix, int iy, double v) {
+  SIC_DCHECK(ix >= 0 && ix < x_.steps && iy >= 0 && iy < y_.steps);
+  values_[static_cast<std::size_t>(iy) * x_.steps + ix] = v;
+}
+
+double Grid2D::min_value() const {
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Grid2D::max_value() const {
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Grid2D::nearest(double x, double y) const {
+  const auto index = [](const Axis& a, double v) {
+    if (a.steps == 1) return 0;
+    const double t = (v - a.lo) / (a.hi - a.lo) * (a.steps - 1);
+    return std::clamp(static_cast<int>(std::lround(t)), 0, a.steps - 1);
+  };
+  return at(index(x_, x), index(y_, y));
+}
+
+std::string Grid2D::render_ascii() const {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  const double lo = min_value();
+  const double hi = max_value();
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ostringstream os;
+  for (int iy = y_.steps - 1; iy >= 0; --iy) {
+    for (int ix = 0; ix < x_.steps; ++ix) {
+      const double t = (at(ix, iy) - lo) / span;
+      const int level =
+          std::clamp(static_cast<int>(std::lround(t * kLevels)), 0, kLevels);
+      os << kRamp[level];
+    }
+    os << '\n';
+  }
+  os << "(x: " << x_.label << " " << x_.lo << ".." << x_.hi
+     << ", y: " << y_.label << " " << y_.lo << ".." << y_.hi
+     << ", value range " << lo << ".." << hi << ")\n";
+  return os.str();
+}
+
+std::string Grid2D::to_csv() const {
+  std::ostringstream os;
+  os << x_.label << ',' << y_.label << ",value\n";
+  for (int iy = 0; iy < y_.steps; ++iy) {
+    for (int ix = 0; ix < x_.steps; ++ix) {
+      os << x_.value(ix) << ',' << y_.value(iy) << ',' << at(ix, iy) << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sic::analysis

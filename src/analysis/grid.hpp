@@ -1,0 +1,65 @@
+#ifndef SICMAC_ANALYSIS_GRID_HPP
+#define SICMAC_ANALYSIS_GRID_HPP
+
+/// \file grid.hpp
+/// 2-D parameter sweeps for the heatmap figures (Figs. 3, 4, 8): evaluate a
+/// function over an (x, y) grid, keep the values, and render them as an
+/// ASCII shade map or CSV for the bench binaries.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sic::analysis {
+
+/// A dense grid of doubles with axis metadata.
+class Grid2D {
+ public:
+  struct Axis {
+    std::string label;
+    double lo = 0.0;
+    double hi = 1.0;
+    int steps = 0;
+
+    [[nodiscard]] double value(int i) const {
+      SIC_DCHECK(i >= 0 && i < steps);
+      return steps > 1 ? lo + (hi - lo) * i / (steps - 1) : lo;
+    }
+  };
+
+  Grid2D(Axis x, Axis y);
+
+  /// Fills every cell with f(x_value, y_value).
+  void fill(const std::function<double(double, double)>& f);
+
+  [[nodiscard]] double at(int ix, int iy) const;
+  void set(int ix, int iy, double v);
+
+  [[nodiscard]] const Axis& x() const { return x_; }
+  [[nodiscard]] const Axis& y() const { return y_; }
+
+  [[nodiscard]] double min_value() const;
+  [[nodiscard]] double max_value() const;
+
+  /// Value at the grid cell whose (x, y) is nearest the query.
+  [[nodiscard]] double nearest(double x, double y) const;
+
+  /// ASCII shade map, y increasing upward, using the ramp " .:-=+*#%@"
+  /// normalized to [min, max]. Matches the paper's "lighter shade = higher
+  /// gain" reading when viewed on a dark terminal.
+  [[nodiscard]] std::string render_ascii() const;
+
+  /// CSV: header "x,y,value", one row per cell.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  Axis x_;
+  Axis y_;
+  std::vector<double> values_;
+};
+
+}  // namespace sic::analysis
+
+#endif  // SICMAC_ANALYSIS_GRID_HPP

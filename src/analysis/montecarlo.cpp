@@ -1,0 +1,126 @@
+#include "analysis/montecarlo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cross_link.hpp"
+#include "core/multirate.hpp"
+#include "core/packing.hpp"
+#include "core/power_control.hpp"
+#include "util/check.hpp"
+
+namespace sic::analysis {
+
+TechniqueGains evaluate_upload_pair_techniques(
+    const core::UploadPairContext& ctx) {
+  TechniqueGains out;
+  const double serial = core::serial_airtime(ctx);
+  out.sic = core::realized_gain(ctx);
+  if (std::isfinite(serial)) {
+    const double pc = core::power_controlled_airtime(ctx);
+    if (pc > 0.0) out.power_control = std::max(1.0, serial / pc);
+    const double mr = core::multirate_airtime(ctx);
+    if (mr > 0.0 && std::isfinite(mr)) {
+      out.multirate = std::max(1.0, serial / mr);
+    }
+  }
+  out.packing = core::packing_two_to_one(ctx).gain;
+  return out;
+}
+
+std::vector<double> run_two_link_gains(const topology::SamplerConfig& config,
+                                       const phy::RateAdapter& adapter,
+                                       int trials, std::uint64_t seed,
+                                       double packet_bits) {
+  SIC_CHECK(trials > 0);
+  Rng rng{seed};
+  std::vector<double> gains;
+  gains.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = topology::sample_two_link(rng, config);
+    gains.push_back(
+        core::evaluate_cross_link(sample.rss, adapter, packet_bits).gain);
+  }
+  return gains;
+}
+
+TechniqueSamples run_two_to_one_techniques(
+    const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
+    int trials, std::uint64_t seed, double packet_bits) {
+  SIC_CHECK(trials > 0);
+  Rng rng{seed};
+  TechniqueSamples out;
+  out.sic.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = topology::sample_two_to_one(rng, config);
+    const auto ctx = core::UploadPairContext::make(
+        sample.s1, sample.s2, sample.noise, adapter, packet_bits);
+    const auto gains = evaluate_upload_pair_techniques(ctx);
+    out.sic.push_back(gains.sic);
+    out.power_control.push_back(gains.power_control);
+    out.multirate.push_back(gains.multirate);
+    out.packing.push_back(gains.packing);
+  }
+  return out;
+}
+
+namespace {
+
+/// Scales transmitter T1's power by `scale` (both of its RSS entries).
+channel::TwoLinkRss scale_t1(const channel::TwoLinkRss& rss, double scale) {
+  channel::TwoLinkRss out = rss;
+  out.s11 = rss.s11 * scale;
+  out.s21 = rss.s21 * scale;
+  return out;
+}
+
+/// Best realized cross-link gain over power reductions of either
+/// transmitter (coarse dB grid; reductions only, per Section 5.4's caveat
+/// against boosting).
+double cross_link_power_control_gain(const channel::TwoLinkRss& rss,
+                                     const phy::RateAdapter& adapter,
+                                     double packet_bits) {
+  // The no-SIC serial baseline always uses full power.
+  const double serial =
+      core::evaluate_cross_link(rss, adapter, packet_bits).serial_airtime;
+  double best = core::evaluate_cross_link(rss, adapter, packet_bits).gain;
+  if (!std::isfinite(serial)) return best;
+  constexpr int kSteps = 81;  // 0 .. -20 dB in 0.25 dB steps
+  for (int tx = 0; tx < 2; ++tx) {
+    for (int i = 1; i < kSteps; ++i) {
+      const double db = -20.0 * i / (kSteps - 1);
+      const double scale = std::pow(10.0, db / 10.0);
+      const channel::TwoLinkRss scaled =
+          tx == 0 ? scale_t1(rss, scale) : scale_t1(rss.mirrored(), scale).mirrored();
+      const auto res = core::evaluate_cross_link(scaled, adapter, packet_bits);
+      if (std::isfinite(res.concurrent_airtime) && res.concurrent_airtime > 0.0) {
+        best = std::max(best, std::max(1.0, serial / res.concurrent_airtime));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TechniqueSamples run_two_link_techniques(const topology::SamplerConfig& config,
+                                         const phy::RateAdapter& adapter,
+                                         int trials, std::uint64_t seed,
+                                         double packet_bits) {
+  SIC_CHECK(trials > 0);
+  Rng rng{seed};
+  TechniqueSamples out;
+  out.sic.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = topology::sample_two_link(rng, config);
+    out.sic.push_back(
+        core::evaluate_cross_link(sample.rss, adapter, packet_bits).gain);
+    out.power_control.push_back(
+        cross_link_power_control_gain(sample.rss, adapter, packet_bits));
+    out.packing.push_back(
+        core::cross_link_packing_gain(sample.rss, adapter, packet_bits));
+  }
+  return out;
+}
+
+}  // namespace sic::analysis

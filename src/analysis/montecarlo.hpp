@@ -1,0 +1,63 @@
+#ifndef SICMAC_ANALYSIS_MONTECARLO_HPP
+#define SICMAC_ANALYSIS_MONTECARLO_HPP
+
+/// \file montecarlo.hpp
+/// The paper's Monte Carlo experiments, shared between the bench binaries
+/// and the integration tests:
+///
+///  - Fig. 6:  gain CDF for two transmitters → two receivers over random
+///             topologies (10,000 draws, α = 4, several ranges).
+///  - Fig. 11a: gain CDFs for SIC / +power control / +multirate / +packing
+///             in the two-transmitters → one-receiver geometry.
+///  - Fig. 11b: same techniques in the two-receiver geometry (SIC, power
+///             control and packing; multirate is not applicable there —
+///             Section 5.5).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/upload_pair.hpp"
+#include "phy/rate_adapter.hpp"
+#include "topology/samplers.hpp"
+
+namespace sic::analysis {
+
+/// Realized (≥ 1) gains of each Section 5 technique for one upload pair.
+struct TechniqueGains {
+  double sic = 1.0;
+  double power_control = 1.0;
+  double multirate = 1.0;
+  double packing = 1.0;
+};
+
+[[nodiscard]] TechniqueGains evaluate_upload_pair_techniques(
+    const core::UploadPairContext& ctx);
+
+/// Fig. 6: realized SIC gains over random two-link topologies.
+[[nodiscard]] std::vector<double> run_two_link_gains(
+    const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
+    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+
+/// Per-technique gain samples (one entry per trial in each vector).
+struct TechniqueSamples {
+  std::vector<double> sic;
+  std::vector<double> power_control;
+  std::vector<double> multirate;  ///< empty for the two-receiver experiment
+  std::vector<double> packing;
+};
+
+/// Fig. 11a: two transmitters → one receiver.
+[[nodiscard]] TechniqueSamples run_two_to_one_techniques(
+    const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
+    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+
+/// Fig. 11b: two transmitters → two receivers. Power control here scales a
+/// whole transmitter (affecting its RSS at both receivers) and searches
+/// both choices of transmitter.
+[[nodiscard]] TechniqueSamples run_two_link_techniques(
+    const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
+    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+
+}  // namespace sic::analysis
+
+#endif  // SICMAC_ANALYSIS_MONTECARLO_HPP

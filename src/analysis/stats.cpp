@@ -1,0 +1,106 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sic::analysis {
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0.0;
+  for (const double x : samples) var += (x - s.mean) * (x - s.mean);
+  s.stddev = s.count > 1
+                 ? std::sqrt(var / static_cast<double>(s.count - 1))
+                 : 0.0;
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  SIC_CHECK_MSG(!sorted_.empty(), "CDF over an empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  SIC_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return sorted_.front();
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted_.size())) - 1);
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(int points) const {
+  SIC_CHECK(points >= 2);
+  std::vector<Point> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * i / (points - 1);
+    out.push_back(Point{x, at(x)});
+  }
+  return out;
+}
+
+ConfidenceInterval bootstrap_fraction_above(std::span<const double> samples,
+                                            double threshold,
+                                            double confidence, int resamples,
+                                            std::uint64_t seed) {
+  SIC_CHECK(!samples.empty());
+  SIC_CHECK(confidence > 0.0 && confidence < 1.0);
+  SIC_CHECK(resamples >= 10);
+  const int n = static_cast<int>(samples.size());
+  int above = 0;
+  for (const double x : samples) {
+    if (x > threshold) ++above;
+  }
+  ConfidenceInterval ci;
+  ci.point = static_cast<double>(above) / n;
+
+  Rng rng{seed};
+  std::vector<double> stats;
+  stats.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (samples[static_cast<std::size_t>(rng.uniform_int(0, n - 1))] >
+          threshold) {
+        ++hits;
+      }
+    }
+    stats.push_back(static_cast<double>(hits) / n);
+  }
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - confidence) / 2.0;
+  const auto at = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::clamp(p * (resamples - 1), 0.0,
+                   static_cast<double>(resamples - 1)));
+    return stats[idx];
+  };
+  ci.lo = at(alpha);
+  ci.hi = at(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace sic::analysis

@@ -1,0 +1,71 @@
+#ifndef SICMAC_ANALYSIS_STATS_HPP
+#define SICMAC_ANALYSIS_STATS_HPP
+
+/// \file stats.hpp
+/// Summary statistics and empirical CDFs for the Monte Carlo and trace
+/// experiments (Figs. 6, 11, 13, 14 are all CDFs).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sic::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> samples);
+
+/// Empirical CDF over a fixed sample set.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+
+  /// Smallest sample q with P(X <= q) >= p, p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// P(X > x) — e.g. "fraction of topologies with gain over 1.2".
+  [[nodiscard]] double fraction_above(double x) const { return 1.0 - at(x); }
+
+  [[nodiscard]] std::size_t size() const { return sorted_.size(); }
+  [[nodiscard]] std::span<const double> sorted_samples() const { return sorted_; }
+
+  /// Evenly spaced (x, F(x)) points for plotting/printing, endpoints
+  /// included.
+  struct Point {
+    double x;
+    double f;
+  };
+  [[nodiscard]] std::vector<Point> curve(int points = 21) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// A two-sided bootstrap confidence interval.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double point = 0.0;
+
+  [[nodiscard]] bool contains(double x) const { return lo <= x && x <= hi; }
+};
+
+/// Percentile-bootstrap confidence interval for the fraction of samples
+/// strictly above \p threshold — the statistic every "X% of cases gain over
+/// 20%" claim in EXPERIMENTS.md rests on. Deterministic given the seed.
+[[nodiscard]] ConfidenceInterval bootstrap_fraction_above(
+    std::span<const double> samples, double threshold,
+    double confidence = 0.95, int resamples = 1000, std::uint64_t seed = 1);
+
+}  // namespace sic::analysis
+
+#endif  // SICMAC_ANALYSIS_STATS_HPP

@@ -1,0 +1,40 @@
+#ifndef SICMAC_CHANNEL_FADING_HPP
+#define SICMAC_CHANNEL_FADING_HPP
+
+/// \file fading.hpp
+/// Temporally correlated channel variation. A first-order Gauss-Markov
+/// (AR(1)) track in the dB domain models the slowly drifting shadowing a
+/// rate adapter chases: the adapter picks rates from the channel as it
+/// *was*, the packet flies through the channel as it *is*. The correlation
+/// coefficient ρ is the knob between a clairvoyant adapter (ρ = 1, the
+/// paper's ideal-rate assumption) and a hopelessly stale one (ρ = 0).
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+/// Stationary AR(1) process in dB: x_{t+1} = ρ·x_t + √(1−ρ²)·N(0, σ).
+/// Marginal distribution is N(0, σ) for every t.
+class Ar1ShadowingTrack {
+ public:
+  /// \p rho ∈ [0, 1]; \p sigma is the stationary standard deviation.
+  Ar1ShadowingTrack(double rho, Decibels sigma, Rng& rng);
+
+  /// Current deviation from the nominal channel, dB.
+  [[nodiscard]] Decibels current() const { return Decibels{state_db_}; }
+
+  /// Advances one coherence interval and returns the new deviation.
+  Decibels step(Rng& rng);
+
+  [[nodiscard]] double rho() const { return rho_; }
+
+ private:
+  double rho_;
+  double sigma_db_;
+  double state_db_;
+};
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_FADING_HPP

@@ -1,0 +1,41 @@
+#ifndef SICMAC_CHANNEL_LINK_HPP
+#define SICMAC_CHANNEL_LINK_HPP
+
+/// \file link.hpp
+/// Link budgets: the (RSS at receiver, noise floor) pair every formula in
+/// the paper consumes. A LinkBudget is deliberately tiny and value-typed so
+/// the completion-time algebra in sic::core stays pure and testable.
+
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+/// Received signal strength of one transmitter at one receiver, plus the
+/// receiver's noise floor, in linear units.
+struct LinkBudget {
+  Milliwatts rss;
+  Milliwatts noise;
+
+  /// Clean (interference-free) SNR, linear.
+  [[nodiscard]] double snr() const { return rss / noise; }
+
+  /// SINR against an additional interference power.
+  [[nodiscard]] double sinr_against(Milliwatts interference) const {
+    return rss / (interference + noise);
+  }
+
+  /// Builds a budget from dB-domain quantities.
+  [[nodiscard]] static LinkBudget from_db(Dbm rss_dbm, Dbm noise_dbm) {
+    return LinkBudget{rss_dbm.to_milliwatts(), noise_dbm.to_milliwatts()};
+  }
+
+  /// Builds a budget from a clean SNR in dB with unit noise (the paper's
+  /// normalized setting where N₀ = 1).
+  [[nodiscard]] static LinkBudget from_snr_db(Decibels snr_db) {
+    return LinkBudget{Milliwatts{snr_db.linear()}, Milliwatts{1.0}};
+  }
+};
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_LINK_HPP

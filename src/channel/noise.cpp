@@ -1,0 +1,22 @@
+#include "channel/noise.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sic::channel {
+
+Dbm thermal_noise_floor(Hertz bandwidth, Decibels noise_figure) {
+  SIC_CHECK(bandwidth.value() > 0.0);
+  const double dbm = -174.0 + 10.0 * std::log10(bandwidth.value()) +
+                     noise_figure.value();
+  return Dbm{dbm};
+}
+
+Milliwatts default_noise_floor() {
+  static const Milliwatts floor =
+      thermal_noise_floor(megahertz(20.0)).to_milliwatts();
+  return floor;
+}
+
+}  // namespace sic::channel

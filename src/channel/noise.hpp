@@ -1,0 +1,25 @@
+#ifndef SICMAC_CHANNEL_NOISE_HPP
+#define SICMAC_CHANNEL_NOISE_HPP
+
+/// \file noise.hpp
+/// Noise floor models. The paper treats N₀ as a single channel constant
+/// (Table 1); we provide both that abstract constant and a physically
+/// grounded thermal floor (kTB + receiver noise figure) so link budgets in
+/// dBm line up with real 802.11 numbers.
+
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+/// Thermal noise floor for the given bandwidth: −174 dBm/Hz + 10·log10(B)
+/// + noise figure. For 20 MHz and NF = 7 dB this is ≈ −94 dBm, the usual
+/// 802.11 figure.
+[[nodiscard]] Dbm thermal_noise_floor(Hertz bandwidth,
+                                      Decibels noise_figure = Decibels{7.0});
+
+/// Canonical 20 MHz 802.11 noise floor used as the default everywhere.
+[[nodiscard]] Milliwatts default_noise_floor();
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_NOISE_HPP

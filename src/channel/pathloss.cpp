@@ -1,0 +1,45 @@
+#include "channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sic::channel {
+
+LogDistancePathLoss::LogDistancePathLoss(double exponent,
+                                         Decibels reference_loss,
+                                         double reference_distance_m)
+    : exponent_(exponent),
+      reference_loss_(reference_loss),
+      reference_distance_m_(reference_distance_m) {
+  SIC_CHECK_MSG(exponent > 0.0, "path-loss exponent must be positive");
+  SIC_CHECK_MSG(reference_distance_m > 0.0, "reference distance must be positive");
+}
+
+LogDistancePathLoss LogDistancePathLoss::for_carrier(double exponent,
+                                                     double carrier_hz) {
+  constexpr double kSpeedOfLight = 299'792'458.0;
+  const double fsl_db =
+      20.0 * std::log10(4.0 * M_PI * 1.0 * carrier_hz / kSpeedOfLight);
+  return LogDistancePathLoss{exponent, Decibels{fsl_db}, 1.0};
+}
+
+Decibels LogDistancePathLoss::loss(double distance_m) const {
+  const double d = std::max(distance_m, reference_distance_m_);
+  return reference_loss_ +
+         Decibels{10.0 * exponent_ * std::log10(d / reference_distance_m_)};
+}
+
+Dbm LogDistancePathLoss::received_power(Dbm tx_power, double distance_m) const {
+  return tx_power - loss(distance_m);
+}
+
+Milliwatts NormalizedPathLoss::received_power(double distance_m,
+                                              double tx_power) const {
+  SIC_CHECK(tx_power >= 0.0);
+  const double d = std::max(distance_m, 1.0);
+  return Milliwatts{tx_power * std::pow(d, -exponent_)};
+}
+
+}  // namespace sic::channel

@@ -1,0 +1,65 @@
+#ifndef SICMAC_CHANNEL_PATHLOSS_HPP
+#define SICMAC_CHANNEL_PATHLOSS_HPP
+
+/// \file pathloss.hpp
+/// Propagation models. Section 3.2's Monte Carlo computes "RSS based on the
+/// transmitter-receiver distance, using path loss exponent α=4"; the trace
+/// generator (Section 7 substitution) additionally applies log-normal
+/// shadowing on top of a log-distance model.
+
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+/// Log-distance path loss:
+///   PL(d) = PL(d₀) + 10·α·log10(d/d₀)   [dB]
+/// with free-space loss at the reference distance d₀.
+class LogDistancePathLoss {
+ public:
+  /// \p exponent is the path-loss exponent α (paper uses 4 indoors);
+  /// \p reference_loss is PL(d₀) and \p reference_distance is d₀ in meters.
+  LogDistancePathLoss(double exponent, Decibels reference_loss,
+                      double reference_distance_m = 1.0);
+
+  /// Free-space reference loss at 1 m for the given carrier frequency,
+  /// 20·log10(4πd₀f/c) — ≈ 40 dB at 2.4 GHz.
+  [[nodiscard]] static LogDistancePathLoss for_carrier(double exponent,
+                                                       double carrier_hz = 2.4e9);
+
+  /// Attenuation in dB at distance \p distance_m (clamped below d₀ to the
+  /// reference loss, avoiding unphysical gains at tiny distances).
+  [[nodiscard]] Decibels loss(double distance_m) const;
+
+  /// Received power for a transmit power and distance.
+  [[nodiscard]] Dbm received_power(Dbm tx_power, double distance_m) const;
+
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  Decibels reference_loss_;
+  double reference_distance_m_;
+};
+
+/// The paper's normalized Monte Carlo model: RSS = P·d^(−α) in abstract
+/// linear units with unit transmit power, noise N₀ given in the same units.
+/// Keeping this separate from the dBm-grounded model preserves the exact
+/// setup of Fig. 6.
+class NormalizedPathLoss {
+ public:
+  explicit NormalizedPathLoss(double exponent) : exponent_(exponent) {}
+
+  /// Linear RSS for unit transmit power at the given distance (d clamped to
+  /// ≥ 1 to keep RSS ≤ tx power).
+  [[nodiscard]] Milliwatts received_power(double distance_m,
+                                          double tx_power = 1.0) const;
+
+  [[nodiscard]] double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+};
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_PATHLOSS_HPP

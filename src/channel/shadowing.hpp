@@ -1,0 +1,33 @@
+#ifndef SICMAC_CHANNEL_SHADOWING_HPP
+#define SICMAC_CHANNEL_SHADOWING_HPP
+
+/// \file shadowing.hpp
+/// Log-normal shadowing: a zero-mean Gaussian perturbation in the dB domain
+/// layered on top of a deterministic path-loss model. The synthetic trace
+/// generator uses it to reproduce the RSS dispersion a real building trace
+/// exhibits (DESIGN.md, substitution 1).
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+/// Draws i.i.d. shadowing samples; σ ≈ 4-8 dB is typical indoors.
+class LogNormalShadowing {
+ public:
+  explicit LogNormalShadowing(Decibels sigma) : sigma_(sigma) {}
+
+  /// One shadowing realization (may be positive or negative).
+  [[nodiscard]] Decibels sample(Rng& rng) const {
+    return Decibels{rng.normal(0.0, sigma_.value())};
+  }
+
+  [[nodiscard]] Decibels sigma() const { return sigma_; }
+
+ private:
+  Decibels sigma_;
+};
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_SHADOWING_HPP

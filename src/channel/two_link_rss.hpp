@@ -1,0 +1,30 @@
+#ifndef SICMAC_CHANNEL_TWO_LINK_RSS_HPP
+#define SICMAC_CHANNEL_TWO_LINK_RSS_HPP
+
+/// \file two_link_rss.hpp
+/// The 2×2 RSS matrix of the paper's two-transmitter/two-receiver building
+/// block (Section 3.2, Fig. 5). Notation follows Table 1: S_j^i is the RSS
+/// of transmitter T_i at receiver R_j; the intended links are T1→R1 and
+/// T2→R2.
+
+#include "util/units.hpp"
+
+namespace sic::channel {
+
+struct TwoLinkRss {
+  Milliwatts s11;  ///< S₁¹ — T1 at R1 (signal of interest at R1)
+  Milliwatts s12;  ///< S₁² — T2 at R1 (interference at R1)
+  Milliwatts s21;  ///< S₂¹ — T1 at R2 (interference at R2)
+  Milliwatts s22;  ///< S₂² — T2 at R2 (signal of interest at R2)
+  Milliwatts noise;
+
+  /// Swaps the roles of the two links (T1↔T2, R1↔R2); used to reduce the
+  /// mirrored case (c) of Fig. 5 to case (b).
+  [[nodiscard]] TwoLinkRss mirrored() const {
+    return TwoLinkRss{s22, s21, s12, s11, noise};
+  }
+};
+
+}  // namespace sic::channel
+
+#endif  // SICMAC_CHANNEL_TWO_LINK_RSS_HPP

@@ -1,0 +1,175 @@
+#include "core/cross_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace sic::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Concurrent rate pair (T1→R1, T2→R2) and joint feasibility for one case.
+struct ConcurrentRates {
+  double r1 = 0.0;
+  double r2 = 0.0;
+  bool feasible = false;
+};
+
+/// Case (a): both receivers capture; concurrency (when allowed) runs each
+/// link at its interference-limited rate with no cancellation step.
+ConcurrentRates rates_case_a(const channel::TwoLinkRss& rss,
+                             const phy::RateAdapter& adapter) {
+  ConcurrentRates out;
+  const auto n = rss.noise;
+  out.r1 = adapter.rate(rss.s11 / (rss.s12 + n)).value();
+  out.r2 = adapter.rate(rss.s22 / (rss.s21 + n)).value();
+  out.feasible = out.r1 > 0.0 && out.r2 > 0.0;
+  return out;
+}
+
+/// Case (b): SIC at R2 only. T1 uses its own concurrent-optimal rate; R2
+/// must be able to decode it before cancelling.
+ConcurrentRates rates_case_b(const channel::TwoLinkRss& rss,
+                             const phy::RateAdapter& adapter) {
+  ConcurrentRates out;
+  const auto n = rss.noise;
+  const auto r1 = adapter.rate(rss.s11 / (rss.s12 + n));
+  const auto r2 = adapter.rate(rss.s22 / n);
+  out.r1 = r1.value();
+  out.r2 = r2.value();
+  const double sinr_t1_at_r2 = rss.s21 / (rss.s22 + n);
+  out.feasible = out.r1 > 0.0 && out.r2 > 0.0 &&
+                 adapter.feasible(r1, sinr_t1_at_r2);
+  return out;
+}
+
+/// Case (d): SIC at both receivers; both transmitters run clean rates.
+ConcurrentRates rates_case_d(const channel::TwoLinkRss& rss,
+                             const phy::RateAdapter& adapter) {
+  ConcurrentRates out;
+  const auto n = rss.noise;
+  const auto r1 = adapter.rate(rss.s11 / n);
+  const auto r2 = adapter.rate(rss.s22 / n);
+  out.r1 = r1.value();
+  out.r2 = r2.value();
+  const bool ok_at_r2 = adapter.feasible(r1, rss.s21 / (rss.s22 + n));
+  const bool ok_at_r1 = adapter.feasible(r2, rss.s12 / (rss.s11 + n));
+  out.feasible = out.r1 > 0.0 && out.r2 > 0.0 && ok_at_r2 && ok_at_r1;
+  return out;
+}
+
+ConcurrentRates concurrent_rates(const channel::TwoLinkRss& rss,
+                                 const phy::RateAdapter& adapter,
+                                 CrossLinkCase kase,
+                                 bool include_capture_concurrency) {
+  switch (kase) {
+    case CrossLinkCase::kCaptureBoth:
+      if (include_capture_concurrency) return rates_case_a(rss, adapter);
+      return ConcurrentRates{};  // SIC not needed; no SIC rates to speak of
+    case CrossLinkCase::kSicAtR2:
+      return rates_case_b(rss, adapter);
+    case CrossLinkCase::kSicAtR1: {
+      // Mirror of case (b): swap link roles, solve, swap back.
+      ConcurrentRates m = rates_case_b(rss.mirrored(), adapter);
+      std::swap(m.r1, m.r2);
+      return m;
+    }
+    case CrossLinkCase::kSicAtBoth:
+      return rates_case_d(rss, adapter);
+  }
+  return ConcurrentRates{};
+}
+
+}  // namespace
+
+CrossLinkCase classify_cross_link(const channel::TwoLinkRss& rss) {
+  const bool r1_captures = rss.s11 >= rss.s12;
+  const bool r2_captures = rss.s22 >= rss.s21;
+  if (r1_captures && r2_captures) return CrossLinkCase::kCaptureBoth;
+  if (r1_captures) return CrossLinkCase::kSicAtR2;
+  if (r2_captures) return CrossLinkCase::kSicAtR1;
+  return CrossLinkCase::kSicAtBoth;
+}
+
+CrossLinkResult evaluate_cross_link(const channel::TwoLinkRss& rss,
+                                    const phy::RateAdapter& adapter,
+                                    double packet_bits) {
+  CrossLinkOptions options;
+  options.packet_bits = packet_bits;
+  return evaluate_cross_link(rss, adapter, options);
+}
+
+CrossLinkResult evaluate_cross_link(const channel::TwoLinkRss& rss,
+                                    const phy::RateAdapter& adapter,
+                                    const CrossLinkOptions& options) {
+  const double packet_bits = options.packet_bits;
+  SIC_CHECK(packet_bits > 0.0);
+  CrossLinkResult out;
+  out.kase = classify_cross_link(rss);
+  const auto n = rss.noise;
+  out.serial_airtime =
+      airtime_seconds(packet_bits, adapter.rate(rss.s11 / n)) +
+      airtime_seconds(packet_bits, adapter.rate(rss.s22 / n));
+
+  const ConcurrentRates rates = concurrent_rates(
+      rss, adapter, out.kase, options.include_capture_concurrency);
+  out.sic_feasible = rates.feasible;
+  if (!rates.feasible) {
+    out.concurrent_airtime = kInf;
+    out.gain = 1.0;
+    return out;
+  }
+  out.concurrent_airtime =
+      std::max(airtime_seconds(packet_bits, BitsPerSecond{rates.r1}),
+               airtime_seconds(packet_bits, BitsPerSecond{rates.r2}));
+  out.gain = std::isfinite(out.serial_airtime)
+                 ? std::max(1.0, out.serial_airtime / out.concurrent_airtime)
+                 : 1.0;
+  return out;
+}
+
+double cross_link_packing_gain(const channel::TwoLinkRss& rss,
+                               const phy::RateAdapter& adapter,
+                               double packet_bits) {
+  CrossLinkOptions options;
+  options.packet_bits = packet_bits;
+  return cross_link_packing_gain(rss, adapter, options);
+}
+
+double cross_link_packing_gain(const channel::TwoLinkRss& rss,
+                               const phy::RateAdapter& adapter,
+                               const CrossLinkOptions& options) {
+  const double packet_bits = options.packet_bits;
+  const auto base = evaluate_cross_link(rss, adapter, options);
+  if (!base.sic_feasible || !std::isfinite(base.serial_airtime)) {
+    return base.gain;
+  }
+  const ConcurrentRates rates = concurrent_rates(
+      rss, adapter, base.kase, options.include_capture_concurrency);
+  const double t1 = airtime_seconds(packet_bits, BitsPerSecond{rates.r1});
+  const double t2 = airtime_seconds(packet_bits, BitsPerSecond{rates.r2});
+  const double t_fast = std::min(t1, t2);
+  const double t_slow = std::max(t1, t2);
+  const int k = std::max(1, static_cast<int>(std::floor(t_slow / t_fast)));
+
+  const auto n = rss.noise;
+  const double t1_clean =
+      airtime_seconds(packet_bits, adapter.rate(rss.s11 / n));
+  const double t2_clean =
+      airtime_seconds(packet_bits, adapter.rate(rss.s22 / n));
+  const bool link1_is_slow = t1 >= t2;
+  const double t_fast_clean = link1_is_slow ? t2_clean : t1_clean;
+  const double t_slow_clean = link1_is_slow ? t1_clean : t2_clean;
+
+  const double span = std::max(t_slow, k * t_fast);
+  const double packed_per_packet = span / (k + 1);
+  const double serial_per_packet = (k * t_fast_clean + t_slow_clean) / (k + 1);
+  return std::max(base.gain, serial_per_packet / packed_per_packet);
+}
+
+}  // namespace sic::core

@@ -1,0 +1,25 @@
+#include "core/download.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sic::core {
+
+DownloadResult evaluate_download(const UploadPairContext& ctx) {
+  SIC_CHECK(ctx.adapter != nullptr);
+  DownloadResult out;
+  const auto& a = ctx.arrival;
+  // Both packets through the stronger AP (the stronger RSS by construction).
+  const auto best_clean = ctx.adapter->rate(a.stronger / a.noise);
+  out.serial_airtime = 2.0 * airtime_seconds(ctx.packet_bits, best_clean);
+  out.concurrent_airtime = sic_airtime(ctx);
+  out.raw_gain = std::isfinite(out.concurrent_airtime)
+                     ? out.serial_airtime / out.concurrent_airtime
+                     : 0.0;
+  out.gain = std::max(1.0, out.raw_gain);
+  return out;
+}
+
+}  // namespace sic::core

@@ -1,0 +1,33 @@
+#ifndef SICMAC_CORE_DOWNLOAD_HPP
+#define SICMAC_CORE_DOWNLOAD_HPP
+
+/// \file download.hpp
+/// Section 4.1, download traffic: two APs deliver one packet each to a
+/// single client over a wired backbone. With SIC the two APs transmit
+/// concurrently — identical algebra to the upload pair, eq (6). Without
+/// SIC, the backbone allows routing *both* packets through the stronger
+/// AP, eq (10):
+///
+///   Z₋SIC = 2L / max(r(S¹/N₀), r(S²/N₀))
+///
+/// which is why Fig. 8 shows "very little benefit from SIC" here: the
+/// no-SIC baseline is stronger than in the upload case.
+
+#include "core/upload_pair.hpp"
+
+namespace sic::core {
+
+struct DownloadResult {
+  double serial_airtime = 0.0;      ///< eq (10): both packets via best AP
+  double concurrent_airtime = 0.0;  ///< eq (6)
+  double gain = 1.0;                ///< realized gain, ≥ 1
+  double raw_gain = 0.0;            ///< (10)/(6) unclamped, Fig. 8's value
+};
+
+/// Evaluates the two-APs/one-client download building block. The context's
+/// arrival holds the two AP RSSs at the client.
+[[nodiscard]] DownloadResult evaluate_download(const UploadPairContext& ctx);
+
+}  // namespace sic::core
+
+#endif  // SICMAC_CORE_DOWNLOAD_HPP

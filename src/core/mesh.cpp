@@ -1,0 +1,63 @@
+#include "core/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace sic::core {
+
+MeshChainReport analyze_mesh_chain(const topology::Deployment& chain,
+                                   const phy::RateAdapter& adapter,
+                                   double packet_bits) {
+  SIC_CHECK_MSG(chain.nodes.size() == 4, "mesh chain must be A, C, D, E");
+  SIC_CHECK(packet_bits > 0.0);
+  const auto& a = chain.nodes[0];
+  const auto& c = chain.nodes[1];
+  const auto& d = chain.nodes[2];
+  const auto& e = chain.nodes[3];
+
+  MeshChainReport report;
+  // The concurrent pair: link 1 = A→C (interfered by D at C), link 2 = D→E
+  // (interfered, weakly, by A at E).
+  channel::TwoLinkRss rss;
+  rss.s11 = chain.rss(a, c);
+  rss.s12 = chain.rss(d, c);
+  rss.s21 = chain.rss(a, e);
+  rss.s22 = chain.rss(d, e);
+  rss.noise = chain.noise();
+  report.cross = evaluate_cross_link(rss, adapter, packet_bits);
+  report.sic_feasible_at_relay = report.cross.sic_feasible;
+
+  const double t_ac =
+      airtime_seconds(packet_bits, adapter.rate(chain.rss(a, c) / chain.noise()));
+  const double t_cd =
+      airtime_seconds(packet_bits, adapter.rate(chain.rss(c, d) / chain.noise()));
+  const double t_de =
+      airtime_seconds(packet_bits, adapter.rate(chain.rss(d, e) / chain.noise()));
+  report.serial_cycle_s = t_ac + t_cd + t_de;
+  report.pipelined_cycle_s =
+      report.sic_feasible_at_relay
+          ? report.cross.concurrent_airtime + t_cd
+          : report.serial_cycle_s;
+  if (std::isfinite(report.serial_cycle_s) && report.serial_cycle_s > 0.0) {
+    report.serial_throughput_bps = packet_bits / report.serial_cycle_s;
+  }
+  if (std::isfinite(report.pipelined_cycle_s) &&
+      report.pipelined_cycle_s > 0.0) {
+    report.pipelined_throughput_bps = packet_bits / report.pipelined_cycle_s;
+  }
+  // A rational relay never pipelines when it loses.
+  if (report.pipelined_throughput_bps < report.serial_throughput_bps) {
+    report.pipelined_cycle_s = report.serial_cycle_s;
+    report.pipelined_throughput_bps = report.serial_throughput_bps;
+  }
+  report.gain = report.serial_throughput_bps > 0.0
+                    ? report.pipelined_throughput_bps /
+                          report.serial_throughput_bps
+                    : 1.0;
+  return report;
+}
+
+}  // namespace sic::core

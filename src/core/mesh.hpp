@@ -1,0 +1,43 @@
+#ifndef SICMAC_CORE_MESH_HPP
+#define SICMAC_CORE_MESH_HPP
+
+/// \file mesh.hpp
+/// Section 4.3: multihop mesh self-interference. For a relay chain
+/// A → C → D → E (long, short, long hops — Fig. 7c), the A→C and D→E
+/// transmissions can run concurrently *if* C can decode D's strong
+/// interfering signal and cancel it ("a perfect recipe for SIC at C").
+/// The module evaluates the steady-state relay pipeline: without SIC the
+/// three hops serialize; with SIC the two long hops overlap and the cycle
+/// shrinks — until the hops get short enough that D's rate to E exceeds
+/// what C can decode, and SIC switches off.
+
+#include "core/cross_link.hpp"
+#include "phy/rate_adapter.hpp"
+#include "topology/scenarios.hpp"
+
+namespace sic::core {
+
+struct MeshChainReport {
+  /// Whether C can decode-and-cancel D→E while receiving A→C.
+  bool sic_feasible_at_relay = false;
+  /// The underlying §3.2 analysis of the concurrent pair (A→C, D→E).
+  CrossLinkResult cross;
+  /// One relay cycle (one packet advanced end-to-end), seconds.
+  double serial_cycle_s = 0.0;     ///< A→C, then C→D, then D→E
+  double pipelined_cycle_s = 0.0;  ///< max(A→C, D→E) concurrent, then C→D
+  /// End-to-end throughput for a saturated pipeline, bits/s.
+  double serial_throughput_bps = 0.0;
+  double pipelined_throughput_bps = 0.0;
+  /// pipelined/serial throughput; 1.0 when SIC is infeasible.
+  double gain = 1.0;
+};
+
+/// Analyzes a 4-node chain deployment (node order A, C, D, E, as built by
+/// topology::make_mesh_chain).
+[[nodiscard]] MeshChainReport analyze_mesh_chain(
+    const topology::Deployment& chain, const phy::RateAdapter& adapter,
+    double packet_bits = 12000.0);
+
+}  // namespace sic::core
+
+#endif  // SICMAC_CORE_MESH_HPP

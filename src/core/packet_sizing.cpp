@@ -1,0 +1,67 @@
+#include "core/packet_sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sic::core {
+
+double serial_airtime_unequal(const UploadPairContext& ctx,
+                              double bits_stronger, double bits_weaker) {
+  SIC_CHECK(ctx.adapter != nullptr);
+  SIC_CHECK(bits_stronger >= 0.0 && bits_weaker >= 0.0);
+  const auto& a = ctx.arrival;
+  return airtime_seconds(bits_stronger, ctx.adapter->rate(a.stronger / a.noise)) +
+         airtime_seconds(bits_weaker, ctx.adapter->rate(a.weaker / a.noise));
+}
+
+double sic_airtime_unequal(const UploadPairContext& ctx, double bits_stronger,
+                           double bits_weaker) {
+  SIC_CHECK(bits_stronger >= 0.0 && bits_weaker >= 0.0);
+  const auto rates = sic_rates(ctx);
+  return std::max(airtime_seconds(bits_stronger, rates.stronger),
+                  airtime_seconds(bits_weaker, rates.weaker));
+}
+
+PacketSizingPlan fill_gap_with_packet_size(const UploadPairContext& ctx,
+                                           double mtu_bits) {
+  SIC_CHECK(mtu_bits >= ctx.packet_bits);
+  const auto rates = sic_rates(ctx);
+  PacketSizingPlan plan;
+  const double t_strong = airtime_seconds(ctx.packet_bits, rates.stronger);
+  const double t_weak = airtime_seconds(ctx.packet_bits, rates.weaker);
+  if (!std::isfinite(t_strong) || !std::isfinite(t_weak)) {
+    // SIC infeasible: no sized exchange; serial is the only option.
+    plan.fast_link_bits = ctx.packet_bits;
+    plan.airtime = serial_airtime(ctx);
+    plan.gain = 1.0;
+    return plan;
+  }
+
+  const bool strong_is_slow = t_strong >= t_weak;
+  const double t_slow = std::max(t_strong, t_weak);
+  const double fast_rate =
+      (strong_is_slow ? rates.weaker : rates.stronger).value();
+  // Equalize: the fast link carries fast_rate * t_slow bits.
+  const double ideal_bits = fast_rate * t_slow;
+  plan.fast_link_bits = std::min(ideal_bits, mtu_bits);
+  plan.mtu_limited = ideal_bits > mtu_bits;
+  const double bits_stronger =
+      strong_is_slow ? ctx.packet_bits : plan.fast_link_bits;
+  const double bits_weaker =
+      strong_is_slow ? plan.fast_link_bits : ctx.packet_bits;
+  plan.airtime = sic_airtime_unequal(ctx, bits_stronger, bits_weaker);
+
+  // Throughput-normalized: time per bit vs the serial exchange of the same
+  // payloads at clean rates.
+  const double serial =
+      serial_airtime_unequal(ctx, bits_stronger, bits_weaker);
+  plan.gain = std::isfinite(serial) && plan.airtime > 0.0
+                  ? std::max(1.0, serial / plan.airtime)
+                  : 1.0;
+  return plan;
+}
+
+}  // namespace sic::core

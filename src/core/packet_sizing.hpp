@@ -1,0 +1,55 @@
+#ifndef SICMAC_CORE_PACKET_SIZING_HPP
+#define SICMAC_CORE_PACKET_SIZING_HPP
+
+/// \file packet_sizing.hpp
+/// Section 3's gap-filling by packet sizing: "the gap in the air-times of
+/// packets can be filled by having T2 transmit a large packet…. It may not
+/// always be practical — protocol limits on packet sizes prevent [it]."
+///
+/// This module generalizes the eq (5)/(6) algebra to unequal packet
+/// lengths and computes the optimal (air-time-equalizing) length for the
+/// faster link, clamped to a protocol MTU. With the clamp at the default
+/// 802.11 limit the paper's pessimism reproduces: the slack is usually too
+/// large for one jumbo frame to fill.
+
+#include "core/upload_pair.hpp"
+
+namespace sic::core {
+
+/// Serial exchange of La bits from the stronger client and Lb bits from
+/// the weaker, each at its clean best rate — eq (5) with unequal lengths.
+[[nodiscard]] double serial_airtime_unequal(const UploadPairContext& ctx,
+                                            double bits_stronger,
+                                            double bits_weaker);
+
+/// Concurrent SIC exchange with unequal lengths — eq (6) generalized:
+/// max(La/r1, Lb/r2).
+[[nodiscard]] double sic_airtime_unequal(const UploadPairContext& ctx,
+                                         double bits_stronger,
+                                         double bits_weaker);
+
+struct PacketSizingPlan {
+  /// Chosen payload for the faster (under SIC) link; the slower link keeps
+  /// ctx.packet_bits.
+  double fast_link_bits = 0.0;
+  /// True when the equalizing size exceeded the MTU and was clamped.
+  bool mtu_limited = false;
+  /// Completion time of the sized exchange.
+  double airtime = 0.0;
+  /// Throughput-normalized gain vs a serial exchange of the same bits.
+  double gain = 1.0;
+};
+
+/// Fills the air-time gap by growing the faster link's packet up to
+/// \p mtu_bits: the §3 "large packet" alternative to packet trains.
+/// The slower link sends ctx.packet_bits; the faster link sends
+/// min(mtu, rate_fast · t_slow) bits so both finish together when the MTU
+/// allows. The default MTU is the 802.11 maximum MSDU (2304 bytes), which
+/// is why the paper calls this impractical: similar-RSS pairs need many
+/// times that.
+[[nodiscard]] PacketSizingPlan fill_gap_with_packet_size(
+    const UploadPairContext& ctx, double mtu_bits = 2304.0 * 8.0);
+
+}  // namespace sic::core
+
+#endif  // SICMAC_CORE_PACKET_SIZING_HPP

@@ -1,0 +1,71 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace sic::core {
+
+PackingResult packing_two_to_one(const UploadPairContext& ctx) {
+  SIC_CHECK(ctx.adapter != nullptr);
+  const auto rates = sic_rates(ctx);
+  const double l = ctx.packet_bits;
+  const double t_strong = airtime_seconds(l, rates.stronger);
+  const double t_weak = airtime_seconds(l, rates.weaker);
+
+  PackingResult out;
+  const double serial_pair = serial_airtime(ctx);
+  if (!std::isfinite(t_strong) || !std::isfinite(t_weak)) {
+    // SIC infeasible for the pair: packing cannot engage; the serial
+    // exchange defines both sides of the ratio.
+    out.span = serial_pair;
+    out.time_per_packet = serial_pair / 2.0;
+    out.serial_time_per_packet = out.time_per_packet;
+    out.gain = 1.0;
+    return out;
+  }
+
+  const double t_fast = std::min(t_strong, t_weak);
+  const double t_slow = std::max(t_strong, t_weak);
+  const bool strong_is_slow = t_strong >= t_weak;
+  const int k = std::max(1, static_cast<int>(std::floor(t_slow / t_fast)));
+
+  // Clean per-packet serial times for each side.
+  const auto& a = ctx.arrival;
+  const double t_strong_clean =
+      airtime_seconds(l, ctx.adapter->rate(a.stronger / a.noise));
+  const double t_weak_clean =
+      airtime_seconds(l, ctx.adapter->rate(a.weaker / a.noise));
+  const double t_fast_clean = strong_is_slow ? t_weak_clean : t_strong_clean;
+  const double t_slow_clean = strong_is_slow ? t_strong_clean : t_weak_clean;
+
+  out.fast_packets = k;
+  out.span = std::max(t_slow, k * t_fast);
+  out.time_per_packet = out.span / (k + 1);
+  out.serial_time_per_packet = (k * t_fast_clean + t_slow_clean) / (k + 1);
+  out.gain = out.serial_time_per_packet / out.time_per_packet;
+  if (out.gain < 1.0) {
+    // A rational MAC falls back to serial exchange.
+    out.fast_packets = 1;
+    out.span = serial_pair;
+    out.time_per_packet = serial_pair / 2.0;
+    out.serial_time_per_packet = out.time_per_packet;
+    out.gain = 1.0;
+  }
+  return out;
+}
+
+double packing_fluid_gain(const UploadPairContext& ctx) {
+  SIC_CHECK(ctx.adapter != nullptr);
+  const auto rates = sic_rates(ctx);
+  const double sum_rate = rates.stronger.value() + rates.weaker.value();
+  if (sum_rate <= 0.0) return 1.0;
+  const double packed_per_packet = 2.0 * ctx.packet_bits / sum_rate / 2.0;
+  const double serial_per_packet = serial_airtime(ctx) / 2.0;
+  if (!std::isfinite(serial_per_packet)) return 1.0;
+  return std::max(1.0, serial_per_packet / packed_per_packet);
+}
+
+}  // namespace sic::core

@@ -1,0 +1,80 @@
+#include "core/power_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sic::core {
+
+namespace {
+
+/// Evaluates the pair at a given weaker-power scale.
+PowerControlResult evaluate_at_scale(const UploadPairContext& ctx,
+                                     double scale) {
+  UploadPairContext scaled = ctx;
+  scaled.arrival.weaker = ctx.arrival.weaker * scale;
+  // Reducing the weaker client's power can never flip the strength order.
+  PowerControlResult out;
+  out.scale = scale;
+  out.rates = sic_rates(scaled);
+  out.airtime = sic_airtime(scaled);
+  out.applied = scale < 1.0;
+  return out;
+}
+
+/// Shannon-policy closed form: the βS² at which the two rates are equal.
+double equal_rate_weaker_rss(const phy::TwoSignalArrival& a) {
+  const double n0 = a.noise.value();
+  const double s1 = a.stronger.value();
+  return (-n0 + std::sqrt(n0 * n0 + 4.0 * s1 * n0)) / 2.0;
+}
+
+}  // namespace
+
+PowerControlResult optimize_weaker_power(const UploadPairContext& ctx) {
+  SIC_CHECK(ctx.adapter != nullptr);
+  PowerControlResult best = evaluate_at_scale(ctx, 1.0);
+  best.applied = false;
+  if (ctx.arrival.weaker.value() <= 0.0) return best;
+
+  if (dynamic_cast<const phy::ShannonRateAdapter*>(ctx.adapter) != nullptr) {
+    const double target = equal_rate_weaker_rss(ctx.arrival);
+    const double scale = target / ctx.arrival.weaker.value();
+    if (scale < 1.0) {
+      PowerControlResult cand = evaluate_at_scale(ctx, scale);
+      if (cand.airtime < best.airtime) return cand;
+    }
+    return best;
+  }
+
+  // Generic (discrete) policy: coarse dB grid over [-40 dB, 0 dB] with one
+  // local refinement pass around the best coarse point.
+  constexpr double kMinDb = -40.0;
+  constexpr int kCoarse = 201;           // 0.2 dB steps
+  double best_db = 0.0;
+  for (int i = 0; i < kCoarse; ++i) {
+    const double db = kMinDb + (0.0 - kMinDb) * i / (kCoarse - 1);
+    const PowerControlResult cand =
+        evaluate_at_scale(ctx, std::pow(10.0, db / 10.0));
+    if (cand.airtime < best.airtime) {
+      best = cand;
+      best_db = db;
+    }
+  }
+  constexpr int kFine = 81;              // ±0.2 dB at 0.005 dB steps
+  for (int i = 0; i < kFine; ++i) {
+    const double db =
+        std::min(0.0, best_db - 0.2 + 0.4 * i / (kFine - 1));
+    const PowerControlResult cand =
+        evaluate_at_scale(ctx, std::pow(10.0, db / 10.0));
+    if (cand.airtime < best.airtime) best = cand;
+  }
+  return best;
+}
+
+double power_controlled_airtime(const UploadPairContext& ctx) {
+  return optimize_weaker_power(ctx).airtime;
+}
+
+}  // namespace sic::core

@@ -1,0 +1,85 @@
+#include "core/wlan_scenarios.hpp"
+
+#include "util/check.hpp"
+
+namespace sic::core {
+
+WlanStudy::WlanStudy(const topology::Deployment& deployment,
+                     const phy::RateAdapter& adapter, double packet_bits)
+    : deployment_(&deployment),
+      adapter_(&adapter),
+      packet_bits_(packet_bits) {
+  SIC_CHECK(packet_bits > 0.0);
+}
+
+const topology::Node& WlanStudy::node(topology::NodeId id) const {
+  for (const auto& n : deployment_->nodes) {
+    if (n.id == id) return n;
+  }
+  SIC_CHECK_MSG(false, "no such node id in deployment");
+  return deployment_->nodes.front();  // unreachable
+}
+
+UploadPairContext WlanStudy::upload_pair(topology::NodeId client_a,
+                                         topology::NodeId client_b,
+                                         topology::NodeId ap) const {
+  const auto& a = node(client_a);
+  const auto& b = node(client_b);
+  const auto& receiver = node(ap);
+  return UploadPairContext::make(deployment_->rss(a, receiver),
+                                 deployment_->rss(b, receiver),
+                                 deployment_->noise(), *adapter_,
+                                 packet_bits_);
+}
+
+double WlanStudy::upload_gain(topology::NodeId client_a,
+                              topology::NodeId client_b,
+                              topology::NodeId ap) const {
+  return realized_gain(upload_pair(client_a, client_b, ap));
+}
+
+DownloadResult WlanStudy::download_to(topology::NodeId client,
+                                      topology::NodeId ap1,
+                                      topology::NodeId ap2) const {
+  const auto& c = node(client);
+  const auto ctx = UploadPairContext::make(
+      deployment_->rss(node(ap1), c), deployment_->rss(node(ap2), c),
+      deployment_->noise(), *adapter_, packet_bits_);
+  return evaluate_download(ctx);
+}
+
+topology::NodeId WlanStudy::better_ap(topology::NodeId client,
+                                      topology::NodeId ap1,
+                                      topology::NodeId ap2) const {
+  const auto& c = node(client);
+  return deployment_->rss(node(ap1), c) >= deployment_->rss(node(ap2), c)
+             ? ap1
+             : ap2;
+}
+
+CrossLinkResult WlanStudy::concurrent_links(topology::NodeId ta,
+                                            topology::NodeId ra,
+                                            topology::NodeId tb,
+                                            topology::NodeId rb) const {
+  channel::TwoLinkRss rss;
+  rss.s11 = deployment_->rss(node(ta), node(ra));
+  rss.s12 = deployment_->rss(node(tb), node(ra));
+  rss.s21 = deployment_->rss(node(ta), node(rb));
+  rss.s22 = deployment_->rss(node(tb), node(rb));
+  rss.noise = deployment_->noise();
+  return evaluate_cross_link(rss, *adapter_, packet_bits_);
+}
+
+WlanStudy::FreeAssociationReport WlanStudy::upload_with_free_association(
+    topology::NodeId client_a, topology::NodeId client_b,
+    topology::NodeId ap1, topology::NodeId ap2) const {
+  FreeAssociationReport report;
+  report.ap_for_a = better_ap(client_a, ap1, ap2);
+  report.ap_for_b = better_ap(client_b, ap1, ap2);
+  report.result =
+      concurrent_links(client_a, report.ap_for_a, client_b, report.ap_for_b);
+  report.sic_needed = report.result.kase != CrossLinkCase::kCaptureBoth;
+  return report;
+}
+
+}  // namespace sic::core

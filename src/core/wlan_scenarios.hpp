@@ -1,0 +1,82 @@
+#ifndef SICMAC_CORE_WLAN_SCENARIOS_HPP
+#define SICMAC_CORE_WLAN_SCENARIOS_HPP
+
+/// \file wlan_scenarios.hpp
+/// Section 4's architecture studies as an API over a positioned deployment
+/// (topology::Deployment): the four enterprise-WLAN traffic cases of
+/// Section 4.1 and the residential locked-AP case of Section 4.2. Each
+/// returns the same realized-gain accounting the paper uses, so examples
+/// and tests can interrogate "where is SIC worth pursuing?" on concrete
+/// floor plans.
+
+#include "core/cross_link.hpp"
+#include "core/download.hpp"
+#include "core/upload_pair.hpp"
+#include "phy/rate_adapter.hpp"
+#include "topology/scenarios.hpp"
+
+namespace sic::core {
+
+/// Analysis context: a deployment + rate policy + packet size.
+class WlanStudy {
+ public:
+  /// \p deployment and \p adapter must outlive the study.
+  WlanStudy(const topology::Deployment& deployment,
+            const phy::RateAdapter& adapter, double packet_bits = 12000.0);
+
+  /// Upload, two clients → one AP (Section 4.1 ¶1; same algebra as §3.1).
+  /// Node arguments are deployment node ids.
+  [[nodiscard]] UploadPairContext upload_pair(topology::NodeId client_a,
+                                              topology::NodeId client_b,
+                                              topology::NodeId ap) const;
+  [[nodiscard]] double upload_gain(topology::NodeId client_a,
+                                   topology::NodeId client_b,
+                                   topology::NodeId ap) const;
+
+  /// Download, two APs → one client over the wired backbone (Section 4.1
+  /// ¶2, Fig. 8): serial baseline routes both packets via the better AP.
+  [[nodiscard]] DownloadResult download_to(topology::NodeId client,
+                                           topology::NodeId ap1,
+                                           topology::NodeId ap2) const;
+
+  /// Which of the two APs hears/serves this client better.
+  [[nodiscard]] topology::NodeId better_ap(topology::NodeId client,
+                                           topology::NodeId ap1,
+                                           topology::NodeId ap2) const;
+
+  /// Cross-cell concurrency (Section 4.1 ¶3-4): transmitter → receiver
+  /// pairs (ta→ra) and (tb→rb) evaluated through the §3.2 case analysis.
+  [[nodiscard]] CrossLinkResult concurrent_links(topology::NodeId ta,
+                                                 topology::NodeId ra,
+                                                 topology::NodeId tb,
+                                                 topology::NodeId rb) const;
+
+  /// The EWLAN argument in one call: with free AP choice each client
+  /// associates with its better AP, and the function reports whether SIC
+  /// is even *needed* (i.e. whether any receiver hears the foreign
+  /// transmitter louder than its own) and the realized concurrency gain.
+  struct FreeAssociationReport {
+    topology::NodeId ap_for_a = 0;
+    topology::NodeId ap_for_b = 0;
+    bool sic_needed = false;   ///< false ⇒ the capture case (Fig. 5a)
+    CrossLinkResult result;
+  };
+  [[nodiscard]] FreeAssociationReport upload_with_free_association(
+      topology::NodeId client_a, topology::NodeId client_b,
+      topology::NodeId ap1, topology::NodeId ap2) const;
+
+  [[nodiscard]] const topology::Deployment& deployment() const {
+    return *deployment_;
+  }
+
+ private:
+  [[nodiscard]] const topology::Node& node(topology::NodeId id) const;
+
+  const topology::Deployment* deployment_;
+  const phy::RateAdapter* adapter_;
+  double packet_bits_;
+};
+
+}  // namespace sic::core
+
+#endif  // SICMAC_CORE_WLAN_SCENARIOS_HPP

@@ -1,0 +1,31 @@
+#include "mac/deployment_medium.hpp"
+
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+std::unique_ptr<Medium> make_medium_from_deployment(
+    EventQueue& queue, const topology::Deployment& deployment,
+    const phy::RateAdapter& adapter, phy::SicDecoderConfig decoder) {
+  const int n = static_cast<int>(deployment.nodes.size());
+  SIC_CHECK_MSG(n >= 1, "deployment has no nodes");
+  for (int i = 0; i < n; ++i) {
+    SIC_CHECK_MSG(deployment.nodes[static_cast<std::size_t>(i)].id ==
+                      static_cast<topology::NodeId>(i),
+                  "deployment node ids must be 0..n-1");
+  }
+  auto medium = std::make_unique<Medium>(queue, n, deployment.noise(),
+                                         adapter, decoder);
+  for (int tx = 0; tx < n; ++tx) {
+    for (int rx = 0; rx < n; ++rx) {
+      if (tx == rx) continue;
+      medium->set_directional_gain(
+          tx, rx,
+          deployment.rss(deployment.nodes[static_cast<std::size_t>(tx)],
+                         deployment.nodes[static_cast<std::size_t>(rx)]));
+    }
+  }
+  return medium;
+}
+
+}  // namespace sic::mac

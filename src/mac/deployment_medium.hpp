@@ -1,0 +1,28 @@
+#ifndef SICMAC_MAC_DEPLOYMENT_MEDIUM_HPP
+#define SICMAC_MAC_DEPLOYMENT_MEDIUM_HPP
+
+/// \file deployment_medium.hpp
+/// Bridges the topology layer to the simulator: builds a Medium whose gain
+/// matrix comes from a positioned Deployment (path-loss model + node
+/// positions + per-node transmit powers). This is what lets the named
+/// Section 4 scenarios — EWLAN floors, residential walls, mesh chains —
+/// run as live discrete-event simulations rather than closed-form studies.
+
+#include <memory>
+
+#include "mac/medium.hpp"
+#include "topology/scenarios.hpp"
+
+namespace sic::mac {
+
+/// Builds a medium with one MAC node per deployment node. Requires node
+/// ids to be exactly 0..n-1 (the scenario builders guarantee this). Gains
+/// use each *transmitter's* power, so asymmetric powers yield asymmetric
+/// RSS, matching Deployment::rss.
+[[nodiscard]] std::unique_ptr<Medium> make_medium_from_deployment(
+    EventQueue& queue, const topology::Deployment& deployment,
+    const phy::RateAdapter& adapter, phy::SicDecoderConfig decoder = {});
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_DEPLOYMENT_MEDIUM_HPP

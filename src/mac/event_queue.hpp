@@ -1,0 +1,81 @@
+#ifndef SICMAC_MAC_EVENT_QUEUE_HPP
+#define SICMAC_MAC_EVENT_QUEUE_HPP
+
+/// \file event_queue.hpp
+/// The discrete-event engine: a time-ordered queue of callbacks with
+/// deterministic FIFO tie-breaking (events scheduled earlier run first at
+/// equal timestamps), which keeps simulations reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mac/sim_time.hpp"
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules \p fn at absolute time \p at (must be >= now()).
+  void schedule_at(SimTime at, Callback fn) {
+    SIC_CHECK_MSG(at >= now_, "cannot schedule into the past");
+    heap_.push(Event{at, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules \p fn after \p delay from now.
+  void schedule_after(SimTime delay, Callback fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until the queue drains or \p horizon is reached (events at or
+  /// after the horizon remain queued). now() stays at the last executed
+  /// event so callers can read the true completion time of a finite run.
+  void run_until(SimTime horizon) {
+    while (!heap_.empty() && heap_.top().at < horizon) step();
+  }
+
+  /// Runs until the queue drains.
+  void run() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_EVENT_QUEUE_HPP

@@ -1,0 +1,252 @@
+#include "mac/medium.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+Medium::Medium(EventQueue& queue, int n_nodes, Milliwatts noise,
+               const phy::RateAdapter& adapter,
+               phy::SicDecoderConfig decoder_config)
+    : queue_(&queue),
+      n_nodes_(n_nodes),
+      noise_(noise),
+      adapter_(&adapter),
+      decoder_(adapter, decoder_config),
+      gains_(static_cast<std::size_t>(n_nodes) * n_nodes, Milliwatts{0.0}),
+      listeners_(static_cast<std::size_t>(n_nodes), nullptr) {
+  SIC_CHECK(n_nodes >= 1);
+  SIC_CHECK(noise.value() > 0.0);
+}
+
+void Medium::set_gain(MacNodeId tx, MacNodeId rx, Milliwatts rss) {
+  SIC_CHECK(tx >= 0 && tx < n_nodes_ && rx >= 0 && rx < n_nodes_ && tx != rx);
+  gains_[static_cast<std::size_t>(tx) * n_nodes_ + rx] = rss;
+  gains_[static_cast<std::size_t>(rx) * n_nodes_ + tx] = rss;
+}
+
+void Medium::set_directional_gain(MacNodeId tx, MacNodeId rx,
+                                  Milliwatts rss) {
+  SIC_CHECK(tx >= 0 && tx < n_nodes_ && rx >= 0 && rx < n_nodes_ && tx != rx);
+  gains_[static_cast<std::size_t>(tx) * n_nodes_ + rx] = rss;
+}
+
+Milliwatts Medium::gain(MacNodeId tx, MacNodeId rx) const {
+  SIC_DCHECK(tx >= 0 && tx < n_nodes_ && rx >= 0 && rx < n_nodes_);
+  return gains_[static_cast<std::size_t>(tx) * n_nodes_ + rx];
+}
+
+void Medium::attach(MacNodeId node, MediumListener* listener) {
+  SIC_CHECK(node >= 0 && node < n_nodes_);
+  listeners_[static_cast<std::size_t>(node)] = listener;
+}
+
+bool Medium::carrier_busy(MacNodeId node) const {
+  const Milliwatts floor = noise_ * phy_.cs_above_noise.linear();
+  for (const auto& t : active_) {
+    if (t.frame.src == node) return true;  // own transmission
+    const Milliwatts rss = gain(t.frame.src, node) * t.power_scale;
+    if (rss >= floor) return true;
+  }
+  return false;
+}
+
+bool Medium::is_transmitting(MacNodeId node) const {
+  return std::any_of(active_.begin(), active_.end(), [node](const auto& t) {
+    return t.frame.src == node;
+  });
+}
+
+bool Medium::is_receiving(MacNodeId node) const {
+  return std::any_of(active_.begin(), active_.end(), [node](const auto& t) {
+    return t.frame.dst == node;
+  });
+}
+
+SimTime Medium::frame_duration(const Frame& frame, BitsPerSecond rate) const {
+  SIC_CHECK_MSG(rate.value() > 0.0, "cannot transmit at zero rate");
+  return phy_.preamble + from_seconds(frame.payload_bits / rate.value());
+}
+
+void Medium::transmit(const Frame& frame, BitsPerSecond rate,
+                      double power_scale) {
+  SIC_CHECK(frame.src >= 0 && frame.src < n_nodes_);
+  SIC_CHECK(power_scale > 0.0 && power_scale <= 1.0);
+  SIC_CHECK_MSG(!is_transmitting(frame.src),
+                "node is already transmitting (half duplex)");
+  Transmission t;
+  t.key = next_key_++;
+  t.frame = frame;
+  t.rate = rate;
+  t.power_scale = power_scale;
+  t.start = queue_->now();
+  t.end = t.start + frame_duration(frame, rate);
+  for (auto& other : active_) {
+    other.interferers.push_back(t.key);
+    t.interferers.push_back(other.key);
+  }
+  const std::uint64_t key = t.key;
+  const SimTime end = t.end;
+  active_.push_back(std::move(t));
+  ++stats_.transmissions;
+  // Schedule before notifying: a listener may transmit reentrantly.
+  queue_->schedule_at(end, [this, key] { finish(key); });
+  notify_channel_update();
+}
+
+namespace {
+
+enum class DecodeVerdict {
+  kCleanOk,
+  kCaptureOk,
+  kSicOk,
+  kFailClean,
+  kFailCollision,
+  kFailHalfDuplex,
+  kFailNoDestination,
+};
+
+}  // namespace
+
+void Medium::finish(std::uint64_t key) {
+  const auto it = std::find_if(active_.begin(), active_.end(),
+                               [key](const auto& t) { return t.key == key; });
+  SIC_CHECK(it != active_.end());
+  Transmission done = std::move(*it);
+  active_.erase(it);
+
+  // Resolve a transmission by key among active and recently ended ones.
+  const auto find_tx = [this](std::uint64_t k) -> const Transmission* {
+    for (const auto& t : active_) {
+      if (t.key == k) return &t;
+    }
+    for (const auto& t : recent_) {
+      if (t.key == k) return &t;
+    }
+    return nullptr;
+  };
+
+  // Decode verdict for an arbitrary receiver — the destination and any
+  // overhearers share the same receiver model.
+  const auto decode_at = [&](MacNodeId receiver) -> DecodeVerdict {
+    bool half_duplex_conflict = false;
+    std::vector<const Transmission*> interferers;
+    for (const std::uint64_t k : done.interferers) {
+      const Transmission* o = find_tx(k);
+      SIC_CHECK_MSG(o != nullptr, "interferer transmission lost");
+      if (o->frame.src == receiver) {
+        half_duplex_conflict = true;
+      } else {
+        interferers.push_back(o);
+      }
+    }
+    const Milliwatts signal =
+        gain(done.frame.src, receiver) * done.power_scale;
+    if (half_duplex_conflict) return DecodeVerdict::kFailHalfDuplex;
+    if (interferers.empty()) {
+      return adapter_->feasible(done.rate, signal / noise_)
+                 ? DecodeVerdict::kCleanOk
+                 : DecodeVerdict::kFailClean;
+    }
+    if (interferers.size() == 1) {
+      const Transmission& other = *interferers.front();
+      const Milliwatts irss =
+          gain(other.frame.src, receiver) * other.power_scale;
+      if (signal >= irss) {
+        return adapter_->feasible(done.rate, signal / (irss + noise_))
+                   ? DecodeVerdict::kCaptureOk
+                   : DecodeVerdict::kFailCollision;
+      }
+      const auto arrival = phy::TwoSignalArrival::make(irss, signal, noise_);
+      const auto outcome = decoder_.decode(arrival, other.rate, done.rate);
+      return outcome.weaker_decoded ? DecodeVerdict::kSicOk
+                                    : DecodeVerdict::kFailCollision;
+    }
+    return DecodeVerdict::kFailCollision;  // > 2-signal pile-up
+  };
+  const auto is_success = [](DecodeVerdict v) {
+    return v == DecodeVerdict::kCleanOk || v == DecodeVerdict::kCaptureOk ||
+           v == DecodeVerdict::kSicOk;
+  };
+
+  DecodeVerdict verdict = DecodeVerdict::kFailNoDestination;
+  const MacNodeId dst = done.frame.dst;
+  if (dst >= 0 && dst < n_nodes_) {
+    verdict = decode_at(dst);
+  }
+  // Overhearers: every other attached node that could decode this frame
+  // (feeds virtual carrier sense / NAV).
+  std::vector<MacNodeId> overhearers;
+  for (MacNodeId n = 0; n < n_nodes_; ++n) {
+    if (n == dst || n == done.frame.src) continue;
+    if (listeners_[static_cast<std::size_t>(n)] == nullptr) continue;
+    if (is_success(decode_at(n))) overhearers.push_back(n);
+  }
+
+  const bool decoded = is_success(verdict);
+  // Set SICMAC_MEDIUM_LOG=1 to trace every frame's fate (debugging aid).
+  static const bool log_frames = std::getenv("SICMAC_MEDIUM_LOG") != nullptr;
+  if (log_frames) {
+    std::fprintf(stderr,
+                 "[medium %9.1fus] %s src=%d dst=%d bits=%.0f rate=%.2fMbps "
+                 "start=%.1fus verdict=%d interferers=%zu\n",
+                 to_seconds(queue_->now()) * 1e6,
+                 done.frame.type == FrameType::kData  ? "DATA"
+                 : done.frame.type == FrameType::kAck ? "ACK "
+                 : done.frame.type == FrameType::kRts ? "RTS "
+                                                      : "CTS ",
+                 done.frame.src, done.frame.dst, done.frame.payload_bits,
+                 done.rate.megabits(), to_seconds(done.start) * 1e6,
+                 static_cast<int>(verdict), done.interferers.size());
+  }
+  switch (verdict) {
+    case DecodeVerdict::kCleanOk: ++stats_.delivered; break;
+    case DecodeVerdict::kCaptureOk:
+      ++stats_.delivered;
+      ++stats_.capture_decodes;
+      break;
+    case DecodeVerdict::kSicOk:
+      ++stats_.delivered;
+      ++stats_.sic_decodes;
+      break;
+    case DecodeVerdict::kFailClean: ++stats_.failed_clean; break;
+    case DecodeVerdict::kFailHalfDuplex:
+    case DecodeVerdict::kFailCollision: ++stats_.failed_collision; break;
+    case DecodeVerdict::kFailNoDestination: break;
+  }
+
+  // Keep the ended transmission around while any active one still lists it
+  // as an interferer; prune the rest.
+  const Frame delivered_frame = done.frame;
+  recent_.push_back(std::move(done));
+  std::erase_if(recent_, [this](const Transmission& r) {
+    for (const auto& a : active_) {
+      if (std::find(a.interferers.begin(), a.interferers.end(), r.key) !=
+          a.interferers.end()) {
+        return false;
+      }
+    }
+    return true;
+  });
+
+  if (dst >= 0 && dst < n_nodes_ && listeners_[static_cast<std::size_t>(dst)]) {
+    listeners_[static_cast<std::size_t>(dst)]->on_frame_received(
+        delivered_frame, decoded);
+  }
+  for (const MacNodeId n : overhearers) {
+    MediumListener* l = listeners_[static_cast<std::size_t>(n)];
+    if (l != nullptr) l->on_frame_overheard(delivered_frame);
+  }
+  notify_channel_update();
+}
+
+void Medium::notify_channel_update() {
+  for (MediumListener* l : listeners_) {
+    if (l != nullptr) l->on_channel_update();
+  }
+}
+
+}  // namespace sic::mac

@@ -1,0 +1,30 @@
+#ifndef SICMAC_MAC_SIM_TIME_HPP
+#define SICMAC_MAC_SIM_TIME_HPP
+
+/// \file sim_time.hpp
+/// Simulation time as integer nanoseconds — exact comparisons and no drift
+/// across the event queue.
+
+#include <cstdint>
+
+namespace sic::mac {
+
+using SimTime = std::int64_t;  ///< nanoseconds since simulation start
+
+inline constexpr SimTime kNever = INT64_MAX;
+
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-9;
+}
+
+[[nodiscard]] constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_SIM_TIME_HPP

@@ -1,0 +1,252 @@
+#include "mac/station.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+DcfStation::DcfStation(EventQueue& queue, Medium& medium, MacNodeId id,
+                       MacNodeId ap, BitsPerSecond data_rate, Rng rng)
+    : queue_(&queue),
+      medium_(&medium),
+      id_(id),
+      ap_(ap),
+      data_rate_(data_rate),
+      rng_(std::move(rng)),
+      cw_(medium.phy().cw_min),
+      next_frame_id_(static_cast<std::uint64_t>(id) << 32) {
+  SIC_CHECK(id != ap);
+  medium_->attach(id_, this);
+}
+
+void DcfStation::enqueue(int count, double bits) {
+  SIC_CHECK(count >= 0 && bits > 0.0);
+  for (int i = 0; i < count; ++i) {
+    Frame f;
+    f.id = next_frame_id_++;
+    f.type = FrameType::kData;
+    f.src = id_;
+    f.dst = ap_;
+    f.payload_bits = bits;
+    pending_.push_back(f);
+  }
+}
+
+void DcfStation::start() {
+  if (pending_.empty() || state_ != State::kIdle) return;
+  state_ = State::kWaitIdle;
+  try_begin_contention();
+}
+
+bool DcfStation::medium_busy() const {
+  if (queue_->now() < nav_until_) return true;  // virtual carrier sense
+  return medium_->carrier_busy(id_);
+}
+
+SimTime DcfStation::data_duration() const {
+  SIC_DCHECK(!pending_.empty());
+  return medium_->frame_duration(pending_.front(), data_rate_);
+}
+
+void DcfStation::try_begin_contention() {
+  if (state_ == State::kWaitIdle && !medium_busy()) begin_difs();
+}
+
+void DcfStation::begin_difs() {
+  state_ = State::kDifs;
+  const std::uint64_t epoch = ++timer_epoch_;
+  queue_->schedule_after(medium_->phy().difs, [this, epoch] {
+    if (epoch != timer_epoch_ || state_ != State::kDifs) return;
+    if (medium_busy()) {
+      state_ = State::kWaitIdle;
+      return;
+    }
+    begin_backoff();
+  });
+}
+
+void DcfStation::begin_backoff() {
+  state_ = State::kBackoff;
+  if (backoff_slots_ < 0) backoff_slots_ = rng_.uniform_int(0, cw_);
+  if (backoff_slots_ == 0) {
+    transmit_head();
+    return;
+  }
+  backoff_started_ = queue_->now();
+  const std::uint64_t epoch = ++timer_epoch_;
+  const int slots = backoff_slots_;
+  queue_->schedule_after(slots * medium_->phy().slot, [this, epoch] {
+    if (epoch != timer_epoch_ || state_ != State::kBackoff) return;
+    if (medium_busy()) {  // same-timestamp race with a foreign tx start
+      pause_backoff();
+      return;
+    }
+    backoff_slots_ = 0;
+    transmit_head();
+  });
+}
+
+void DcfStation::pause_backoff() {
+  const SimTime elapsed = queue_->now() - backoff_started_;
+  const int consumed = static_cast<int>(elapsed / medium_->phy().slot);
+  backoff_slots_ = std::max(0, backoff_slots_ - consumed);
+  ++timer_epoch_;  // kill the pending backoff timer
+  state_ = State::kWaitIdle;
+}
+
+void DcfStation::transmit_head() {
+  SIC_CHECK(!pending_.empty());
+  const PhyParams& phy = medium_->phy();
+  if (use_rts_cts_) {
+    // RTS first; its NAV covers CTS + data + ACK.
+    state_ = State::kTx;
+    in_flight_ = true;
+    ++stats_.attempts;
+    Frame rts;
+    rts.id = (pending_.front().id << 2) | 1;
+    rts.type = FrameType::kRts;
+    rts.src = id_;
+    rts.dst = ap_;
+    rts.payload_bits = phy.rts_bits;
+    rts.nav_duration_ns = phy.sifs + phy.cts_duration() + phy.sifs +
+                          data_duration() + phy.sifs + phy.ack_duration();
+    medium_->transmit(rts, phy.ack_rate);
+    const SimTime timeout = medium_->frame_duration(rts, phy.ack_rate) +
+                            phy.sifs + phy.cts_duration() + phy.slot;
+    const std::uint64_t epoch = ++timer_epoch_;
+    state_ = State::kAwaitCts;
+    queue_->schedule_after(timeout, [this, epoch] { on_ack_timeout(epoch); });
+    return;
+  }
+  send_data_frame();
+  ++stats_.attempts;
+}
+
+void DcfStation::send_data_frame() {
+  SIC_CHECK(!pending_.empty());
+  state_ = State::kTx;
+  in_flight_ = true;
+  const Frame& frame = pending_.front();
+  medium_->transmit(frame, data_rate_);
+  const SimTime air = medium_->frame_duration(frame, data_rate_);
+  // Generous ACK window: the AP may serialize two ACKs after a SIC decode,
+  // and an SIC AP defers its ACK while still receiving a partner frame.
+  const PhyParams& phy = medium_->phy();
+  const SimTime timeout =
+      air + phy.sifs + 2 * (phy.ack_duration() + phy.sifs) + phy.slot;
+  const std::uint64_t epoch = ++timer_epoch_;
+  state_ = State::kAwaitAck;
+  queue_->schedule_after(timeout, [this, epoch] { on_ack_timeout(epoch); });
+}
+
+void DcfStation::on_ack_timeout(std::uint64_t epoch) {
+  if (epoch != timer_epoch_) return;
+  if (state_ != State::kAwaitAck && state_ != State::kAwaitCts) return;
+  frame_failed();
+}
+
+void DcfStation::frame_succeeded() {
+  ++timer_epoch_;
+  ++stats_.delivered;
+  in_flight_ = false;
+  pending_.pop_front();
+  retry_count_ = 0;
+  cw_ = medium_->phy().cw_min;
+  backoff_slots_ = -1;
+  stats_.completion_time = queue_->now();
+  if (pending_.empty()) {
+    state_ = State::kIdle;
+  } else {
+    state_ = State::kWaitIdle;
+    try_begin_contention();
+  }
+}
+
+void DcfStation::frame_failed() {
+  ++timer_epoch_;
+  in_flight_ = false;
+  ++retry_count_;
+  ++stats_.retries;
+  const PhyParams& phy = medium_->phy();
+  if (retry_count_ > phy.max_retries) {
+    ++stats_.drops;
+    pending_.pop_front();
+    retry_count_ = 0;
+    cw_ = phy.cw_min;
+  } else {
+    cw_ = std::min(2 * (cw_ + 1) - 1, phy.cw_max);
+  }
+  backoff_slots_ = -1;
+  if (pending_.empty()) {
+    state_ = State::kIdle;
+    stats_.completion_time = queue_->now();
+  } else {
+    state_ = State::kWaitIdle;
+    try_begin_contention();
+  }
+}
+
+void DcfStation::on_channel_update() {
+  switch (state_) {
+    case State::kWaitIdle:
+      try_begin_contention();
+      break;
+    case State::kDifs:
+      if (medium_busy()) {
+        ++timer_epoch_;
+        state_ = State::kWaitIdle;
+      }
+      break;
+    case State::kBackoff:
+      if (medium_busy()) pause_backoff();
+      break;
+    case State::kIdle:
+    case State::kTx:
+    case State::kAwaitCts:
+    case State::kAwaitAck:
+      break;
+  }
+}
+
+void DcfStation::on_frame_received(const Frame& frame, bool decoded) {
+  if (!decoded || pending_.empty()) return;
+  if (frame.type == FrameType::kCts) {
+    if (state_ != State::kAwaitCts) return;
+    if (frame.acked_frame_id != ((pending_.front().id << 2) | 1)) return;
+    // Channel reserved; data goes out after SIFS.
+    ++timer_epoch_;
+    state_ = State::kTx;
+    const std::uint64_t epoch = timer_epoch_;
+    queue_->schedule_after(medium_->phy().sifs, [this, epoch] {
+      if (epoch != timer_epoch_ || state_ != State::kTx) return;
+      send_data_frame();
+    });
+    return;
+  }
+  if (frame.type != FrameType::kAck) return;
+  if (state_ != State::kAwaitAck) return;
+  if (frame.acked_frame_id != pending_.front().id) return;
+  frame_succeeded();
+}
+
+void DcfStation::on_frame_overheard(const Frame& frame) {
+  // Virtual carrier sense: honor NAV reservations in frames meant for
+  // others (the frame has just *ended*, so the reservation runs from now).
+  if (frame.nav_duration_ns > 0) {
+    nav_until_ = std::max(nav_until_, queue_->now() + frame.nav_duration_ns);
+    // The reservation may have started mid-backoff.
+    if (state_ == State::kBackoff) pause_backoff();
+    if (state_ == State::kDifs) {
+      ++timer_epoch_;
+      state_ = State::kWaitIdle;
+    }
+    // Re-evaluate contention when the reservation lapses (no other event
+    // is guaranteed to fire then).
+    queue_->schedule_at(nav_until_, [this] {
+      if (state_ == State::kWaitIdle) try_begin_contention();
+    });
+  }
+}
+
+}  // namespace sic::mac

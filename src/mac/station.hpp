@@ -1,0 +1,104 @@
+#ifndef SICMAC_MAC_STATION_HPP
+#define SICMAC_MAC_STATION_HPP
+
+/// \file station.hpp
+/// A CSMA/CA (DCF) client station: DIFS + slotted binary-exponential
+/// backoff, data transmission at its clean best rate, ACK wait with retry
+/// and CW doubling. This is the -SIC-era MAC the paper's baselines assume;
+/// the SIC gains in the simulator appear when the *AP's receiver* can
+/// recover collided frames (capture / SIC), sparing retries.
+
+#include <cstdint>
+#include <deque>
+
+#include "mac/event_queue.hpp"
+#include "mac/medium.hpp"
+#include "util/rng.hpp"
+
+namespace sic::mac {
+
+struct StationStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t drops = 0;
+  SimTime completion_time = 0;  ///< when the last queued frame was acked
+};
+
+class DcfStation : public MediumListener {
+ public:
+  /// \p medium and \p queue must outlive the station. \p data_rate is the
+  /// fixed rate this station uses for data frames (the paper's best
+  /// feasible clean rate).
+  DcfStation(EventQueue& queue, Medium& medium, MacNodeId id, MacNodeId ap,
+             BitsPerSecond data_rate, Rng rng);
+
+  DcfStation(const DcfStation&) = delete;
+  DcfStation& operator=(const DcfStation&) = delete;
+
+  /// Queues \p count data frames of \p bits each.
+  void enqueue(int count, double bits);
+
+  /// Enables the RTS/CTS exchange before each data frame (hidden-terminal
+  /// protection via NAV reservations). Off by default.
+  void set_rts_cts(bool enabled) { use_rts_cts_ = enabled; }
+
+  /// Begins contending for the queued frames.
+  void start();
+
+  [[nodiscard]] bool done() const { return pending_.empty() && !in_flight_; }
+  [[nodiscard]] const StationStats& stats() const { return stats_; }
+  [[nodiscard]] MacNodeId id() const { return id_; }
+
+  // MediumListener:
+  void on_channel_update() override;
+  void on_frame_received(const Frame& frame, bool decoded) override;
+  void on_frame_overheard(const Frame& frame) override;
+
+ private:
+  enum class State {
+    kIdle,      ///< nothing to send
+    kWaitIdle,  ///< have a frame, medium busy
+    kDifs,      ///< medium idle, DIFS running
+    kBackoff,   ///< backoff counter running
+    kTx,        ///< frame on air
+    kAwaitCts,  ///< RTS sent, waiting for the CTS
+    kAwaitAck,  ///< waiting for the AP's ACK
+  };
+
+  [[nodiscard]] bool medium_busy() const;
+  void try_begin_contention();
+  void begin_difs();
+  void begin_backoff();
+  void pause_backoff();
+  void transmit_head();
+  void send_data_frame();
+  void on_ack_timeout(std::uint64_t epoch);
+  void frame_succeeded();
+  void frame_failed();
+  [[nodiscard]] SimTime data_duration() const;
+
+  EventQueue* queue_;
+  Medium* medium_;
+  MacNodeId id_;
+  MacNodeId ap_;
+  BitsPerSecond data_rate_;
+  Rng rng_;
+
+  State state_ = State::kIdle;
+  std::deque<Frame> pending_;
+  bool in_flight_ = false;
+  bool use_rts_cts_ = false;
+  SimTime nav_until_ = 0;  ///< virtual carrier sense from overheard RTS/CTS
+  int cw_ = 0;                 ///< current contention window
+  int retry_count_ = 0;
+  int backoff_slots_ = -1;     ///< remaining slots (-1 = not drawn yet)
+  SimTime backoff_started_ = 0;
+  std::uint64_t timer_epoch_ = 0;  ///< invalidates stale timer callbacks
+  std::uint64_t next_frame_id_;
+  StationStats stats_;
+};
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_STATION_HPP

@@ -1,0 +1,279 @@
+#include "mac/upload_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/multirate.hpp"
+#include "core/power_control.hpp"
+#include "mac/access_point.hpp"
+#include "mac/station.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sic::mac {
+
+namespace {
+
+constexpr MacNodeId kApId = 0;
+
+/// Builds the medium for one AP + n clients from their AP-side budgets.
+/// Client-to-client gains come from the configured mutual SNR.
+std::unique_ptr<Medium> build_medium(EventQueue& queue,
+                                     std::span<const channel::LinkBudget> clients,
+                                     const phy::RateAdapter& adapter,
+                                     const UploadSimConfig& config) {
+  SIC_CHECK(!clients.empty());
+  const Milliwatts noise = clients.front().noise;
+  for (const auto& c : clients) {
+    SIC_CHECK_MSG(c.noise == noise, "clients must share the AP noise floor");
+  }
+  const int n_nodes = static_cast<int>(clients.size()) + 1;
+  phy::SicDecoderConfig decoder;
+  decoder.sic_capable = config.sic_at_ap;
+  decoder.cancellation_residual = config.cancellation_residual;
+  decoder.max_decodable_disparity = config.max_decodable_disparity;
+  auto medium =
+      std::make_unique<Medium>(queue, n_nodes, noise, adapter, decoder);
+  const Milliwatts mutual = noise * config.client_mutual_snr.linear();
+  for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
+    medium->set_gain(kApId, i + 1, clients[static_cast<std::size_t>(i)].rss);
+    for (int j = i + 1; j < static_cast<int>(clients.size()); ++j) {
+      medium->set_gain(i + 1, j + 1, mutual);
+    }
+  }
+  return medium;
+}
+
+}  // namespace
+
+UploadSimResult run_dcf_upload(std::span<const channel::LinkBudget> clients,
+                               const phy::RateAdapter& adapter,
+                               const UploadSimConfig& config) {
+  SIC_CHECK(config.frames_per_client >= 1);
+  SIC_CHECK(config.rate_margin > 0.0 && config.rate_margin <= 1.0);
+  EventQueue queue;
+  auto medium = build_medium(queue, clients, adapter, config);
+  AccessPoint ap{queue, *medium, kApId};
+  Rng rng{config.seed};
+
+  std::vector<std::unique_ptr<DcfStation>> stations;
+  for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
+    const auto& budget = clients[static_cast<std::size_t>(i)];
+    const BitsPerSecond rate{adapter.rate(budget.snr()).value() *
+                             config.rate_margin};
+    if (rate.value() <= 0.0) continue;  // dead link; cannot participate
+    auto st = std::make_unique<DcfStation>(queue, *medium, i + 1, kApId, rate,
+                                           rng.fork());
+    st->set_rts_cts(config.use_rts_cts);
+    st->enqueue(config.frames_per_client, config.packet_bits);
+    st->start();
+    stations.push_back(std::move(st));
+  }
+
+  queue.run_until(config.horizon);
+
+  UploadSimResult result;
+  result.offered =
+      stations.size() * static_cast<std::uint64_t>(config.frames_per_client);
+  result.delivered = ap.stats().data_received;
+  SimTime completion = 0;
+  for (const auto& st : stations) {
+    result.retries += st->stats().retries;
+    result.drops += st->stats().drops;
+    completion = std::max(completion, st->stats().completion_time);
+  }
+  result.completion_s = to_seconds(completion);
+  result.medium = medium->stats();
+  return result;
+}
+
+namespace {
+
+/// Executes one schedule slot starting now; returns the wall-clock span of
+/// its data portion (ACK turnaround is appended by the caller).
+class ScheduleRunner {
+ public:
+  ScheduleRunner(EventQueue& queue, Medium& medium,
+                 std::span<const channel::LinkBudget> clients,
+                 const phy::RateAdapter& adapter, const core::Schedule& schedule,
+                 double packet_bits)
+      : queue_(&queue),
+        medium_(&medium),
+        clients_(clients),
+        adapter_(&adapter),
+        schedule_(&schedule),
+        packet_bits_(packet_bits) {}
+
+  void start() { run_slot(0); }
+
+ private:
+  void run_slot(std::size_t index) {
+    if (index >= schedule_->slots.size()) return;
+    const core::ScheduledSlot& slot = schedule_->slots[index];
+    const PhyParams& phy = medium_->phy();
+    SimTime span = 0;
+
+    const auto send = [&](int client, BitsPerSecond rate, double scale) {
+      Frame f;
+      f.id = next_id_++;
+      f.type = FrameType::kData;
+      f.src = client + 1;
+      f.dst = kApId;
+      f.payload_bits = packet_bits_;
+      medium_->transmit(f, rate, scale);
+      return medium_->frame_duration(f, rate);
+    };
+    const auto clean_rate = [&](int client) {
+      return adapter_->rate(clients_[static_cast<std::size_t>(client)].snr());
+    };
+
+    int acks = 1;
+    switch (slot.plan.mode) {
+      case core::PairMode::kSolo:
+        span = send(slot.first, clean_rate(slot.first), 1.0);
+        break;
+      case core::PairMode::kSerial: {
+        // First packet now; the second after the first's ACK turnaround.
+        const SimTime t1 = send(slot.first, clean_rate(slot.first), 1.0);
+        const SimTime gap = t1 + phy.sifs + phy.ack_duration() + phy.sifs;
+        const int second = slot.second;
+        queue_->schedule_after(gap, [this, second, index, send_bits =
+                                     packet_bits_] {
+          Frame f;
+          f.id = next_id_++;
+          f.type = FrameType::kData;
+          f.src = second + 1;
+          f.dst = kApId;
+          f.payload_bits = send_bits;
+          const BitsPerSecond r = adapter_->rate(
+              clients_[static_cast<std::size_t>(second)].snr());
+          medium_->transmit(f, r);
+          const SimTime t2 = medium_->frame_duration(f, r);
+          queue_->schedule_after(
+              t2 + medium_->phy().sifs + medium_->phy().ack_duration() +
+                  medium_->phy().sifs,
+              [this, index] { run_slot(index + 1); });
+        });
+        return;  // continuation handles the next slot
+      }
+      case core::PairMode::kSicMultirate: {
+        SIC_CHECK(slot.second >= 0);
+        const auto& a = clients_[static_cast<std::size_t>(slot.first)];
+        const auto& b = clients_[static_cast<std::size_t>(slot.second)];
+        const bool a_stronger = a.rss >= b.rss;
+        const int strong = a_stronger ? slot.first : slot.second;
+        const int weak = a_stronger ? slot.second : slot.first;
+        const auto ctx = core::UploadPairContext::make(
+            a.rss, b.rss, a.noise, *adapter_, packet_bits_);
+        const auto mr = core::multirate_airtime_detailed(ctx);
+        if (!mr.boosted) {
+          // Nothing to boost; run as a plain SIC pair.
+          const auto rates = core::sic_rates(ctx);
+          const SimTime ts = send(strong, rates.stronger, 1.0);
+          const SimTime tw = send(weak, rates.weaker, 1.0);
+          span = std::max(ts, tw);
+          acks = 2;
+          break;
+        }
+        // Fragment 1 of the stronger packet rides the overlap at the
+        // interference-limited rate; the weaker packet runs in full.
+        const auto rates = core::sic_rates(ctx);
+        SimTime overlap_span = send(weak, rates.weaker, 1.0);
+        if (mr.overlap_bits > 0.0) {
+          Frame frag;
+          frag.id = next_id_++;
+          frag.type = FrameType::kData;
+          frag.src = strong + 1;
+          frag.dst = kApId;
+          frag.payload_bits = mr.overlap_bits;
+          frag.final_fragment = false;
+          medium_->transmit(frag, rates.stronger);
+          overlap_span =
+              std::max(overlap_span, medium_->frame_duration(frag, rates.stronger));
+        }
+        // After the overlap and the weaker packet's ACK turnaround, the
+        // stronger client boosts the remainder to its clean rate.
+        const double remaining =
+            std::max(0.0, packet_bits_ - mr.overlap_bits);
+        const SimTime gap =
+            overlap_span + phy.sifs + phy.ack_duration() + phy.sifs;
+        queue_->schedule_after(gap, [this, strong, remaining, index] {
+          Frame tail;
+          tail.id = next_id_++;
+          tail.type = FrameType::kData;
+          tail.src = strong + 1;
+          tail.dst = kApId;
+          tail.payload_bits = remaining;
+          const BitsPerSecond clean = adapter_->rate(
+              clients_[static_cast<std::size_t>(strong)].snr());
+          medium_->transmit(tail, clean);
+          const SimTime t_tail = medium_->frame_duration(tail, clean);
+          const PhyParams& p = medium_->phy();
+          queue_->schedule_after(t_tail + p.sifs + p.ack_duration() + p.sifs,
+                                 [this, index] { run_slot(index + 1); });
+        });
+        return;  // continuation handles the next slot
+      }
+      case core::PairMode::kSic:
+      case core::PairMode::kSicPowerControl: {
+        SIC_CHECK(slot.second >= 0);
+        const auto& a = clients_[static_cast<std::size_t>(slot.first)];
+        const auto& b = clients_[static_cast<std::size_t>(slot.second)];
+        const bool a_stronger = a.rss >= b.rss;
+        const int strong = a_stronger ? slot.first : slot.second;
+        const int weak = a_stronger ? slot.second : slot.first;
+        const double scale = slot.plan.mode == core::PairMode::kSicPowerControl
+                                 ? slot.plan.weaker_power_scale
+                                 : 1.0;
+        auto ctx = core::UploadPairContext::make(
+            a.rss, b.rss, a.noise, *adapter_, packet_bits_);
+        ctx.arrival.weaker = ctx.arrival.weaker * scale;
+        const auto rates = core::sic_rates(ctx);
+        const SimTime ts = send(strong, rates.stronger, 1.0);
+        const SimTime tw = send(weak, rates.weaker, scale);
+        span = std::max(ts, tw);
+        acks = 2;
+        break;
+      }
+    }
+    const SimTime turnaround =
+        span + phy.sifs + acks * (phy.ack_duration() + phy.sifs);
+    queue_->schedule_after(turnaround, [this, index] { run_slot(index + 1); });
+  }
+
+  EventQueue* queue_;
+  Medium* medium_;
+  std::span<const channel::LinkBudget> clients_;
+  const phy::RateAdapter* adapter_;
+  const core::Schedule* schedule_;
+  double packet_bits_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace
+
+UploadSimResult run_scheduled_upload(
+    std::span<const channel::LinkBudget> clients,
+    const phy::RateAdapter& adapter, const core::Schedule& schedule,
+    const UploadSimConfig& config) {
+  EventQueue queue;
+  auto medium = build_medium(queue, clients, adapter, config);
+  AccessPoint ap{queue, *medium, kApId};
+  ScheduleRunner runner{queue,    *medium,  clients,
+                        adapter,  schedule, config.packet_bits};
+  runner.start();
+  queue.run_until(config.horizon);
+
+  UploadSimResult result;
+  std::uint64_t offered = 0;
+  for (const auto& slot : schedule.slots) {
+    offered += slot.second >= 0 ? 2 : 1;
+  }
+  result.offered = offered;
+  result.delivered = ap.stats().data_received;
+  result.completion_s = to_seconds(queue.now());
+  result.medium = medium->stats();
+  return result;
+}
+
+}  // namespace sic::mac

@@ -1,0 +1,16 @@
+#include "matching/graph.hpp"
+
+namespace sic::matching {
+
+bool is_valid_mate_vector(std::span<const int> mate) {
+  const int n = static_cast<int>(mate.size());
+  for (int v = 0; v < n; ++v) {
+    const int m = mate[v];
+    if (m == -1) continue;
+    if (m < 0 || m >= n || m == v) return false;
+    if (mate[m] != v) return false;
+  }
+  return true;
+}
+
+}  // namespace sic::matching

@@ -1,0 +1,29 @@
+#include "matching/greedy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sic::matching {
+
+Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
+  const int n = costs.size();
+  SIC_CHECK_MSG(n % 2 == 0, "perfect matching requires an even vertex count");
+  auto edges = costs.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.weight < b.weight;
+            });
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  Matching out;
+  for (const auto& e : edges) {
+    if (used[e.u] || used[e.v]) continue;
+    used[e.u] = used[e.v] = true;
+    out.pairs.emplace_back(e.u, e.v);
+    out.total_cost += e.weight;
+  }
+  SIC_CHECK(static_cast<int>(out.pairs.size()) * 2 == n);
+  return out;
+}
+
+}  // namespace sic::matching

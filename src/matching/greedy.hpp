@@ -1,0 +1,19 @@
+#ifndef SICMAC_MATCHING_GREEDY_HPP
+#define SICMAC_MATCHING_GREEDY_HPP
+
+/// \file greedy.hpp
+/// Greedy minimum-weight perfect matching: repeatedly take the globally
+/// cheapest pair among unmatched vertices. Used as the ablation baseline
+/// against the exact blossom matcher (DESIGN.md perf benches) — it is a
+/// 2-approximation-ish heuristic that a naive AP implementation might ship.
+
+#include "matching/graph.hpp"
+
+namespace sic::matching {
+
+/// Requires even n. O(n² log n).
+[[nodiscard]] Matching greedy_min_weight_perfect_matching(const CostMatrix& costs);
+
+}  // namespace sic::matching
+
+#endif  // SICMAC_MATCHING_GREEDY_HPP

@@ -1,0 +1,78 @@
+#include "phy/capacity.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/mathx.hpp"
+
+namespace sic::phy {
+
+BitsPerSecond shannon_rate(Hertz bandwidth, Milliwatts signal,
+                           Milliwatts interference_plus_noise) {
+  SIC_CHECK_MSG(interference_plus_noise.value() > 0.0,
+                "interference-plus-noise power must be positive");
+  if (signal.value() <= 0.0) return BitsPerSecond{0.0};
+  return shannon_rate(bandwidth, signal / interference_plus_noise);
+}
+
+BitsPerSecond shannon_rate(Hertz bandwidth, double sinr_linear) {
+  if (sinr_linear <= 0.0) return BitsPerSecond{0.0};
+  return BitsPerSecond{bandwidth.value() * log2_1p(sinr_linear)};
+}
+
+double sinr(Milliwatts signal, Milliwatts interference, Milliwatts noise) {
+  SIC_CHECK(noise.value() > 0.0);
+  SIC_CHECK(interference.value() >= 0.0);
+  return signal / (interference + noise);
+}
+
+TwoSignalArrival TwoSignalArrival::make(Milliwatts a, Milliwatts b,
+                                        Milliwatts noise) {
+  SIC_CHECK_MSG(noise.value() > 0.0, "noise floor must be positive");
+  SIC_CHECK_MSG(a.value() >= 0.0 && b.value() >= 0.0,
+                "linear RSS must be non-negative");
+  if (a >= b) return TwoSignalArrival{a, b, noise};
+  return TwoSignalArrival{b, a, noise};
+}
+
+BitsPerSecond sic_rate_stronger(Hertz bandwidth,
+                                const TwoSignalArrival& arrival) {
+  return shannon_rate(bandwidth, arrival.stronger,
+                      arrival.weaker + arrival.noise);
+}
+
+BitsPerSecond sic_rate_weaker(Hertz bandwidth,
+                              const TwoSignalArrival& arrival) {
+  return shannon_rate(bandwidth, arrival.weaker, arrival.noise);
+}
+
+BitsPerSecond sic_rate_weaker_residual(Hertz bandwidth,
+                                       const TwoSignalArrival& arrival,
+                                       double residual) {
+  SIC_CHECK_MSG(residual >= 0.0 && residual <= 1.0,
+                "cancellation residual is a fraction in [0,1]");
+  return shannon_rate(bandwidth, arrival.weaker,
+                      arrival.stronger * residual + arrival.noise);
+}
+
+BitsPerSecond capacity_without_sic(Hertz bandwidth,
+                                   const TwoSignalArrival& arrival) {
+  const auto c1 = shannon_rate(bandwidth, arrival.stronger, arrival.noise);
+  const auto c2 = shannon_rate(bandwidth, arrival.weaker, arrival.noise);
+  return std::max(c1, c2);
+}
+
+BitsPerSecond capacity_with_sic(Hertz bandwidth,
+                                const TwoSignalArrival& arrival) {
+  return shannon_rate(bandwidth, arrival.stronger + arrival.weaker,
+                      arrival.noise);
+}
+
+double capacity_gain(Hertz bandwidth, const TwoSignalArrival& arrival) {
+  const auto with = capacity_with_sic(bandwidth, arrival);
+  const auto without = capacity_without_sic(bandwidth, arrival);
+  SIC_CHECK_MSG(without.value() > 0.0, "both links are dead; gain undefined");
+  return with.value() / without.value();
+}
+
+}  // namespace sic::phy

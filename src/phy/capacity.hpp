@@ -1,0 +1,86 @@
+#ifndef SICMAC_PHY_CAPACITY_HPP
+#define SICMAC_PHY_CAPACITY_HPP
+
+/// \file capacity.hpp
+/// Shannon-capacity arithmetic underlying the whole paper (Section 2):
+///
+///   eq (1)  r̂¹₁ = B log₂(1 + S¹₁ / (S²₁ + N₀))   — stronger signal, decoded
+///                                                  first, interference-limited
+///   eq (2)  r̂²₁ = B log₂(1 + S²₁ / N₀)           — weaker signal after perfect
+///                                                  cancellation
+///   eq (3)  C₋SIC = max of the two clean single-link capacities
+///   eq (4)  C₊SIC = B log₂(1 + (S¹₁ + S²₁) / N₀)
+///
+/// All power arguments are linear (Milliwatts); use the unit types to convert
+/// from dBm. Rates are bits/s.
+
+#include "util/units.hpp"
+
+namespace sic::phy {
+
+/// Shannon rate B·log₂(1 + SINR) for signal power \p signal against combined
+/// interference-plus-noise \p interference_plus_noise.
+///
+/// This is the "best feasible bitrate supported by the channel" the paper
+/// assumes every transmitter uses (Section 1). A non-positive signal yields
+/// rate 0.
+[[nodiscard]] BitsPerSecond shannon_rate(Hertz bandwidth, Milliwatts signal,
+                                         Milliwatts interference_plus_noise);
+
+/// Convenience overload taking an SINR expressed as a linear ratio.
+[[nodiscard]] BitsPerSecond shannon_rate(Hertz bandwidth, double sinr_linear);
+
+/// SINR of a signal of power \p signal against \p interference and \p noise.
+[[nodiscard]] double sinr(Milliwatts signal, Milliwatts interference,
+                          Milliwatts noise);
+
+/// Two concurrent arrivals at one receiver, with the stronger decoded first.
+/// Inputs are the two received signal strengths and the noise floor; the
+/// struct normalizes so that `stronger >= weaker`.
+struct TwoSignalArrival {
+  Milliwatts stronger;
+  Milliwatts weaker;
+  Milliwatts noise;
+
+  /// Builds an arrival, swapping so stronger >= weaker.
+  static TwoSignalArrival make(Milliwatts a, Milliwatts b, Milliwatts noise);
+};
+
+/// Highest feasible bitrate for the *stronger* signal when decoded against
+/// the weaker one as interference — equation (1).
+[[nodiscard]] BitsPerSecond sic_rate_stronger(Hertz bandwidth,
+                                              const TwoSignalArrival& arrival);
+
+/// Highest feasible bitrate for the *weaker* signal after perfect
+/// cancellation of the stronger — equation (2).
+[[nodiscard]] BitsPerSecond sic_rate_weaker(Hertz bandwidth,
+                                            const TwoSignalArrival& arrival);
+
+/// Like sic_rate_weaker but with an imperfect-cancellation residual: a
+/// fraction \p residual of the stronger signal's power remains as
+/// interference after subtraction (Section 9 caveat; [13] shows
+/// imperfections sharply cut SIC's usefulness). residual = 0 reproduces
+/// equation (2).
+[[nodiscard]] BitsPerSecond sic_rate_weaker_residual(
+    Hertz bandwidth, const TwoSignalArrival& arrival, double residual);
+
+/// Channel capacity *without* SIC for the Fig. 1 topology — equation (3):
+/// only one of the two transmitters talks at a time, so the capacity is the
+/// better of the two clean links.
+[[nodiscard]] BitsPerSecond capacity_without_sic(Hertz bandwidth,
+                                                 const TwoSignalArrival& arrival);
+
+/// Channel capacity *with* SIC — equation (4). Identically equals the sum of
+/// equations (1) and (2); the closed form B log₂(1 + (S¹+S²)/N₀) is used and
+/// the identity is enforced by tests.
+[[nodiscard]] BitsPerSecond capacity_with_sic(Hertz bandwidth,
+                                              const TwoSignalArrival& arrival);
+
+/// Relative capacity gain C₊SIC / C₋SIC plotted in Fig. 3. Always ≥ 1 and
+/// < 2 for positive SNRs; approaches 2 as both RSSs become small and equal.
+[[nodiscard]] double capacity_gain(Hertz bandwidth,
+                                   const TwoSignalArrival& arrival);
+
+}  // namespace sic::phy
+
+#endif  // SICMAC_PHY_CAPACITY_HPP

@@ -1,0 +1,58 @@
+#include "phy/capacity_region.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/mathx.hpp"
+
+namespace sic::phy {
+
+CapacityRegion::CapacityRegion(Hertz bandwidth, Milliwatts s1, Milliwatts s2,
+                               Milliwatts noise)
+    : bandwidth_(bandwidth), s1_(s1), s2_(s2), noise_(noise) {
+  SIC_CHECK(noise.value() > 0.0);
+  SIC_CHECK(s1.value() >= 0.0 && s2.value() >= 0.0);
+  max_r1_ = shannon_rate(bandwidth_, s1_, noise_);
+  max_r2_ = shannon_rate(bandwidth_, s2_, noise_);
+  sum_ = shannon_rate(bandwidth_, s1_ + s2_, noise_);
+}
+
+RatePair CapacityRegion::corner_user1_decoded_first() const {
+  // User 1 decoded against user 2's interference; user 2 clean after
+  // cancellation.
+  return RatePair{shannon_rate(bandwidth_, s1_, s2_ + noise_), max_r2_};
+}
+
+RatePair CapacityRegion::corner_user2_decoded_first() const {
+  return RatePair{max_r1_, shannon_rate(bandwidth_, s2_, s1_ + noise_)};
+}
+
+bool CapacityRegion::contains(RatePair rates, double rel_tol) const {
+  const double tol1 = rel_tol * std::max(1.0, max_r1_.value());
+  const double tol2 = rel_tol * std::max(1.0, max_r2_.value());
+  const double tols = rel_tol * std::max(1.0, sum_.value());
+  if (rates.r1.value() < -tol1 || rates.r2.value() < -tol2) return false;
+  return rates.r1.value() <= max_r1_.value() + tol1 &&
+         rates.r2.value() <= max_r2_.value() + tol2 &&
+         rates.r1.value() + rates.r2.value() <= sum_.value() + tols;
+}
+
+bool CapacityRegion::achievable_by_time_sharing(RatePair rates,
+                                                double rel_tol) const {
+  if (rates.r1.value() < 0.0 || rates.r2.value() < 0.0) return false;
+  if (max_r1_.value() <= 0.0) return rates.r1.value() <= 0.0;
+  if (max_r2_.value() <= 0.0) return rates.r2.value() <= 0.0;
+  const double share =
+      rates.r1.value() / max_r1_.value() + rates.r2.value() / max_r2_.value();
+  return share <= 1.0 + rel_tol;
+}
+
+RatePair CapacityRegion::dominant_face_point(double t) const {
+  SIC_CHECK(t >= 0.0 && t <= 1.0);
+  const RatePair a = corner_user1_decoded_first();
+  const RatePair b = corner_user2_decoded_first();
+  return RatePair{BitsPerSecond{lerp(a.r1.value(), b.r1.value(), t)},
+                  BitsPerSecond{lerp(a.r2.value(), b.r2.value(), t)}};
+}
+
+}  // namespace sic::phy

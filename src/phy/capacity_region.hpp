@@ -1,0 +1,73 @@
+#ifndef SICMAC_PHY_CAPACITY_REGION_HPP
+#define SICMAC_PHY_CAPACITY_REGION_HPP
+
+/// \file capacity_region.hpp
+/// The two-user Gaussian multiple-access capacity region of [12] (Tse &
+/// Viswanathan), the information-theoretic object behind Section 2. The
+/// region is the pentagon
+///
+///   r1 ≤ B log2(1 + S1/N0)
+///   r2 ≤ B log2(1 + S2/N0)
+///   r1 + r2 ≤ B log2(1 + (S1+S2)/N0)
+///
+/// whose two corners are exactly the SIC decode orders: corner A decodes
+/// user 1 first (user 2 interference-free, eqs (1)/(2) with roles swapped),
+/// corner B decodes user 2 first. Points between the corners need rate
+/// splitting / time sharing; points strictly inside are achievable without
+/// SIC only up to the orthogonal (TDMA) boundary.
+
+#include "phy/capacity.hpp"
+#include "util/units.hpp"
+
+namespace sic::phy {
+
+/// A rate pair (user 1, user 2) in bits/s.
+struct RatePair {
+  BitsPerSecond r1;
+  BitsPerSecond r2;
+};
+
+class CapacityRegion {
+ public:
+  /// \p s1 and \p s2 are the two users' RSS at the common receiver.
+  CapacityRegion(Hertz bandwidth, Milliwatts s1, Milliwatts s2,
+                 Milliwatts noise);
+
+  /// Single-user constraints.
+  [[nodiscard]] BitsPerSecond max_r1() const { return max_r1_; }
+  [[nodiscard]] BitsPerSecond max_r2() const { return max_r2_; }
+  /// Sum constraint — the paper's eq (4).
+  [[nodiscard]] BitsPerSecond sum_capacity() const { return sum_; }
+
+  /// Corner where user 1's signal is decoded *first* (and therefore
+  /// suffers user 2 as interference): r1 = eq(1)-style rate, r2 = clean.
+  [[nodiscard]] RatePair corner_user1_decoded_first() const;
+  /// The other decode order.
+  [[nodiscard]] RatePair corner_user2_decoded_first() const;
+
+  /// Whether the rate pair lies in the region (within a relative epsilon).
+  [[nodiscard]] bool contains(RatePair rates, double rel_tol = 1e-9) const;
+
+  /// Whether the pair is achievable *without* SIC by pure time sharing of
+  /// the two single-user links (the paper's -SIC baseline): the TDMA
+  /// region r1/max_r1 + r2/max_r2 ≤ 1.
+  [[nodiscard]] bool achievable_by_time_sharing(RatePair rates,
+                                                double rel_tol = 1e-9) const;
+
+  /// A point on the dominant (sum-rate) face, sliding from corner A (t=0)
+  /// to corner B (t=1) by time sharing between the decode orders.
+  [[nodiscard]] RatePair dominant_face_point(double t) const;
+
+ private:
+  Hertz bandwidth_;
+  Milliwatts s1_;
+  Milliwatts s2_;
+  Milliwatts noise_;
+  BitsPerSecond max_r1_;
+  BitsPerSecond max_r2_;
+  BitsPerSecond sum_;
+};
+
+}  // namespace sic::phy
+
+#endif  // SICMAC_PHY_CAPACITY_REGION_HPP

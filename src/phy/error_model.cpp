@@ -1,0 +1,105 @@
+#include "phy/error_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sic::phy {
+
+namespace {
+
+/// Gaussian tail Q(x) = 0.5·erfc(x/√2).
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+/// Effective soft-decision convolutional coding gain (K = 7), dB.
+double coding_gain_db(double code_rate) {
+  if (code_rate <= 0.5) return 5.0;
+  if (code_rate <= 2.0 / 3.0 + 1e-9) return 4.0;
+  return 3.5;  // rate 3/4
+}
+
+/// Gray-mapped square M-QAM bit error rate approximation.
+double qam_ber(int m, double sinr) {
+  const double k = std::log2(static_cast<double>(m));
+  return (4.0 / k) * (1.0 - 1.0 / std::sqrt(static_cast<double>(m))) *
+         q_function(std::sqrt(3.0 * sinr / (m - 1)));
+}
+
+}  // namespace
+
+double bit_error_rate(Modulation modulation, double sinr_linear) {
+  if (sinr_linear <= 0.0) return 0.5;
+  switch (modulation) {
+    case Modulation::kBpsk:
+      return q_function(std::sqrt(2.0 * sinr_linear));
+    case Modulation::kQpsk:
+      return q_function(std::sqrt(sinr_linear));
+    case Modulation::kQam16:
+      return qam_ber(16, sinr_linear);
+    case Modulation::kQam64:
+      return qam_ber(64, sinr_linear);
+  }
+  return 0.5;
+}
+
+const std::vector<OfdmMcs>& dot11g_mcs() {
+  static const std::vector<OfdmMcs> mcs{
+      {Modulation::kBpsk, 0.5, megabits_per_second(6.0)},
+      {Modulation::kBpsk, 0.75, megabits_per_second(9.0)},
+      {Modulation::kQpsk, 0.5, megabits_per_second(12.0)},
+      {Modulation::kQpsk, 0.75, megabits_per_second(18.0)},
+      {Modulation::kQam16, 0.5, megabits_per_second(24.0)},
+      {Modulation::kQam16, 0.75, megabits_per_second(36.0)},
+      {Modulation::kQam64, 2.0 / 3.0, megabits_per_second(48.0)},
+      {Modulation::kQam64, 0.75, megabits_per_second(54.0)},
+  };
+  return mcs;
+}
+
+double packet_error_rate(const OfdmMcs& mcs, double sinr_linear, double bits) {
+  SIC_CHECK(bits > 0.0);
+  if (sinr_linear <= 0.0) return 1.0;
+  const double gain = Decibels{coding_gain_db(mcs.code_rate)}.linear();
+  const double ber = bit_error_rate(mcs.modulation, sinr_linear * gain);
+  if (ber <= 0.0) return 0.0;
+  // Independent-bit-error approximation over the payload.
+  return 1.0 - std::pow(1.0 - ber, bits);
+}
+
+BitsPerSecond best_measured_rate(Decibels sinr, double target_delivery,
+                                 double bits) {
+  SIC_CHECK(target_delivery > 0.0 && target_delivery < 1.0);
+  BitsPerSecond best{0.0};
+  const double linear = sinr.linear();
+  for (const auto& mcs : dot11g_mcs()) {
+    if (1.0 - packet_error_rate(mcs, linear, bits) >= target_delivery) {
+      best = std::max(best, mcs.phy_rate);
+    }
+  }
+  return best;
+}
+
+Decibels delivery_threshold(const OfdmMcs& mcs, double target_delivery,
+                            double bits) {
+  SIC_CHECK(target_delivery > 0.0 && target_delivery < 1.0);
+  double lo = -10.0;
+  double hi = 60.0;
+  SIC_CHECK_MSG(
+      1.0 - packet_error_rate(mcs, Decibels{hi}.linear(), bits) >=
+          target_delivery,
+      "MCS never meets the delivery target");
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double delivery =
+        1.0 - packet_error_rate(mcs, Decibels{mid}.linear(), bits);
+    if (delivery >= target_delivery) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return Decibels{hi};
+}
+
+}  // namespace sic::phy

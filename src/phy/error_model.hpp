@@ -1,0 +1,74 @@
+#ifndef SICMAC_PHY_ERROR_MODEL_HPP
+#define SICMAC_PHY_ERROR_MODEL_HPP
+
+/// \file error_model.hpp
+/// First-principles link error model for the 802.11 OFDM PHY: per-
+/// modulation bit-error-rate curves (AWGN approximations), coded packet
+/// error rates, and the "highest rate sustaining a target delivery ratio"
+/// scan — the procedure the paper's measurement campaign ran ("the highest
+/// 802.11g bitrate at which 90% of packets are received successfully").
+/// The canonical RateTable thresholds are validated against this model in
+/// tests: each table rung's min_sinr must sit where this model's 90 %-PRR
+/// boundary falls, within the indoor-margin the tables bake in.
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace sic::phy {
+
+enum class Modulation {
+  kBpsk,
+  kQpsk,
+  kQam16,
+  kQam64,
+};
+
+[[nodiscard]] constexpr const char* to_string(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return "BPSK";
+    case Modulation::kQpsk: return "QPSK";
+    case Modulation::kQam16: return "16-QAM";
+    case Modulation::kQam64: return "64-QAM";
+  }
+  return "?";
+}
+
+/// Uncoded bit error rate of the modulation at the given SNR-per-bit-ish
+/// symbol SINR (linear). Standard AWGN union-bound approximations
+/// (Q-function based; Gray mapping assumed for the QAMs).
+[[nodiscard]] double bit_error_rate(Modulation modulation, double sinr_linear);
+
+/// One 802.11a/g MCS: modulation + convolutional code rate.
+struct OfdmMcs {
+  Modulation modulation;
+  double code_rate;         ///< 1/2, 2/3 or 3/4
+  BitsPerSecond phy_rate;   ///< 20 MHz channel
+};
+
+/// The 8 OFDM MCS of 802.11a/g.
+[[nodiscard]] const std::vector<OfdmMcs>& dot11g_mcs();
+
+/// Packet error rate for a payload of \p bits at the given SINR, using the
+/// BER curve with an effective coding gain per code rate. Monotone
+/// decreasing in SINR.
+[[nodiscard]] double packet_error_rate(const OfdmMcs& mcs, double sinr_linear,
+                                       double bits = 12000.0);
+
+/// The measurement-campaign primitive: the highest MCS whose delivery
+/// ratio meets \p target_delivery at the given SINR (0 bps when even BPSK
+/// 1/2 fails). This is the step function an empirical rate scan produces.
+[[nodiscard]] BitsPerSecond best_measured_rate(Decibels sinr,
+                                               double target_delivery = 0.9,
+                                               double bits = 12000.0);
+
+/// The SINR threshold at which the MCS first meets the target delivery —
+/// the model-derived equivalent of RateTable::min_sinr_for.
+[[nodiscard]] Decibels delivery_threshold(const OfdmMcs& mcs,
+                                          double target_delivery = 0.9,
+                                          double bits = 12000.0);
+
+}  // namespace sic::phy
+
+#endif  // SICMAC_PHY_ERROR_MODEL_HPP

@@ -1,0 +1,16 @@
+#include "phy/rate_adapter.hpp"
+
+#include "phy/capacity.hpp"
+
+namespace sic::phy {
+
+BitsPerSecond ShannonRateAdapter::rate(double sinr_linear) const {
+  return shannon_rate(bandwidth_, sinr_linear);
+}
+
+BitsPerSecond DiscreteRateAdapter::rate(double sinr_linear) const {
+  if (sinr_linear <= 0.0) return BitsPerSecond{0.0};
+  return table_->best_rate(Decibels::from_linear(sinr_linear));
+}
+
+}  // namespace sic::phy

@@ -1,0 +1,123 @@
+#include "phy/rate_table.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/mathx.hpp"
+
+namespace sic::phy {
+
+RateTable::RateTable(std::string name, std::vector<RateEntry> entries)
+    : name_(std::move(name)), entries_(std::move(entries)) {
+  SIC_CHECK_MSG(!entries_.empty(), "rate table must be non-empty");
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    SIC_CHECK_MSG(entries_[i].rate > entries_[i - 1].rate,
+                  "rates must be strictly increasing");
+    SIC_CHECK_MSG(entries_[i].min_sinr > entries_[i - 1].min_sinr,
+                  "thresholds must be strictly increasing");
+  }
+}
+
+BitsPerSecond RateTable::best_rate(Decibels sinr) const {
+  BitsPerSecond best{0.0};
+  for (const auto& e : entries_) {
+    if (sinr >= e.min_sinr) {
+      best = e.rate;
+    } else {
+      break;
+    }
+  }
+  return best;
+}
+
+Decibels RateTable::min_sinr_for(BitsPerSecond rate) const {
+  for (const auto& e : entries_) {
+    if (approx_equal(e.rate.value(), rate.value())) return e.min_sinr;
+  }
+  SIC_CHECK_MSG(false, "rate not present in table " + name_);
+  return Decibels{0.0};  // unreachable
+}
+
+bool RateTable::supports(BitsPerSecond rate, Decibels sinr) const {
+  return sinr >= min_sinr_for(rate);
+}
+
+namespace {
+
+std::vector<RateEntry> mbps_table(
+    std::initializer_list<std::pair<double, double>> rate_and_threshold) {
+  std::vector<RateEntry> out;
+  out.reserve(rate_and_threshold.size());
+  for (const auto& [mbps, db] : rate_and_threshold) {
+    out.push_back(RateEntry{megabits_per_second(mbps), Decibels{db}});
+  }
+  return out;
+}
+
+}  // namespace
+
+const RateTable& RateTable::dot11b() {
+  static const RateTable table{"802.11b", mbps_table({
+                                              {1.0, 1.0},
+                                              {2.0, 3.0},
+                                              {5.5, 6.0},
+                                              {11.0, 9.0},
+                                          })};
+  return table;
+}
+
+const RateTable& RateTable::dot11g() {
+  // OFDM thresholds: BPSK1/2 .. 64QAM3/4, ~90% delivery.
+  static const RateTable table{"802.11g", mbps_table({
+                                              {6.0, 6.0},
+                                              {9.0, 7.8},
+                                              {12.0, 9.0},
+                                              {18.0, 10.8},
+                                              {24.0, 17.0},
+                                              {36.0, 18.8},
+                                              {48.0, 24.0},
+                                              {54.0, 24.6},
+                                          })};
+  return table;
+}
+
+const RateTable& RateTable::dot11n() {
+  // 20 MHz, 800 ns GI, MCS 0-31. Per-stream rates replicate the MCS 0-7
+  // ladder; each extra spatial stream adds ~3 dB to the required SINR
+  // (equal-power stream splitting) plus a small demux penalty. The table is
+  // thinned to keep thresholds strictly monotone in rate, yielding the
+  // paper's "32 rates" granularity.
+  static const RateTable table = [] {
+    const std::pair<double, double> mcs0_7[] = {
+        {6.5, 5.0},  {13.0, 8.0},  {19.5, 11.0}, {26.0, 14.0},
+        {39.0, 18.0}, {52.0, 22.0}, {58.5, 26.0}, {65.0, 28.0}};
+    std::vector<RateEntry> all;
+    for (int streams = 1; streams <= 4; ++streams) {
+      const double stream_penalty_db = 3.2 * (streams - 1);
+      for (const auto& [mbps, db] : mcs0_7) {
+        all.push_back(RateEntry{megabits_per_second(mbps * streams),
+                                Decibels{db + stream_penalty_db}});
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const RateEntry& a, const RateEntry& b) {
+                return a.rate < b.rate ||
+                       (a.rate == b.rate && a.min_sinr < b.min_sinr);
+              });
+    // Keep the Pareto frontier: drop entries whose threshold is not strictly
+    // above the previous kept entry's (a slower rate never needs more SINR).
+    std::vector<RateEntry> frontier;
+    for (const auto& e : all) {
+      while (!frontier.empty() && frontier.back().min_sinr >= e.min_sinr) {
+        frontier.pop_back();
+      }
+      if (frontier.empty() || e.rate > frontier.back().rate) {
+        frontier.push_back(e);
+      }
+    }
+    return RateTable{"802.11n", std::move(frontier)};
+  }();
+  return table;
+}
+
+}  // namespace sic::phy

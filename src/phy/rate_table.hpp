@@ -1,0 +1,67 @@
+#ifndef SICMAC_PHY_RATE_TABLE_HPP
+#define SICMAC_PHY_RATE_TABLE_HPP
+
+/// \file rate_table.hpp
+/// Discrete bitrate sets of the 802.11 family, with per-rate minimum SINR
+/// thresholds. The paper's core argument is that the slack SIC can harness
+/// shrinks as rate sets get finer — "4 in 802.11b vs 8 in 802.11g vs 32 in
+/// 802.11n" (Section 1) — and Section 7 re-evaluates the gains under the
+/// discrete 802.11g set. These tables are the discrete-rate oracle standing
+/// in for the paper's empirical 90 %-delivery rate scans (see DESIGN.md,
+/// substitution 2): the scan produces exactly a monotone step function from
+/// SINR to the best sustainable standard rate.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace sic::phy {
+
+/// One standard rate and the minimum SINR at which it sustains ~90 % packet
+/// delivery. Thresholds follow the commonly used OFDM receiver sensitivity
+/// deltas (e.g. Halperin et al., and vendor datasheets) — the *shape*
+/// (monotone steps ~2-4 dB apart) is what matters for the reproduction.
+struct RateEntry {
+  BitsPerSecond rate;
+  Decibels min_sinr;
+};
+
+/// A monotone SINR→rate step function.
+class RateTable {
+ public:
+  /// \p entries must be strictly increasing in both rate and threshold.
+  explicit RateTable(std::string name, std::vector<RateEntry> entries);
+
+  /// Highest rate whose threshold the given SINR meets; 0 bps when even the
+  /// base rate is infeasible.
+  [[nodiscard]] BitsPerSecond best_rate(Decibels sinr) const;
+
+  /// Lowest SINR that sustains the given rate; used to invert measurements.
+  /// Requires \p rate to be one of the table's rates.
+  [[nodiscard]] Decibels min_sinr_for(BitsPerSecond rate) const;
+
+  /// True when \p rate is feasible at \p sinr (rate must be in the table).
+  [[nodiscard]] bool supports(BitsPerSecond rate, Decibels sinr) const;
+
+  [[nodiscard]] std::span<const RateEntry> entries() const { return entries_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] BitsPerSecond top_rate() const { return entries_.back().rate; }
+  [[nodiscard]] BitsPerSecond base_rate() const { return entries_.front().rate; }
+
+  /// 802.11b: 4 rates (1, 2, 5.5, 11 Mbps).
+  [[nodiscard]] static const RateTable& dot11b();
+  /// 802.11g: 8 OFDM rates (6..54 Mbps).
+  [[nodiscard]] static const RateTable& dot11g();
+  /// 802.11n, 20 MHz, long GI, MCS 0-31 (1-4 spatial streams): 32 rates.
+  [[nodiscard]] static const RateTable& dot11n();
+
+ private:
+  std::string name_;
+  std::vector<RateEntry> entries_;
+};
+
+}  // namespace sic::phy
+
+#endif  // SICMAC_PHY_RATE_TABLE_HPP

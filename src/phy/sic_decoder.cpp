@@ -1,0 +1,39 @@
+#include "phy/sic_decoder.hpp"
+
+#include "util/check.hpp"
+
+namespace sic::phy {
+
+SicDecoder::SicDecoder(const RateAdapter& adapter, SicDecoderConfig config)
+    : adapter_(&adapter), config_(config) {
+  SIC_CHECK(config_.cancellation_residual >= 0.0 &&
+            config_.cancellation_residual <= 1.0);
+}
+
+DecodeOutcome SicDecoder::decode(const TwoSignalArrival& arrival,
+                                 BitsPerSecond rate_of_stronger,
+                                 BitsPerSecond rate_of_weaker) const {
+  DecodeOutcome out;
+  const double sinr_strong =
+      sinr(arrival.stronger, arrival.weaker, arrival.noise);
+  out.stronger_decoded = adapter_->feasible(rate_of_stronger, sinr_strong);
+  if (!out.stronger_decoded || !config_.sic_capable) return out;
+
+  // ADC saturation: disparity too large to represent the weaker signal.
+  const Decibels disparity =
+      Decibels::from_linear(arrival.stronger / arrival.weaker);
+  if (disparity > config_.max_decodable_disparity) return out;
+
+  const double sinr_weak_after_cancel =
+      sinr(arrival.weaker, arrival.stronger * config_.cancellation_residual,
+           arrival.noise);
+  out.weaker_decoded = adapter_->feasible(rate_of_weaker, sinr_weak_after_cancel);
+  return out;
+}
+
+bool SicDecoder::decode_single(Milliwatts signal, Milliwatts noise,
+                               BitsPerSecond rate) const {
+  return adapter_->feasible(rate, sinr(signal, Milliwatts{0.0}, noise));
+}
+
+}  // namespace sic::phy

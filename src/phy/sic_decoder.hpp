@@ -1,0 +1,83 @@
+#ifndef SICMAC_PHY_SIC_DECODER_HPP
+#define SICMAC_PHY_SIC_DECODER_HPP
+
+/// \file sic_decoder.hpp
+/// The analytic SIC receiver model (Section 2.2): given two overlapping
+/// arrivals and the bitrates their transmitters *chose* (for their own
+/// receivers, not necessarily this one), determine what this receiver can
+/// recover. This is the substitution for the paper's GNU Radio/USRP receiver
+/// (DESIGN.md, substitution 3) and is exactly the model the paper's own
+/// analysis assumes.
+///
+/// Decode chain:
+///   1. The stronger signal is decodable iff its transmit rate is feasible
+///      at SINR = S_strong / (S_weak + N0).
+///   2. Only if step 1 succeeded, the stronger signal is reconstructed and
+///      subtracted, leaving residual·S_strong of interference; the weaker
+///      signal is decodable iff its transmit rate is feasible at
+///      SINR = S_weak / (residual·S_strong + N0).
+///
+/// Without SIC capability, at most the stronger signal is recoverable
+/// (classic capture), and the weaker never is.
+
+#include "phy/capacity.hpp"
+#include "phy/rate_adapter.hpp"
+#include "util/units.hpp"
+
+namespace sic::phy {
+
+/// What a receiver recovered from a two-signal collision.
+struct DecodeOutcome {
+  bool stronger_decoded = false;
+  bool weaker_decoded = false;
+
+  [[nodiscard]] bool both() const { return stronger_decoded && weaker_decoded; }
+  [[nodiscard]] bool none() const { return !stronger_decoded && !weaker_decoded; }
+
+  friend bool operator==(const DecodeOutcome&, const DecodeOutcome&) = default;
+};
+
+/// Configuration of the receiver model.
+struct SicDecoderConfig {
+  /// Fraction of the cancelled signal's power left behind by imperfect
+  /// channel estimation / reconstruction (Section 9). 0 = the paper's
+  /// "perfect cancellation" assumption.
+  double cancellation_residual = 0.0;
+
+  /// Receivers with capture but no SIC (the -SIC baseline).
+  bool sic_capable = true;
+
+  /// ADC saturation guard (Section 9): when the stronger signal exceeds the
+  /// weaker by more than this many dB, the weaker signal is unrecoverable
+  /// even after cancellation. Disabled by default (paper's idealization);
+  /// set to ~30-40 dB to model a real front end.
+  Decibels max_decodable_disparity{1e9};
+};
+
+/// Stateless SIC receiver model parameterized by a rate-feasibility policy.
+class SicDecoder {
+ public:
+  /// \p adapter must outlive the decoder.
+  SicDecoder(const RateAdapter& adapter, SicDecoderConfig config = {});
+
+  /// Attempts to recover both packets of a two-signal collision.
+  /// \p rate_of_stronger / \p rate_of_weaker are the bitrates the respective
+  /// transmitters are using.
+  [[nodiscard]] DecodeOutcome decode(const TwoSignalArrival& arrival,
+                                     BitsPerSecond rate_of_stronger,
+                                     BitsPerSecond rate_of_weaker) const;
+
+  /// Single arrival, interference-free: decodable iff rate feasible at S/N0.
+  [[nodiscard]] bool decode_single(Milliwatts signal, Milliwatts noise,
+                                   BitsPerSecond rate) const;
+
+  [[nodiscard]] const SicDecoderConfig& config() const { return config_; }
+
+ private:
+  const RateAdapter* adapter_;
+  SicDecoderConfig config_;
+};
+
+}  // namespace sic::phy
+
+#endif  // SICMAC_PHY_SIC_DECODER_HPP

@@ -1,0 +1,26 @@
+#include "topology/geometry.hpp"
+
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace sic::topology {
+
+Point random_in_rect(Rng& rng, double x0, double y0, double x1, double y1) {
+  SIC_CHECK(x1 >= x0 && y1 >= y0);
+  return Point{rng.uniform(x0, x1), rng.uniform(y0, y1)};
+}
+
+Point random_in_disc(Rng& rng, Point center, double radius) {
+  return random_in_annulus(rng, center, 0.0, radius);
+}
+
+Point random_in_annulus(Rng& rng, Point center, double r_min, double r_max) {
+  SIC_CHECK(0.0 <= r_min && r_min <= r_max);
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  // Area-uniform radius: r = sqrt(U·(r_max²−r_min²) + r_min²).
+  const double r = std::sqrt(rng.uniform(r_min * r_min, r_max * r_max));
+  return Point{center.x + r * std::cos(theta), center.y + r * std::sin(theta)};
+}
+
+}  // namespace sic::topology

@@ -1,0 +1,39 @@
+#ifndef SICMAC_TOPOLOGY_GEOMETRY_HPP
+#define SICMAC_TOPOLOGY_GEOMETRY_HPP
+
+/// \file geometry.hpp
+/// Minimal 2-D geometry for node placement.
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sic::topology {
+
+/// A point in the plane, meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] inline double distance(Point a, Point b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Uniform point in the axis-aligned rectangle [x0,x1]×[y0,y1].
+[[nodiscard]] Point random_in_rect(Rng& rng, double x0, double y0, double x1,
+                                   double y1);
+
+/// Uniform point in the disc of the given radius around \p center
+/// (area-uniform, i.e. radius is sqrt-distributed).
+[[nodiscard]] Point random_in_disc(Rng& rng, Point center, double radius);
+
+/// Uniform point in the annulus with radii [r_min, r_max] around \p center.
+[[nodiscard]] Point random_in_annulus(Rng& rng, Point center, double r_min,
+                                      double r_max);
+
+}  // namespace sic::topology
+
+#endif  // SICMAC_TOPOLOGY_GEOMETRY_HPP

@@ -1,0 +1,44 @@
+#ifndef SICMAC_TOPOLOGY_NODE_HPP
+#define SICMAC_TOPOLOGY_NODE_HPP
+
+/// \file node.hpp
+/// Nodes of a wireless topology: access points, clients and mesh relays.
+
+#include <cstdint>
+#include <string>
+
+#include "topology/geometry.hpp"
+#include "util/units.hpp"
+
+namespace sic::topology {
+
+using NodeId = std::uint32_t;
+
+enum class NodeRole : std::uint8_t {
+  kAccessPoint,
+  kClient,
+  kMeshRelay,
+};
+
+[[nodiscard]] constexpr const char* to_string(NodeRole role) {
+  switch (role) {
+    case NodeRole::kAccessPoint: return "AP";
+    case NodeRole::kClient: return "client";
+    case NodeRole::kMeshRelay: return "relay";
+  }
+  return "?";
+}
+
+/// A positioned radio with a transmit power.
+struct Node {
+  NodeId id = 0;
+  NodeRole role = NodeRole::kClient;
+  Point position;
+  Dbm tx_power{20.0};  // typical 802.11 client EIRP
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+}  // namespace sic::topology
+
+#endif  // SICMAC_TOPOLOGY_NODE_HPP

@@ -1,0 +1,67 @@
+#include "topology/samplers.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sic::topology {
+
+namespace {
+
+channel::NormalizedPathLoss model_for(const SamplerConfig& config) {
+  return channel::NormalizedPathLoss{config.pathloss_exponent};
+}
+
+}  // namespace
+
+TwoToOneSample sample_two_to_one(Rng& rng, const SamplerConfig& config) {
+  SIC_CHECK(config.range_m > 0.0 && config.noise > 0.0);
+  const auto model = model_for(config);
+  const Point receiver{0.0, 0.0};
+  const Point c1 = random_in_disc(rng, receiver, config.range_m);
+  const Point c2 = random_in_disc(rng, receiver, config.range_m);
+  TwoToOneSample out;
+  out.d1_m = distance(c1, receiver);
+  out.d2_m = distance(c2, receiver);
+  out.s1 = model.received_power(out.d1_m);
+  out.s2 = model.received_power(out.d2_m);
+  out.noise = Milliwatts{config.noise};
+  return out;
+}
+
+TwoLinkSample sample_two_link(Rng& rng, const SamplerConfig& config) {
+  SIC_CHECK(config.range_m > 0.0 && config.noise > 0.0);
+  const auto model = model_for(config);
+  TwoLinkSample out;
+  out.t1 = Point{0.0, 0.0};
+  out.t2 = Point{config.range_m, 0.0};
+  out.r1 = random_in_disc(rng, out.t1, config.range_m);
+  out.r2 = random_in_disc(rng, out.t2, config.range_m);
+  out.rss.s11 = model.received_power(distance(out.t1, out.r1));
+  out.rss.s12 = model.received_power(distance(out.t2, out.r1));
+  out.rss.s21 = model.received_power(distance(out.t1, out.r2));
+  out.rss.s22 = model.received_power(distance(out.t2, out.r2));
+  out.rss.noise = Milliwatts{config.noise};
+  return out;
+}
+
+std::vector<channel::LinkBudget> sample_upload_clients(
+    Rng& rng, const SamplerConfig& config, int n_clients) {
+  SIC_CHECK(n_clients >= 0);
+  const auto model = model_for(config);
+  const Point ap{0.0, 0.0};
+  std::vector<channel::LinkBudget> budgets;
+  budgets.reserve(static_cast<std::size_t>(n_clients));
+  for (int i = 0; i < n_clients; ++i) {
+    const Point c = random_in_disc(rng, ap, config.range_m);
+    budgets.push_back(channel::LinkBudget{
+        model.received_power(distance(c, ap)), Milliwatts{config.noise}});
+  }
+  std::sort(budgets.begin(), budgets.end(),
+            [](const channel::LinkBudget& a, const channel::LinkBudget& b) {
+              return a.rss > b.rss;
+            });
+  return budgets;
+}
+
+}  // namespace sic::topology

@@ -1,0 +1,87 @@
+#include "topology/scenarios.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sic::topology {
+
+Milliwatts Deployment::rss(const Node& from, const Node& to) const {
+  const double d = distance(from.position, to.position);
+  return pathloss.received_power(from.tx_power, d).to_milliwatts();
+}
+
+const Node& Deployment::by_role(NodeRole role, int index) const {
+  int seen = 0;
+  for (const auto& node : nodes) {
+    if (node.role == role) {
+      if (seen == index) return node;
+      ++seen;
+    }
+  }
+  SIC_CHECK_MSG(false, "no such node role/index in deployment");
+  return nodes.front();  // unreachable
+}
+
+Deployment make_ewlan(double ap_separation_m, double cell_radius_m,
+                      std::uint64_t seed) {
+  SIC_CHECK(ap_separation_m > 0.0 && cell_radius_m > 0.0);
+  Rng rng{seed};
+  Deployment d;
+  const Point ap1{0.0, 0.0};
+  const Point ap2{ap_separation_m, 0.0};
+  d.nodes.push_back(Node{0, NodeRole::kAccessPoint, ap1});
+  d.nodes.push_back(Node{1, NodeRole::kAccessPoint, ap2});
+  for (NodeId i = 0; i < 2; ++i) {
+    d.nodes.push_back(
+        Node{2 + i, NodeRole::kClient, random_in_disc(rng, ap1, cell_radius_m)});
+  }
+  for (NodeId i = 0; i < 2; ++i) {
+    d.nodes.push_back(
+        Node{4 + i, NodeRole::kClient, random_in_disc(rng, ap2, cell_radius_m)});
+  }
+  return d;
+}
+
+Deployment make_residential(double apartment_width_m, std::uint64_t seed) {
+  SIC_CHECK(apartment_width_m > 0.0);
+  Rng rng{seed};
+  Deployment d;
+  // Indoor propagation: steeper exponent than the open EWLAN floor.
+  d.pathloss = channel::LogDistancePathLoss::for_carrier(/*exponent=*/3.5);
+  const double w = apartment_width_m;
+  // Apartment 1 spans [0, w], apartment 2 spans [w, 2w]; the shared wall
+  // is at x = w. AP1 sits deep in apartment 1 while the neighbor's AP2
+  // happens to sit near the wall — the crowded-complex configuration
+  // Section 4.2 highlights.
+  const Point ap1{w * 0.20, 0.0};
+  const Point ap2{w * 1.20, 0.0};
+  d.nodes.push_back(Node{0, NodeRole::kAccessPoint, ap1});
+  d.nodes.push_back(Node{1, NodeRole::kAccessPoint, ap2});
+  // C1: near its own AP. C2: at the shared wall — much closer to the
+  // neighbor's AP2 than to its own AP1, the SIC opportunity.
+  d.nodes.push_back(Node{2, NodeRole::kClient,
+                         random_in_disc(rng, ap1, w * 0.15)});
+  d.nodes.push_back(Node{3, NodeRole::kClient, Point{w * 0.98, 0.0}});
+  // Apartment 2's clients: C3 right next to AP2 (a high-rate link C2 can
+  // NOT decode), C4 at the far end (a lower-rate link C2 can).
+  d.nodes.push_back(Node{4, NodeRole::kClient, Point{w * 1.25, 0.0}});
+  d.nodes.push_back(Node{5, NodeRole::kClient, Point{w * 1.98, 0.0}});
+  return d;
+}
+
+Deployment make_mesh_chain(double long_hop_m, double short_hop_m) {
+  SIC_CHECK(long_hop_m > short_hop_m && short_hop_m > 0.0);
+  Deployment d;
+  d.pathloss = channel::LogDistancePathLoss::for_carrier(/*exponent=*/3.0);
+  double x = 0.0;
+  d.nodes.push_back(Node{0, NodeRole::kMeshRelay, Point{x, 0.0}});  // A
+  x += long_hop_m;
+  d.nodes.push_back(Node{1, NodeRole::kMeshRelay, Point{x, 0.0}});  // C
+  x += short_hop_m;
+  d.nodes.push_back(Node{2, NodeRole::kMeshRelay, Point{x, 0.0}});  // D
+  x += long_hop_m;
+  d.nodes.push_back(Node{3, NodeRole::kMeshRelay, Point{x, 0.0}});  // E
+  return d;
+}
+
+}  // namespace sic::topology

@@ -1,0 +1,55 @@
+#ifndef SICMAC_TOPOLOGY_SCENARIOS_HPP
+#define SICMAC_TOPOLOGY_SCENARIOS_HPP
+
+/// \file scenarios.hpp
+/// Named wireless-architecture builders mirroring Section 4 / Fig. 7:
+/// enterprise WLAN, residential WLAN, and a multihop mesh chain. Examples
+/// and integration tests build these instead of ad-hoc node lists.
+
+#include <vector>
+
+#include "channel/pathloss.hpp"
+#include "topology/node.hpp"
+
+namespace sic::topology {
+
+/// A set of positioned nodes plus the propagation model tying them together.
+struct Deployment {
+  std::vector<Node> nodes;
+  channel::LogDistancePathLoss pathloss =
+      channel::LogDistancePathLoss::for_carrier(/*exponent=*/3.0);
+  Dbm noise_floor{-94.0};
+
+  /// RSS (linear) of \p from as heard at \p to under the deployment's
+  /// path-loss model.
+  [[nodiscard]] Milliwatts rss(const Node& from, const Node& to) const;
+
+  [[nodiscard]] Milliwatts noise() const { return noise_floor.to_milliwatts(); }
+
+  /// First node with the given role+index among that role, ordered by id.
+  [[nodiscard]] const Node& by_role(NodeRole role, int index) const;
+};
+
+/// Enterprise WLAN (Fig. 7a): two APs \p ap_separation_m apart on a wired
+/// backbone, each with two associated clients placed within \p cell_radius_m.
+/// Node order: AP1, AP2, C1, C2 (AP1's), C3, C4 (AP2's).
+[[nodiscard]] Deployment make_ewlan(double ap_separation_m = 30.0,
+                                    double cell_radius_m = 15.0,
+                                    std::uint64_t seed = 1);
+
+/// Residential WLAN (Fig. 7b): two apartments side by side; each AP serves
+/// its own clients only (WPA-locked). C2 is deliberately placed closer to
+/// the *neighbor's* AP, the configuration Section 4.2 identifies as the SIC
+/// opportunity. Node order: AP1, AP2, C1, C2 (home 1), C3, C4 (home 2).
+[[nodiscard]] Deployment make_residential(double apartment_width_m = 12.0,
+                                          std::uint64_t seed = 1);
+
+/// Multihop mesh chain (Section 4.3): A → C → D → E with a long hop, a short
+/// hop, and a long hop — the "perfect recipe for SIC at C", where A→C and
+/// D→E can run concurrently. Node order: A, C, D, E.
+[[nodiscard]] Deployment make_mesh_chain(double long_hop_m = 35.0,
+                                         double short_hop_m = 10.0);
+
+}  // namespace sic::topology
+
+#endif  // SICMAC_TOPOLOGY_SCENARIOS_HPP

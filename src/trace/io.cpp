@@ -1,0 +1,78 @@
+#include "trace/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sic::trace {
+
+void write_csv(const RssiTrace& trace, std::ostream& os) {
+  os << "timestamp_s,ap_id,client_id,rssi_dbm\n";
+  for (const auto& snap : trace.snapshots) {
+    for (const auto& ap : snap.aps) {
+      for (const auto& obs : ap.clients) {
+        os << snap.timestamp_s << ',' << ap.ap_id << ',' << obs.client_id
+           << ',' << obs.rssi_dbm << '\n';
+      }
+    }
+  }
+}
+
+void write_csv_file(const RssiTrace& trace, const std::string& path) {
+  std::ofstream os{path};
+  if (!os) throw std::runtime_error("cannot open trace file for write: " + path);
+  write_csv(trace, os);
+}
+
+RssiTrace read_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::runtime_error("trace CSV is empty");
+  }
+  if (line != "timestamp_s,ap_id,client_id,rssi_dbm") {
+    throw std::runtime_error("unexpected trace CSV header: " + line);
+  }
+  // timestamp -> ap -> observations
+  std::map<std::int64_t, std::map<std::uint32_t, std::vector<ClientObservation>>>
+      rows;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls{line};
+    std::int64_t ts = 0;
+    std::uint32_t ap = 0;
+    std::uint32_t client = 0;
+    double rssi = 0.0;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(ls >> ts >> c1 >> ap >> c2 >> client >> c3 >> rssi) || c1 != ',' ||
+        c2 != ',' || c3 != ',') {
+      throw std::runtime_error("malformed trace CSV at line " +
+                               std::to_string(lineno) + ": " + line);
+    }
+    rows[ts][ap].push_back(ClientObservation{client, rssi});
+  }
+  RssiTrace trace;
+  for (auto& [ts, aps] : rows) {
+    Snapshot snap;
+    snap.timestamp_s = ts;
+    for (auto& [ap_id, clients] : aps) {
+      ApSnapshot ap_snap;
+      ap_snap.ap_id = ap_id;
+      ap_snap.clients = std::move(clients);
+      snap.aps.push_back(std::move(ap_snap));
+    }
+    trace.snapshots.push_back(std::move(snap));
+  }
+  return trace;
+}
+
+RssiTrace read_csv_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) throw std::runtime_error("cannot open trace file for read: " + path);
+  return read_csv(is);
+}
+
+}  // namespace sic::trace

@@ -1,0 +1,31 @@
+#ifndef SICMAC_TRACE_IO_HPP
+#define SICMAC_TRACE_IO_HPP
+
+/// \file io.hpp
+/// CSV serialization of RSSI traces. Format (header included):
+///
+///   timestamp_s,ap_id,client_id,rssi_dbm
+///
+/// A real building trace post-processed to the paper's snapshot form would
+/// be loaded through the same reader, which is the point of the exercise —
+/// the evaluation pipeline is byte-for-byte agnostic to whether the trace
+/// is synthetic.
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/snapshot.hpp"
+
+namespace sic::trace {
+
+void write_csv(const RssiTrace& trace, std::ostream& os);
+void write_csv_file(const RssiTrace& trace, const std::string& path);
+
+/// Parses a trace; throws std::runtime_error on malformed input. Snapshots
+/// are keyed by timestamp; rows may arrive in any order.
+[[nodiscard]] RssiTrace read_csv(std::istream& is);
+[[nodiscard]] RssiTrace read_csv_file(const std::string& path);
+
+}  // namespace sic::trace
+
+#endif  // SICMAC_TRACE_IO_HPP

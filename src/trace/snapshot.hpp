@@ -1,0 +1,43 @@
+#ifndef SICMAC_TRACE_SNAPSHOT_HPP
+#define SICMAC_TRACE_SNAPSHOT_HPP
+
+/// \file snapshot.hpp
+/// The data model of the Section 7 upload traces: "topology snapshots
+/// (every 15 minutes) that provide sets of wireless clients associated to
+/// each AP", with per-client RSSI at the AP.
+
+#include <cstdint>
+#include <vector>
+
+namespace sic::trace {
+
+struct ClientObservation {
+  std::uint32_t client_id = 0;
+  double rssi_dbm = 0.0;  ///< client's RSSI as heard by the AP
+};
+
+struct ApSnapshot {
+  std::uint32_t ap_id = 0;
+  std::vector<ClientObservation> clients;
+};
+
+struct Snapshot {
+  std::int64_t timestamp_s = 0;  ///< seconds since trace start
+  std::vector<ApSnapshot> aps;
+};
+
+struct RssiTrace {
+  std::vector<Snapshot> snapshots;
+
+  [[nodiscard]] std::size_t total_observations() const {
+    std::size_t n = 0;
+    for (const auto& s : snapshots) {
+      for (const auto& ap : s.aps) n += ap.clients.size();
+    }
+    return n;
+  }
+};
+
+}  // namespace sic::trace
+
+#endif  // SICMAC_TRACE_SNAPSHOT_HPP

@@ -1,0 +1,66 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sic::trace {
+
+TraceStats compute_trace_stats(const RssiTrace& trace) {
+  TraceStats stats;
+  stats.snapshots = trace.snapshots.size();
+  double rssi_sum = 0.0;
+  double rssi_sum2 = 0.0;
+  std::size_t cells = 0;
+  std::size_t cell_clients = 0;
+  for (const auto& snap : trace.snapshots) {
+    for (const auto& ap : snap.aps) {
+      const int n = static_cast<int>(ap.clients.size());
+      if (n == 0) continue;
+      ++cells;
+      cell_clients += static_cast<std::size_t>(n);
+      stats.max_clients_per_cell = std::max(stats.max_clients_per_cell, n);
+      if (n >= 2) ++stats.cells_with_pairing_potential;
+      for (const auto& obs : ap.clients) {
+        rssi_sum += obs.rssi_dbm;
+        rssi_sum2 += obs.rssi_dbm * obs.rssi_dbm;
+        ++stats.observations;
+      }
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) {
+          const double a = ap.clients[static_cast<std::size_t>(i)].rssi_dbm;
+          const double b = ap.clients[static_cast<std::size_t>(j)].rssi_dbm;
+          stats.pairwise_disparity_db.push_back(std::fabs(a - b));
+          stats.pair_weak_rssi_and_disparity_.emplace_back(std::min(a, b),
+                                                           std::fabs(a - b));
+        }
+      }
+    }
+  }
+  if (cells > 0) {
+    stats.mean_clients_per_cell =
+        static_cast<double>(cell_clients) / static_cast<double>(cells);
+  }
+  if (stats.observations > 0) {
+    const double n = static_cast<double>(stats.observations);
+    stats.rssi_mean_dbm = rssi_sum / n;
+    const double var =
+        std::max(0.0, rssi_sum2 / n - stats.rssi_mean_dbm * stats.rssi_mean_dbm);
+    stats.rssi_stddev_db = std::sqrt(var);
+  }
+  return stats;
+}
+
+double TraceStats::ridge_fraction(double noise_floor_dbm,
+                                  double band_db) const {
+  if (pair_weak_rssi_and_disparity_.empty()) return 0.0;
+  std::size_t on_ridge = 0;
+  for (const auto& [weak_rssi, disparity] : pair_weak_rssi_and_disparity_) {
+    // Ridge: stronger SNR = 2 * weaker SNR (dB) ⇔ disparity = weaker SNR.
+    const double weaker_snr_db = weak_rssi - noise_floor_dbm;
+    if (std::fabs(disparity - weaker_snr_db) <= band_db) ++on_ridge;
+  }
+  return static_cast<double>(on_ridge) /
+         static_cast<double>(pair_weak_rssi_and_disparity_.size());
+}
+
+}  // namespace sic::trace

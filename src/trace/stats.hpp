@@ -1,0 +1,48 @@
+#ifndef SICMAC_TRACE_STATS_HPP
+#define SICMAC_TRACE_STATS_HPP
+
+/// \file stats.hpp
+/// Descriptive statistics over an RSSI trace. The quantity that decides
+/// how much the Fig. 13 pairing gains can be is the *pairwise RSS
+/// disparity* distribution among clients backlogged at the same AP
+/// (DESIGN.md, substitution 1): the Fig. 4 ridge wants the stronger client
+/// ~2x (in dB SNR) over the weaker. This module computes that census, plus
+/// occupancy and load summaries, for any trace — synthetic or real.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/snapshot.hpp"
+
+namespace sic::trace {
+
+struct TraceStats {
+  std::size_t snapshots = 0;
+  std::size_t observations = 0;
+  /// Distribution of clients-per-(snapshot, AP) cell (only non-empty cells).
+  double mean_clients_per_cell = 0.0;
+  int max_clients_per_cell = 0;
+  std::size_t cells_with_pairing_potential = 0;  ///< >= 2 clients
+  /// RSSI distribution across all observations, dBm.
+  double rssi_mean_dbm = 0.0;
+  double rssi_stddev_db = 0.0;
+  /// Pairwise |RSSI_i − RSSI_j| in dB over all client pairs sharing a cell.
+  std::vector<double> pairwise_disparity_db;
+
+  /// Fraction of same-cell pairs whose disparity lies within \p band_db of
+  /// the Fig. 4 ridge: the stronger client's SNR ≈ 2x the weaker's, i.e.
+  /// disparity ≈ weaker-SNR dB. Needs the noise floor to convert RSSI→SNR.
+  [[nodiscard]] double ridge_fraction(double noise_floor_dbm,
+                                      double band_db = 3.0) const;
+
+ private:
+  friend TraceStats compute_trace_stats(const RssiTrace& trace);
+  /// Per-pair (weaker SNR proxy, disparity) retained for ridge analysis.
+  std::vector<std::pair<double, double>> pair_weak_rssi_and_disparity_;
+};
+
+[[nodiscard]] TraceStats compute_trace_stats(const RssiTrace& trace);
+
+}  // namespace sic::trace
+
+#endif  // SICMAC_TRACE_STATS_HPP

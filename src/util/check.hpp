@@ -1,0 +1,42 @@
+#ifndef SICMAC_UTIL_CHECK_HPP
+#define SICMAC_UTIL_CHECK_HPP
+
+/// \file check.hpp
+/// Precondition checking. SIC_CHECK is always on (library boundary /
+/// programmer-error checks, per CppCoreGuidelines I.6); SIC_DCHECK compiles
+/// out in release hot paths.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sic::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SIC_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace sic::detail
+
+#define SIC_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) ::sic::detail::check_failed(#expr, __FILE__, __LINE__, {}); \
+  } while (false)
+
+#define SIC_CHECK_MSG(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::sic::detail::check_failed(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#ifdef NDEBUG
+#define SIC_DCHECK(expr) ((void)0)
+#else
+#define SIC_DCHECK(expr) SIC_CHECK(expr)
+#endif
+
+#endif  // SICMAC_UTIL_CHECK_HPP

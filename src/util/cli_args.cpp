@@ -1,0 +1,116 @@
+#include "util/cli_args.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sic {
+
+namespace {
+
+bool is_flag(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+double parse_double(const std::string& flag, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    throw std::runtime_error("flag --" + flag + ": not a number: " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  int i = 1;
+  if (i < argc && !is_flag(argv[i])) {
+    command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    const std::string token = argv[i];
+    if (!is_flag(token)) {
+      throw std::runtime_error("expected a --flag, got: " + token);
+    }
+    Entry entry;
+    entry.name = token.substr(2);
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      entry.value = std::string(argv[i + 1]);
+      i += 2;
+    } else {
+      ++i;
+    }
+    entries_.push_back(std::move(entry));
+  }
+}
+
+const ArgParser::Entry* ArgParser::find(const std::string& flag) const {
+  for (const auto& e : entries_) {
+    if (e.name == flag) {
+      e.queried = true;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return find(flag) != nullptr;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& flag) const {
+  const Entry* e = find(flag);
+  return e != nullptr ? e->value : std::nullopt;
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) const {
+  const auto v = get(flag);
+  return v.has_value() ? *v : fallback;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) const {
+  const auto v = get(flag);
+  if (!v.has_value()) return fallback;
+  return parse_double(flag, *v);
+}
+
+int ArgParser::get_int(const std::string& flag, int fallback) const {
+  return static_cast<int>(get_double(flag, fallback));
+}
+
+std::uint64_t ArgParser::get_u64(const std::string& flag,
+                                 std::uint64_t fallback) const {
+  const auto v = get(flag);
+  if (!v.has_value()) return fallback;
+  return static_cast<std::uint64_t>(parse_double(flag, *v));
+}
+
+std::vector<double> ArgParser::get_double_list(const std::string& flag) const {
+  std::vector<double> out;
+  const auto v = get(flag);
+  if (!v.has_value()) return out;
+  std::string text = *v;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string piece =
+        text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    if (!piece.empty()) out.push_back(parse_double(flag, piece));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (!e.queried) out.push_back(e.name);
+  }
+  return out;
+}
+
+}  // namespace sic

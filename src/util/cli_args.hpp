@@ -1,0 +1,55 @@
+#ifndef SICMAC_UTIL_CLI_ARGS_HPP
+#define SICMAC_UTIL_CLI_ARGS_HPP
+
+/// \file cli_args.hpp
+/// Minimal command-line flag parser for the sicmac CLI and the bench
+/// binaries: `--flag value` pairs and boolean `--flag` switches, plus one
+/// optional leading positional (the subcommand).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sic {
+
+class ArgParser {
+ public:
+  /// Parses argv[1..): a leading non-flag token becomes the command();
+  /// the rest are `--name [value]` pairs (a flag followed by another flag
+  /// or nothing is boolean).
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& command() const { return command_; }
+
+  [[nodiscard]] bool has(const std::string& flag) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& flag) const;
+  [[nodiscard]] std::string get_string(const std::string& flag,
+                                       const std::string& fallback) const;
+  /// Throws std::runtime_error on malformed numbers.
+  [[nodiscard]] double get_double(const std::string& flag,
+                                  double fallback) const;
+  [[nodiscard]] int get_int(const std::string& flag, int fallback) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& flag,
+                                      std::uint64_t fallback) const;
+  /// Comma-separated list of doubles, e.g. --clients 24,12,18.5.
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& flag) const;
+
+  /// Flags present on the command line but never queried — typo detection.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::optional<std::string> value;
+    mutable bool queried = false;
+  };
+  [[nodiscard]] const Entry* find(const std::string& flag) const;
+
+  std::string command_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sic
+
+#endif  // SICMAC_UTIL_CLI_ARGS_HPP

@@ -1,0 +1,31 @@
+#ifndef SICMAC_UTIL_MATHX_HPP
+#define SICMAC_UTIL_MATHX_HPP
+
+/// \file mathx.hpp
+/// Small math helpers shared across modules.
+
+#include <algorithm>
+#include <cmath>
+
+namespace sic {
+
+/// Relative/absolute tolerance comparison used by tests and by the
+/// completion-time algebra when deciding "equal bitrates".
+[[nodiscard]] inline bool approx_equal(double a, double b, double rel = 1e-9,
+                                       double abs = 1e-12) {
+  return std::fabs(a - b) <= std::max(abs, rel * std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// log2(1 + x) that is well conditioned for small x.
+[[nodiscard]] inline double log2_1p(double x) {
+  return std::log1p(x) / std::log(2.0);
+}
+
+/// Linear interpolation.
+[[nodiscard]] inline double lerp(double a, double b, double t) {
+  return a + (b - a) * t;
+}
+
+}  // namespace sic
+
+#endif  // SICMAC_UTIL_MATHX_HPP

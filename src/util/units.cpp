@@ -1,0 +1,28 @@
+#include "util/units.hpp"
+
+#include <limits>
+
+namespace sic {
+
+double airtime_seconds(double bits, BitsPerSecond rate) {
+  if (rate.value() <= 0.0) return std::numeric_limits<double>::infinity();
+  return bits / rate.value();
+}
+
+std::ostream& operator<<(std::ostream& os, Decibels v) {
+  return os << v.value() << " dB";
+}
+
+std::ostream& operator<<(std::ostream& os, Dbm v) {
+  return os << v.value() << " dBm";
+}
+
+std::ostream& operator<<(std::ostream& os, Milliwatts v) {
+  return os << v.value() << " mW";
+}
+
+std::ostream& operator<<(std::ostream& os, BitsPerSecond v) {
+  return os << v.megabits() << " Mbps";
+}
+
+}  // namespace sic

@@ -1,0 +1,151 @@
+#ifndef SICMAC_UTIL_UNITS_HPP
+#define SICMAC_UTIL_UNITS_HPP
+
+/// \file units.hpp
+/// Strong types for the physical quantities used throughout the library:
+/// linear power (milliwatts), logarithmic power (dBm), dimensionless ratios
+/// in decibels, bandwidth (hertz) and bitrate (bits per second).
+///
+/// The paper (Table 1) mixes linear RSS values (S_j^i), noise (N_0) and
+/// dB-domain reasoning ("twice in terms of SNR in dB"). Mixing the two
+/// domains silently is the classic source of bugs in link-budget code, so
+/// every quantity here is a distinct type and conversions are explicit.
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace sic {
+
+/// A dimensionless power ratio expressed in decibels (10*log10 of the
+/// linear ratio). Used for SNR/SINR values and path-loss attenuation.
+class Decibels {
+ public:
+  constexpr Decibels() = default;
+  constexpr explicit Decibels(double db) : db_(db) {}
+
+  [[nodiscard]] constexpr double value() const { return db_; }
+
+  /// Linear (unitless) ratio corresponding to this dB value.
+  [[nodiscard]] double linear() const { return std::pow(10.0, db_ / 10.0); }
+
+  /// Builds a Decibels value from a linear ratio. Requires ratio > 0.
+  [[nodiscard]] static Decibels from_linear(double ratio) {
+    return Decibels{10.0 * std::log10(ratio)};
+  }
+
+  constexpr Decibels operator+(Decibels o) const { return Decibels{db_ + o.db_}; }
+  constexpr Decibels operator-(Decibels o) const { return Decibels{db_ - o.db_}; }
+  constexpr Decibels operator-() const { return Decibels{-db_}; }
+  constexpr Decibels& operator+=(Decibels o) { db_ += o.db_; return *this; }
+  constexpr Decibels& operator-=(Decibels o) { db_ -= o.db_; return *this; }
+  constexpr Decibels operator*(double k) const { return Decibels{db_ * k}; }
+
+  constexpr auto operator<=>(const Decibels&) const = default;
+
+ private:
+  double db_ = 0.0;
+};
+
+/// Linear power in milliwatts. All SINR arithmetic (the additive
+/// interference terms of equations (1)-(4)) happens in this domain.
+class Milliwatts {
+ public:
+  constexpr Milliwatts() = default;
+  constexpr explicit Milliwatts(double mw) : mw_(mw) {}
+
+  [[nodiscard]] constexpr double value() const { return mw_; }
+
+  constexpr Milliwatts operator+(Milliwatts o) const { return Milliwatts{mw_ + o.mw_}; }
+  constexpr Milliwatts operator-(Milliwatts o) const { return Milliwatts{mw_ - o.mw_}; }
+  constexpr Milliwatts& operator+=(Milliwatts o) { mw_ += o.mw_; return *this; }
+  constexpr Milliwatts operator*(double k) const { return Milliwatts{mw_ * k}; }
+
+  /// Ratio of two linear powers (e.g. signal over noise) — dimensionless.
+  [[nodiscard]] constexpr double operator/(Milliwatts o) const { return mw_ / o.mw_; }
+
+  constexpr auto operator<=>(const Milliwatts&) const = default;
+
+ private:
+  double mw_ = 0.0;
+};
+
+/// Absolute power on the logarithmic scale referenced to 1 mW.
+class Dbm {
+ public:
+  constexpr Dbm() = default;
+  constexpr explicit Dbm(double dbm) : dbm_(dbm) {}
+
+  [[nodiscard]] constexpr double value() const { return dbm_; }
+
+  /// Attenuating (or amplifying) an absolute power by a dB ratio keeps it
+  /// an absolute power.
+  constexpr Dbm operator+(Decibels gain) const { return Dbm{dbm_ + gain.value()}; }
+  constexpr Dbm operator-(Decibels loss) const { return Dbm{dbm_ - loss.value()}; }
+
+  /// Difference of two absolute powers is a ratio.
+  constexpr Decibels operator-(Dbm o) const { return Decibels{dbm_ - o.dbm_}; }
+
+  [[nodiscard]] Milliwatts to_milliwatts() const {
+    return Milliwatts{std::pow(10.0, dbm_ / 10.0)};
+  }
+
+  [[nodiscard]] static Dbm from_milliwatts(Milliwatts p) {
+    return Dbm{10.0 * std::log10(p.value())};
+  }
+
+  constexpr auto operator<=>(const Dbm&) const = default;
+
+ private:
+  double dbm_ = 0.0;
+};
+
+/// Channel bandwidth in hertz.
+class Hertz {
+ public:
+  constexpr Hertz() = default;
+  constexpr explicit Hertz(double hz) : hz_(hz) {}
+  [[nodiscard]] constexpr double value() const { return hz_; }
+  constexpr auto operator<=>(const Hertz&) const = default;
+
+ private:
+  double hz_ = 0.0;
+};
+
+constexpr Hertz megahertz(double mhz) { return Hertz{mhz * 1e6}; }
+
+/// Bitrate in bits per second.
+class BitsPerSecond {
+ public:
+  constexpr BitsPerSecond() = default;
+  constexpr explicit BitsPerSecond(double bps) : bps_(bps) {}
+  [[nodiscard]] constexpr double value() const { return bps_; }
+  [[nodiscard]] constexpr double megabits() const { return bps_ / 1e6; }
+
+  constexpr BitsPerSecond operator+(BitsPerSecond o) const {
+    return BitsPerSecond{bps_ + o.bps_};
+  }
+  constexpr auto operator<=>(const BitsPerSecond&) const = default;
+
+ private:
+  double bps_ = 0.0;
+};
+
+constexpr BitsPerSecond megabits_per_second(double mbps) {
+  return BitsPerSecond{mbps * 1e6};
+}
+
+/// Airtime of a payload of \p bits at \p rate, in seconds.
+/// Returns +infinity when the rate is zero (undecodable link), which the
+/// completion-time algebra of Section 3 relies on: an infeasible branch
+/// never wins a min().
+[[nodiscard]] double airtime_seconds(double bits, BitsPerSecond rate);
+
+std::ostream& operator<<(std::ostream& os, Decibels v);
+std::ostream& operator<<(std::ostream& os, Dbm v);
+std::ostream& operator<<(std::ostream& os, Milliwatts v);
+std::ostream& operator<<(std::ostream& os, BitsPerSecond v);
+
+}  // namespace sic
+
+#endif  // SICMAC_UTIL_UNITS_HPP

@@ -1,0 +1,105 @@
+#include "phy/capacity_region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace sic::phy {
+namespace {
+
+constexpr Hertz kB = megahertz(20.0);
+constexpr Milliwatts kN0{1.0};
+
+CapacityRegion region_db(double s1_db, double s2_db) {
+  return CapacityRegion{kB, Milliwatts{Decibels{s1_db}.linear()},
+                        Milliwatts{Decibels{s2_db}.linear()}, kN0};
+}
+
+TEST(CapacityRegion, CornersSitOnSumFace) {
+  const auto region = region_db(20.0, 12.0);
+  for (const RatePair& corner : {region.corner_user1_decoded_first(),
+                                 region.corner_user2_decoded_first()}) {
+    EXPECT_NEAR(corner.r1.value() + corner.r2.value(),
+                region.sum_capacity().value(),
+                region.sum_capacity().value() * 1e-12);
+    EXPECT_TRUE(region.contains(corner));
+  }
+}
+
+TEST(CapacityRegion, CornersMatchSicRateEquations) {
+  const auto region = region_db(20.0, 12.0);
+  const auto arrival = TwoSignalArrival::make(
+      Milliwatts{Decibels{20.0}.linear()}, Milliwatts{Decibels{12.0}.linear()},
+      kN0);
+  // "User 1 decoded first" with user 1 the stronger signal = the paper's
+  // SIC corner: eq (1) for the stronger, eq (2) for the weaker.
+  const auto corner = region.corner_user1_decoded_first();
+  EXPECT_DOUBLE_EQ(corner.r1.value(), sic_rate_stronger(kB, arrival).value());
+  EXPECT_DOUBLE_EQ(corner.r2.value(), sic_rate_weaker(kB, arrival).value());
+}
+
+TEST(CapacityRegion, DominantFaceInterpolatesCorners) {
+  const auto region = region_db(25.0, 10.0);
+  const auto a = region.corner_user1_decoded_first();
+  const auto b = region.corner_user2_decoded_first();
+  const auto mid = region.dominant_face_point(0.5);
+  EXPECT_NEAR(mid.r1.value(), 0.5 * (a.r1.value() + b.r1.value()),
+              mid.r1.value() * 1e-12);
+  EXPECT_NEAR(mid.r1.value() + mid.r2.value(),
+              region.sum_capacity().value(),
+              region.sum_capacity().value() * 1e-12);
+  EXPECT_TRUE(region.contains(mid));
+  EXPECT_DOUBLE_EQ(region.dominant_face_point(0.0).r1.value(), a.r1.value());
+  EXPECT_NEAR(region.dominant_face_point(1.0).r2.value(), b.r2.value(),
+              b.r2.value() * 1e-12);
+}
+
+TEST(CapacityRegion, ContainsRejectsOutside) {
+  const auto region = region_db(20.0, 12.0);
+  EXPECT_FALSE(region.contains(
+      RatePair{BitsPerSecond{region.max_r1().value() * 1.01},
+               BitsPerSecond{0.0}}));
+  EXPECT_FALSE(region.contains(
+      RatePair{region.max_r1(), region.max_r2()}));  // violates sum face
+  EXPECT_FALSE(region.contains(RatePair{BitsPerSecond{-1.0},
+                                        BitsPerSecond{0.0}}));
+  EXPECT_TRUE(region.contains(RatePair{BitsPerSecond{0.0}, BitsPerSecond{0.0}}));
+}
+
+TEST(CapacityRegion, SicBeatsTimeSharingStrictlyInside) {
+  // The whole point of Section 2: the SIC corners lie strictly outside the
+  // TDMA (time-sharing) region whenever both signals are live.
+  Rng rng{5};
+  for (int i = 0; i < 200; ++i) {
+    const auto region =
+        region_db(rng.uniform(3.0, 40.0), rng.uniform(3.0, 40.0));
+    const auto corner = region.corner_user1_decoded_first();
+    EXPECT_TRUE(region.contains(corner));
+    EXPECT_FALSE(region.achievable_by_time_sharing(corner))
+        << "SIC corner should beat TDMA";
+  }
+}
+
+TEST(CapacityRegion, TimeSharingRegionIsInsideRegion) {
+  Rng rng{6};
+  const auto region = region_db(22.0, 14.0);
+  for (int i = 0; i < 200; ++i) {
+    const double t = rng.uniform(0.0, 1.0);
+    const RatePair tdma{
+        BitsPerSecond{t * region.max_r1().value()},
+        BitsPerSecond{(1.0 - t) * region.max_r2().value()}};
+    EXPECT_TRUE(region.achievable_by_time_sharing(tdma));
+    EXPECT_TRUE(region.contains(tdma));
+  }
+}
+
+TEST(CapacityRegion, DegenerateSilentUser) {
+  const auto region = region_db(20.0, -300.0);  // user 2 effectively silent
+  EXPECT_NEAR(region.sum_capacity().value(), region.max_r1().value(),
+              region.max_r1().value() * 1e-9);
+  const auto corner = region.corner_user2_decoded_first();
+  EXPECT_DOUBLE_EQ(corner.r1.value(), region.max_r1().value());
+}
+
+}  // namespace
+}  // namespace sic::phy

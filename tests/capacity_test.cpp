@@ -1,0 +1,150 @@
+#include "phy/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace sic::phy {
+namespace {
+
+constexpr Hertz kB = megahertz(20.0);
+constexpr Milliwatts kN0{1.0};
+
+TwoSignalArrival arrival_db(double s1_db, double s2_db) {
+  return TwoSignalArrival::make(Milliwatts{Decibels{s1_db}.linear()},
+                                Milliwatts{Decibels{s2_db}.linear()}, kN0);
+}
+
+TEST(ShannonRate, MatchesClosedForm) {
+  // SNR 15 dB over 20 MHz: r = 20e6 * log2(1 + 31.62...) ≈ 100.7 Mbps.
+  const auto r = shannon_rate(kB, Milliwatts{Decibels{15.0}.linear()}, kN0);
+  EXPECT_NEAR(r.value(), 20e6 * std::log2(1.0 + Decibels{15.0}.linear()),
+              1.0);
+}
+
+TEST(ShannonRate, ZeroSignalIsZeroRate) {
+  EXPECT_DOUBLE_EQ(shannon_rate(kB, Milliwatts{0.0}, kN0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(shannon_rate(kB, -1.0).value(), 0.0);
+}
+
+TEST(ShannonRate, MonotoneInSinr) {
+  double prev = 0.0;
+  for (double snr_db = -10.0; snr_db <= 40.0; snr_db += 1.0) {
+    const double r = shannon_rate(kB, Decibels{snr_db}.linear()).value();
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Sinr, Definition) {
+  EXPECT_DOUBLE_EQ(sinr(Milliwatts{10.0}, Milliwatts{4.0}, Milliwatts{1.0}),
+                   2.0);
+  EXPECT_DOUBLE_EQ(sinr(Milliwatts{10.0}, Milliwatts{0.0}, Milliwatts{2.0}),
+                   5.0);
+}
+
+TEST(TwoSignalArrival, NormalizesOrder) {
+  const auto a = TwoSignalArrival::make(Milliwatts{1.0}, Milliwatts{5.0}, kN0);
+  EXPECT_DOUBLE_EQ(a.stronger.value(), 5.0);
+  EXPECT_DOUBLE_EQ(a.weaker.value(), 1.0);
+}
+
+TEST(SicRates, Equation1And2) {
+  const auto a = arrival_db(20.0, 10.0);
+  // eq (1): stronger limited by weaker-as-interference.
+  const double expected1 =
+      kB.value() * log2_1p(a.stronger.value() / (a.weaker.value() + 1.0));
+  EXPECT_NEAR(sic_rate_stronger(kB, a).value(), expected1, 1.0);
+  // eq (2): weaker clean after cancellation.
+  const double expected2 = kB.value() * log2_1p(a.weaker.value());
+  EXPECT_NEAR(sic_rate_weaker(kB, a).value(), expected2, 1.0);
+}
+
+TEST(SicRates, StrongerMayNeedLowerRateThanWeaker) {
+  // Section 2.2's irony: similar RSS ⇒ the stronger tx gets the lower rate.
+  const auto a = arrival_db(21.0, 20.0);
+  EXPECT_LT(sic_rate_stronger(kB, a).value(), sic_rate_weaker(kB, a).value());
+}
+
+TEST(SicRates, ResidualZeroMatchesPerfectCancellation) {
+  const auto a = arrival_db(25.0, 12.0);
+  EXPECT_DOUBLE_EQ(sic_rate_weaker_residual(kB, a, 0.0).value(),
+                   sic_rate_weaker(kB, a).value());
+}
+
+TEST(SicRates, ResidualDegradesWeakerRate) {
+  const auto a = arrival_db(25.0, 12.0);
+  double prev = sic_rate_weaker_residual(kB, a, 0.0).value();
+  for (const double res : {0.001, 0.01, 0.1, 1.0}) {
+    const double r = sic_rate_weaker_residual(kB, a, res).value();
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Capacity, Equation4ClosedFormEqualsSumOfRates) {
+  // C₊SIC = eq(1) + eq(2) identically (the paper's eq (4) identity).
+  for (double s1 = 0.0; s1 <= 40.0; s1 += 5.0) {
+    for (double s2 = 0.0; s2 <= s1; s2 += 5.0) {
+      const auto a = arrival_db(s1, s2);
+      const double sum =
+          sic_rate_stronger(kB, a).value() + sic_rate_weaker(kB, a).value();
+      EXPECT_NEAR(capacity_with_sic(kB, a).value(), sum, sum * 1e-12 + 1e-6)
+          << "s1=" << s1 << " s2=" << s2;
+    }
+  }
+}
+
+TEST(Capacity, WithSicBeatsIndividualCapacities) {
+  for (double s1 = 5.0; s1 <= 40.0; s1 += 5.0) {
+    for (double s2 = 5.0; s2 <= 40.0; s2 += 5.0) {
+      const auto a = arrival_db(s1, s2);
+      EXPECT_GT(capacity_with_sic(kB, a).value(),
+                capacity_without_sic(kB, a).value());
+    }
+  }
+}
+
+TEST(Capacity, GainBoundedByTwo) {
+  // Fig. 3: gain in (1, 2); approaches 2 only at vanishing equal SNRs.
+  for (double s1 = -10.0; s1 <= 40.0; s1 += 2.5) {
+    for (double s2 = -10.0; s2 <= 40.0; s2 += 2.5) {
+      const double g = capacity_gain(kB, arrival_db(s1, s2));
+      EXPECT_GT(g, 1.0);
+      EXPECT_LT(g, 2.0);
+    }
+  }
+}
+
+TEST(Capacity, GainApproachesTwoAtLowEqualSnr) {
+  EXPECT_NEAR(capacity_gain(kB, arrival_db(-30.0, -30.0)), 2.0, 0.01);
+}
+
+TEST(Capacity, GainLargerWhenRssSimilarAndSmall) {
+  // Fig. 3's two monotonicities, sampled.
+  const double g_similar = capacity_gain(kB, arrival_db(10.0, 10.0));
+  const double g_disparate = capacity_gain(kB, arrival_db(30.0, 10.0));
+  EXPECT_GT(g_similar, g_disparate);
+  const double g_small = capacity_gain(kB, arrival_db(5.0, 5.0));
+  const double g_large = capacity_gain(kB, arrival_db(25.0, 25.0));
+  EXPECT_GT(g_small, g_large);
+}
+
+/// Property sweep: the gain is symmetric in (S¹, S²) by construction.
+class CapacitySymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(CapacitySymmetry, GainSymmetricUnderSwap) {
+  const double s1 = GetParam();
+  for (double s2 = -5.0; s2 <= 40.0; s2 += 5.0) {
+    EXPECT_DOUBLE_EQ(capacity_gain(kB, arrival_db(s1, s2)),
+                     capacity_gain(kB, arrival_db(s2, s1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, CapacitySymmetry,
+                         ::testing::Values(-5.0, 0.0, 10.0, 20.0, 35.0));
+
+}  // namespace
+}  // namespace sic::phy

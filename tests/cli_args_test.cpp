@@ -1,0 +1,81 @@
+#include "util/cli_args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sic {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"sicmac"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser{static_cast<int>(argv.size()), argv.data()};
+}
+
+TEST(ArgParser, CommandAndFlags) {
+  const auto p = parse({"pair", "--s1", "24", "--s2", "12", "--verbose"});
+  EXPECT_EQ(p.command(), "pair");
+  EXPECT_DOUBLE_EQ(p.get_double("s1", 0.0), 24.0);
+  EXPECT_DOUBLE_EQ(p.get_double("s2", 0.0), 12.0);
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("quiet"));
+}
+
+TEST(ArgParser, NoCommand) {
+  const auto p = parse({"--trials", "100"});
+  EXPECT_TRUE(p.command().empty());
+  EXPECT_EQ(p.get_int("trials", 0), 100);
+}
+
+TEST(ArgParser, Defaults) {
+  const auto p = parse({"run"});
+  EXPECT_DOUBLE_EQ(p.get_double("missing", 3.5), 3.5);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_EQ(p.get_string("missing", "x"), "x");
+  EXPECT_EQ(p.get_u64("missing", 42u), 42u);
+  EXPECT_TRUE(p.get_double_list("missing").empty());
+}
+
+TEST(ArgParser, DoubleList) {
+  const auto p = parse({"schedule", "--clients", "24,12,18.5"});
+  const auto xs = p.get_double_list("clients");
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], 24.0);
+  EXPECT_DOUBLE_EQ(xs[2], 18.5);
+}
+
+TEST(ArgParser, BooleanFlagFollowedByFlag) {
+  const auto p = parse({"x", "--fast", "--seed", "9"});
+  EXPECT_TRUE(p.has("fast"));
+  EXPECT_FALSE(p.get("fast").has_value());
+  EXPECT_EQ(p.get_u64("seed", 0), 9u);
+}
+
+TEST(ArgParser, NegativeNumbersAreValues) {
+  // "-5" is not a --flag, so it binds as a value.
+  const auto p = parse({"x", "--snr", "-5"});
+  EXPECT_DOUBLE_EQ(p.get_double("snr", 0.0), -5.0);
+}
+
+TEST(ArgParser, MalformedNumberThrows) {
+  const auto p = parse({"x", "--snr", "abc"});
+  EXPECT_THROW((void)p.get_double("snr", 0.0), std::runtime_error);
+}
+
+TEST(ArgParser, StrayPositionalRejected) {
+  std::vector<const char*> argv{"sicmac", "cmd", "oops"};
+  EXPECT_THROW(ArgParser(static_cast<int>(argv.size()), argv.data()),
+               std::runtime_error);
+}
+
+TEST(ArgParser, UnknownFlagDetection) {
+  const auto p = parse({"x", "--used", "1", "--typo", "2"});
+  (void)p.get_double("used", 0.0);
+  const auto unknown = p.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace sic

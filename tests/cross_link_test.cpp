@@ -1,0 +1,134 @@
+#include "core/cross_link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+channel::TwoLinkRss rss_db(double s11, double s12, double s21, double s22) {
+  return channel::TwoLinkRss{
+      Milliwatts{Decibels{s11}.linear()}, Milliwatts{Decibels{s12}.linear()},
+      Milliwatts{Decibels{s21}.linear()}, Milliwatts{Decibels{s22}.linear()},
+      Milliwatts{1.0}};
+}
+
+TEST(CrossLink, ClassificationCoversFigFiveCases) {
+  EXPECT_EQ(classify_cross_link(rss_db(30, 10, 10, 30)),
+            CrossLinkCase::kCaptureBoth);  // (a)
+  EXPECT_EQ(classify_cross_link(rss_db(30, 10, 35, 20)),
+            CrossLinkCase::kSicAtR2);  // (b): R2 hears T1 louder
+  EXPECT_EQ(classify_cross_link(rss_db(10, 30, 10, 30)),
+            CrossLinkCase::kSicAtR1);  // (c)
+  EXPECT_EQ(classify_cross_link(rss_db(10, 30, 35, 20)),
+            CrossLinkCase::kSicAtBoth);  // (d)
+}
+
+TEST(CrossLink, CaptureCaseHasNoSicGain) {
+  const auto r = evaluate_cross_link(rss_db(30, 10, 10, 30), kShannon);
+  EXPECT_EQ(r.kase, CrossLinkCase::kCaptureBoth);
+  EXPECT_FALSE(r.sic_feasible);
+  EXPECT_DOUBLE_EQ(r.gain, 1.0);
+  EXPECT_TRUE(std::isinf(r.concurrent_airtime));
+}
+
+TEST(CrossLink, CaseBFeasibilityCondition) {
+  // Paper: SIC feasible at R2 iff S₂¹/(S₂²+N₀) > S₁¹/(S₁²+N₀).
+  // Feasible example: T1 strong at R1 (30 vs 10) and very strong at R2.
+  const auto feasible = evaluate_cross_link(rss_db(30, 10, 45, 25), kShannon);
+  EXPECT_EQ(feasible.kase, CrossLinkCase::kSicAtR2);
+  EXPECT_TRUE(feasible.sic_feasible);
+  // Infeasible: T1 barely louder than T2 at R2.
+  const auto infeasible =
+      evaluate_cross_link(rss_db(30, 10, 26, 25), kShannon);
+  EXPECT_EQ(infeasible.kase, CrossLinkCase::kSicAtR2);
+  EXPECT_FALSE(infeasible.sic_feasible);
+  EXPECT_DOUBLE_EQ(infeasible.gain, 1.0);
+}
+
+TEST(CrossLink, CaseCMirrorsCaseB) {
+  const auto rss = rss_db(30, 10, 45, 25);
+  const auto b = evaluate_cross_link(rss, kShannon);
+  const auto c = evaluate_cross_link(rss.mirrored(), kShannon);
+  EXPECT_EQ(c.kase, CrossLinkCase::kSicAtR1);
+  EXPECT_EQ(b.sic_feasible, c.sic_feasible);
+  EXPECT_NEAR(b.gain, c.gain, 1e-12);
+  EXPECT_NEAR(b.concurrent_airtime, c.concurrent_airtime, 1e-15);
+}
+
+TEST(CrossLink, CaseDNeedsBothConditions) {
+  // Fig. 5d: each receiver closer to the foreign transmitter. Make the
+  // cross gains huge so both conditions hold: S₂¹/(S₂²+1) > S₁¹ and
+  // S₁²/(S₁¹+1) > S₂² (linear, noise-normalized).
+  // s11=6dB (4x), s22=6dB; cross RSS 40 dB (1e4).
+  const auto feasible = evaluate_cross_link(rss_db(6, 40, 40, 6), kShannon);
+  EXPECT_EQ(feasible.kase, CrossLinkCase::kSicAtBoth);
+  EXPECT_TRUE(feasible.sic_feasible);
+  EXPECT_GT(feasible.gain, 1.0);
+  // Weaken one cross link: the asymmetric condition fails.
+  const auto infeasible = evaluate_cross_link(rss_db(6, 40, 8, 6), kShannon);
+  EXPECT_EQ(infeasible.kase, CrossLinkCase::kSicAtBoth);
+  EXPECT_FALSE(infeasible.sic_feasible);
+}
+
+TEST(CrossLink, CaseDConcurrentIsEquation9) {
+  const auto rss = rss_db(6, 40, 40, 6);
+  const auto r = evaluate_cross_link(rss, kShannon, 12000.0);
+  const double r1 = kShannon.rate(rss.s11 / rss.noise).value();
+  const double r2 = kShannon.rate(rss.s22 / rss.noise).value();
+  EXPECT_NEAR(r.concurrent_airtime,
+              std::max(12000.0 / r1, 12000.0 / r2), 1e-12);
+  // And Z₋ is the sum of the same two terms.
+  EXPECT_NEAR(r.serial_airtime, 12000.0 / r1 + 12000.0 / r2, 1e-12);
+}
+
+TEST(CrossLink, GainAlwaysAtLeastOne) {
+  Rng rng{12};
+  for (int i = 0; i < 2000; ++i) {
+    const auto rss = rss_db(rng.uniform(0.0, 45.0), rng.uniform(0.0, 45.0),
+                            rng.uniform(0.0, 45.0), rng.uniform(0.0, 45.0));
+    const auto r = evaluate_cross_link(rss, kShannon);
+    EXPECT_GE(r.gain, 1.0);
+    if (!r.sic_feasible) {
+      EXPECT_DOUBLE_EQ(r.gain, 1.0);
+    }
+  }
+}
+
+TEST(CrossLink, SerialAirtimeUsesCleanRates) {
+  const auto rss = rss_db(20, 5, 5, 25);
+  const auto r = evaluate_cross_link(rss, kShannon, 6000.0);
+  const double expect =
+      6000.0 / kShannon.rate(Decibels{20.0}.linear()).value() +
+      6000.0 / kShannon.rate(Decibels{25.0}.linear()).value();
+  EXPECT_NEAR(r.serial_airtime, expect, 1e-12);
+}
+
+TEST(CrossLink, PackingGainDominatesPlainGain) {
+  Rng rng{13};
+  for (int i = 0; i < 500; ++i) {
+    const auto rss = rss_db(rng.uniform(0.0, 45.0), rng.uniform(0.0, 45.0),
+                            rng.uniform(0.0, 45.0), rng.uniform(0.0, 45.0));
+    const double plain = evaluate_cross_link(rss, kShannon).gain;
+    const double packed = cross_link_packing_gain(rss, kShannon);
+    EXPECT_GE(packed + 1e-12, plain);
+  }
+}
+
+TEST(CrossLink, SectionThreeTwoWorkedExample) {
+  // The 40/50/30 dB example of Section 3.2 (case c: interference stronger
+  // at R1): T2→R2 at the rate of a 30 dB link is NOT decodable at R1
+  // (SINR 10 dB), so concurrent SIC for the pair is infeasible.
+  const auto rss = rss_db(40, 50, /*s21: T1 at R2, weak*/ 5, 30);
+  const auto r = evaluate_cross_link(rss, kShannon);
+  EXPECT_EQ(r.kase, CrossLinkCase::kSicAtR1);
+  EXPECT_FALSE(r.sic_feasible);
+}
+
+}  // namespace
+}  // namespace sic::core

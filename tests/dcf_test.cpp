@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/access_point.hpp"
+#include "mac/station.hpp"
+
+namespace sic::mac {
+namespace {
+
+constexpr Milliwatts kN0{1.0};
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+struct Harness {
+  explicit Harness(int n_clients, bool sic = true) {
+    phy::SicDecoderConfig decoder;
+    decoder.sic_capable = sic;
+    medium = std::make_unique<Medium>(queue, n_clients + 1, kN0, kShannon,
+                                      decoder);
+    ap = std::make_unique<AccessPoint>(queue, *medium, 0);
+  }
+
+  void add_station(double snr_db, int frames, std::uint64_t seed) {
+    const MacNodeId id = static_cast<MacNodeId>(stations.size()) + 1;
+    medium->set_gain(0, id, Milliwatts{Decibels{snr_db}.linear()});
+    for (const auto& other : stations) {
+      medium->set_gain(other->id(), id,
+                       Milliwatts{Decibels{25.0}.linear()});
+    }
+    const auto rate = kShannon.rate(Decibels{snr_db}.linear());
+    auto st =
+        std::make_unique<DcfStation>(queue, *medium, id, 0, rate, Rng{seed});
+    st->enqueue(frames, 12000.0);
+    stations.push_back(std::move(st));
+  }
+
+  void run(double seconds = 60.0) {
+    for (auto& st : stations) st->start();
+    queue.run_until(from_seconds(seconds));
+  }
+
+  EventQueue queue;
+  std::unique_ptr<Medium> medium;
+  std::unique_ptr<AccessPoint> ap;
+  std::vector<std::unique_ptr<DcfStation>> stations;
+};
+
+TEST(Dcf, SingleStationDeliversAllFrames) {
+  Harness h{1};
+  h.add_station(25.0, 5, 1);
+  h.run();
+  EXPECT_TRUE(h.stations[0]->done());
+  EXPECT_EQ(h.stations[0]->stats().delivered, 5u);
+  EXPECT_EQ(h.stations[0]->stats().retries, 0u);
+  EXPECT_EQ(h.ap->received_from(1), 5u);
+  EXPECT_EQ(h.ap->stats().acks_sent, 5u);
+}
+
+TEST(Dcf, SingleStationTimingIsSane) {
+  Harness h{1};
+  h.add_station(25.0, 10, 2);
+  h.run();
+  // 10 frames of 12 kb at ~166 Mbps plus MAC overheads: well under 0.1 s,
+  // but strictly more than the raw airtime.
+  const double raw_airtime =
+      10.0 * (12000.0 / kShannon.rate(Decibels{25.0}.linear()).value());
+  EXPECT_GT(h.stations[0]->stats().completion_time,
+            from_seconds(raw_airtime));
+  EXPECT_LT(h.stations[0]->stats().completion_time, from_seconds(0.1));
+}
+
+TEST(Dcf, TwoStationsShareChannelCleanly) {
+  Harness h{2};
+  h.add_station(25.0, 10, 3);
+  h.add_station(20.0, 10, 4);
+  h.run();
+  EXPECT_EQ(h.ap->received_from(1), 10u);
+  EXPECT_EQ(h.ap->received_from(2), 10u);
+  EXPECT_TRUE(h.stations[0]->done());
+  EXPECT_TRUE(h.stations[1]->done());
+}
+
+TEST(Dcf, ManyStationsEventuallyDrain) {
+  Harness h{6};
+  for (int i = 0; i < 6; ++i) {
+    h.add_station(15.0 + 3.0 * i, 4, 10 + static_cast<std::uint64_t>(i));
+  }
+  h.run(120.0);
+  std::uint64_t delivered = 0;
+  for (const auto& st : h.stations) {
+    delivered += st->stats().delivered;
+  }
+  // Collisions may drop a few frames after max retries, but the channel
+  // must not deadlock.
+  EXPECT_GT(delivered, 18u);
+  for (const auto& st : h.stations) {
+    EXPECT_TRUE(st->done());
+  }
+}
+
+TEST(Dcf, SicApRecoversMoreCollisionsThanPlainAp) {
+  // Same traffic, same seeds; the SIC-capable AP should salvage at least
+  // as many collision frames (via capture + cancellation) as the plain AP.
+  auto run_once = [](bool sic) {
+    Harness h{4, sic};
+    // Rate pairs chosen so collided pairs are often SIC-decodable: stations
+    // transmit at HALF their clean feasible rate (practical margin).
+    for (int i = 0; i < 4; ++i) {
+      const double snr_db = 14.0 + 6.0 * i;
+      const MacNodeId id = i + 1;
+      h.medium->set_gain(0, id, Milliwatts{Decibels{snr_db}.linear()});
+      for (int j = 1; j < id; ++j) {
+        h.medium->set_gain(j, id, Milliwatts{Decibels{25.0}.linear()});
+      }
+      const auto half_rate = BitsPerSecond{
+          kShannon.rate(Decibels{snr_db}.linear()).value() * 0.5};
+      auto st = std::make_unique<DcfStation>(h.queue, *h.medium, id, 0,
+                                             half_rate, Rng{static_cast<std::uint64_t>(77 + i)});
+      st->enqueue(8, 12000.0);
+      h.stations.push_back(std::move(st));
+    }
+    h.run(120.0);
+    return h.medium->stats();
+  };
+  const MediumStats with_sic = run_once(true);
+  const MediumStats without = run_once(false);
+  EXPECT_GE(with_sic.sic_decodes, 0u);
+  EXPECT_EQ(without.sic_decodes, 0u);
+  // SIC never reduces the delivered count under identical dynamics; the
+  // dynamics differ slightly (earlier ACKs change timing), so compare the
+  // collision-salvage ratios instead of raw counts.
+  const double salvage_with =
+      static_cast<double>(with_sic.capture_decodes + with_sic.sic_decodes);
+  const double salvage_without = static_cast<double>(without.capture_decodes);
+  EXPECT_GE(salvage_with, salvage_without);
+}
+
+TEST(Dcf, DropsAfterMaxRetries) {
+  // A station whose rate is infeasible never gets an ACK and must drop
+  // after max_retries, not hang.
+  Harness h{1};
+  const MacNodeId id = 1;
+  h.medium->set_gain(0, id, Milliwatts{Decibels{10.0}.linear()});
+  const auto too_fast = BitsPerSecond{
+      kShannon.rate(Decibels{10.0}.linear()).value() * 2.0};
+  auto st = std::make_unique<DcfStation>(h.queue, *h.medium, id, 0, too_fast,
+                                         Rng{5});
+  st->enqueue(2, 12000.0);
+  h.stations.push_back(std::move(st));
+  h.run(60.0);
+  EXPECT_TRUE(h.stations[0]->done());
+  EXPECT_EQ(h.stations[0]->stats().drops, 2u);
+  EXPECT_EQ(h.stations[0]->stats().delivered, 0u);
+}
+
+}  // namespace
+}  // namespace sic::mac

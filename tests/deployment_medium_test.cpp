@@ -1,0 +1,91 @@
+/// The Deployment→Medium bridge, and a live two-cell EWLAN simulation on
+/// top of it: co-channel cells contending on one floor.
+
+#include "mac/deployment_medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mac/access_point.hpp"
+#include "mac/station.hpp"
+
+namespace sic::mac {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+TEST(DeploymentMedium, GainsMatchDeploymentRss) {
+  const auto ewlan = topology::make_ewlan();
+  EventQueue queue;
+  const auto medium = make_medium_from_deployment(queue, ewlan, kShannon);
+  for (const auto& from : ewlan.nodes) {
+    for (const auto& to : ewlan.nodes) {
+      if (from.id == to.id) continue;
+      EXPECT_DOUBLE_EQ(
+          medium->gain(static_cast<MacNodeId>(from.id),
+                       static_cast<MacNodeId>(to.id)).value(),
+          ewlan.rss(from, to).value());
+    }
+  }
+  EXPECT_DOUBLE_EQ(medium->noise().value(), ewlan.noise().value());
+}
+
+TEST(DeploymentMedium, AsymmetricPowersGiveAsymmetricGains) {
+  auto chain = topology::make_mesh_chain();
+  chain.nodes[0].tx_power = Dbm{30.0};  // A runs hot
+  chain.nodes[1].tx_power = Dbm{10.0};  // C runs cold
+  EventQueue queue;
+  const auto medium = make_medium_from_deployment(queue, chain, kShannon);
+  EXPECT_GT(medium->gain(0, 1).value(), medium->gain(1, 0).value());
+}
+
+TEST(DeploymentMedium, TwoCellEwlanUploadRuns) {
+  // Full-floor simulation: both cells' clients contend co-channel; each
+  // AP serves its own clients. Everyone is within carrier sense on the
+  // default floor, so DCF serializes the whole floor and all frames land.
+  const auto ewlan = topology::make_ewlan(/*ap_separation_m=*/30.0,
+                                          /*cell_radius_m=*/12.0, /*seed=*/3);
+  EventQueue queue;
+  const auto medium = make_medium_from_deployment(queue, ewlan, kShannon);
+  AccessPoint ap1{queue, *medium, 0};
+  AccessPoint ap2{queue, *medium, 1};
+
+  std::vector<std::unique_ptr<DcfStation>> stations;
+  const auto add = [&](MacNodeId client, MacNodeId ap, std::uint64_t seed) {
+    const double snr =
+        ewlan.rss(ewlan.nodes[static_cast<std::size_t>(client)],
+                  ewlan.nodes[static_cast<std::size_t>(ap)]) /
+        ewlan.noise();
+    auto st = std::make_unique<DcfStation>(queue, *medium, client, ap,
+                                           kShannon.rate(snr), Rng{seed});
+    st->enqueue(5, 12000.0);
+    st->start();
+    stations.push_back(std::move(st));
+  };
+  add(2, 0, 1);
+  add(3, 0, 2);
+  add(4, 1, 3);
+  add(5, 1, 4);
+
+  queue.run_until(from_seconds(60.0));
+
+  EXPECT_EQ(ap1.received_from(2) + ap1.received_from(3), 10u);
+  EXPECT_EQ(ap2.received_from(4) + ap2.received_from(5), 10u);
+  for (const auto& st : stations) {
+    EXPECT_TRUE(st->done());
+    EXPECT_EQ(st->stats().drops, 0u);
+  }
+}
+
+TEST(DeploymentMedium, RejectsNonContiguousIds) {
+  topology::Deployment bad;
+  bad.nodes.push_back(topology::Node{5, topology::NodeRole::kClient, {}});
+  EventQueue queue;
+  EXPECT_THROW((void)make_medium_from_deployment(queue, bad, kShannon),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::mac

@@ -1,0 +1,112 @@
+#include "phy/error_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/rate_table.hpp"
+
+namespace sic::phy {
+namespace {
+
+TEST(ErrorModel, BerMonotoneDecreasingInSinr) {
+  for (const Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                             Modulation::kQam16, Modulation::kQam64}) {
+    double prev = 1.0;
+    for (double db = -5.0; db <= 35.0; db += 1.0) {
+      const double ber = bit_error_rate(m, Decibels{db}.linear());
+      EXPECT_LE(ber, prev + 1e-15) << to_string(m) << " at " << db;
+      prev = ber;
+    }
+  }
+}
+
+TEST(ErrorModel, DenserConstellationsNeedMoreSinr) {
+  // At a fixed SINR, BER ordering: BPSK <= QPSK <= 16QAM <= 64QAM.
+  const double sinr = Decibels{12.0}.linear();
+  const double bpsk = bit_error_rate(Modulation::kBpsk, sinr);
+  const double qpsk = bit_error_rate(Modulation::kQpsk, sinr);
+  const double qam16 = bit_error_rate(Modulation::kQam16, sinr);
+  const double qam64 = bit_error_rate(Modulation::kQam64, sinr);
+  EXPECT_LT(bpsk, qpsk);
+  EXPECT_LT(qpsk, qam16);
+  EXPECT_LT(qam16, qam64);
+}
+
+TEST(ErrorModel, BpskBerKnownValue) {
+  // BER = Q(sqrt(2*SNR)); at SNR = 9.6 dB (Eb/N0 for 1e-5): ~1e-5.
+  const double ber = bit_error_rate(Modulation::kBpsk, Decibels{9.6}.linear());
+  EXPECT_GT(ber, 1e-6);
+  EXPECT_LT(ber, 1e-4);
+}
+
+TEST(ErrorModel, ZeroSinrIsCoinFlip) {
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kBpsk, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(packet_error_rate(dot11g_mcs()[0], 0.0), 1.0);
+}
+
+TEST(ErrorModel, PerMonotoneInSinrAndLength) {
+  const auto& mcs54 = dot11g_mcs().back();
+  double prev = 1.0;
+  for (double db = 10.0; db <= 35.0; db += 0.5) {
+    const double per = packet_error_rate(mcs54, Decibels{db}.linear());
+    EXPECT_LE(per, prev + 1e-15);
+    prev = per;
+  }
+  // Longer packets fail more.
+  const double sinr = Decibels{23.0}.linear();
+  EXPECT_LE(packet_error_rate(mcs54, sinr, 4000.0),
+            packet_error_rate(mcs54, sinr, 12000.0));
+}
+
+TEST(ErrorModel, McsLadderCoversDotElevenG) {
+  const auto& ladder = dot11g_mcs();
+  ASSERT_EQ(ladder.size(), 8u);
+  EXPECT_DOUBLE_EQ(ladder.front().phy_rate.megabits(), 6.0);
+  EXPECT_DOUBLE_EQ(ladder.back().phy_rate.megabits(), 54.0);
+  for (std::size_t i = 1; i < ladder.size(); ++i) {
+    EXPECT_GT(ladder[i].phy_rate.value(), ladder[i - 1].phy_rate.value());
+  }
+}
+
+TEST(ErrorModel, BestMeasuredRateIsStepFunction) {
+  double prev = -1.0;
+  for (double db = 0.0; db <= 35.0; db += 0.5) {
+    const double rate = best_measured_rate(Decibels{db}).value();
+    EXPECT_GE(rate, prev);
+    prev = rate;
+  }
+  EXPECT_DOUBLE_EQ(best_measured_rate(Decibels{0.0}).value(), 0.0);
+  EXPECT_DOUBLE_EQ(best_measured_rate(Decibels{35.0}).megabits(), 54.0);
+}
+
+TEST(ErrorModel, ThresholdsMatchCanonicalTableWithinMargin) {
+  // The RateTable thresholds are the model's 90%-PRR boundaries plus an
+  // indoor margin; they must agree within ~3.5 dB and never be *below*
+  // the physics (a table more optimistic than AWGN would be wrong).
+  const auto& table = RateTable::dot11g();
+  for (const auto& mcs : dot11g_mcs()) {
+    const Decibels model = delivery_threshold(mcs);
+    const Decibels tabled = table.min_sinr_for(mcs.phy_rate);
+    EXPECT_GE(tabled.value(), model.value() - 0.2)
+        << mcs.phy_rate.megabits() << " Mbps";
+    EXPECT_LE(tabled.value() - model.value(), 3.5)
+        << mcs.phy_rate.megabits() << " Mbps";
+  }
+}
+
+TEST(ErrorModel, ThresholdsMonotoneAcrossLadder) {
+  double prev = -100.0;
+  for (const auto& mcs : dot11g_mcs()) {
+    const double threshold = delivery_threshold(mcs).value();
+    EXPECT_GT(threshold, prev) << mcs.phy_rate.megabits();
+    prev = threshold;
+  }
+}
+
+TEST(ErrorModel, StricterTargetNeedsMoreSinr) {
+  const auto& mcs = dot11g_mcs()[4];  // 24 Mbps
+  EXPECT_GT(delivery_threshold(mcs, 0.99).value(),
+            delivery_threshold(mcs, 0.5).value());
+}
+
+}  // namespace
+}  // namespace sic::phy

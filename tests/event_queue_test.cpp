@@ -1,0 +1,80 @@
+#include "mac/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace sic::mac {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow) {
+  EventQueue q;
+  SimTime seen = -1;
+  q.schedule_at(50, [&] {
+    q.schedule_after(25, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(100, [&] { ++fired; });
+  q.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, SchedulingIntoThePastRejected) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_THROW(q.schedule_at(5, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, EventsCanCascade) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) q.schedule_after(1, recurse);
+  };
+  q.schedule_at(0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(q.now(), 9);
+}
+
+TEST(SimTimeHelpers, Conversions) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2'000'000'000), 2.0);
+  EXPECT_EQ(from_micros(9.0), 9'000);
+}
+
+}  // namespace
+}  // namespace sic::mac

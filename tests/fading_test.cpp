@@ -1,0 +1,80 @@
+#include "channel/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sic::channel {
+namespace {
+
+TEST(Fading, StationaryMoments) {
+  Rng rng{3};
+  Ar1ShadowingTrack track{0.9, Decibels{5.0}, rng};
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = track.step(rng).value();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.25);
+  EXPECT_NEAR(std::sqrt(sum2 / kN), 5.0, 0.3);
+}
+
+TEST(Fading, RhoOneIsFrozenChannel) {
+  Rng rng{5};
+  Ar1ShadowingTrack track{1.0, Decibels{6.0}, rng};
+  const double start = track.current().value();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(track.step(rng).value(), start);
+  }
+}
+
+TEST(Fading, RhoZeroIsIidShadowing) {
+  Rng rng{7};
+  Ar1ShadowingTrack track{0.0, Decibels{6.0}, rng};
+  // Lag-1 autocorrelation of successive steps should vanish.
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(track.step(rng).value());
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    num += xs[i] * xs[i - 1];
+    den += xs[i] * xs[i];
+  }
+  EXPECT_NEAR(num / den, 0.0, 0.03);
+}
+
+TEST(Fading, HigherRhoMeansStickierTrack) {
+  const auto lag1 = [](double rho) {
+    Rng rng{11};
+    Ar1ShadowingTrack track{rho, Decibels{6.0}, rng};
+    std::vector<double> xs;
+    for (int i = 0; i < 40000; ++i) xs.push_back(track.step(rng).value());
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 1; i < xs.size(); ++i) {
+      num += xs[i] * xs[i - 1];
+      den += xs[i] * xs[i];
+    }
+    return num / den;
+  };
+  const double r03 = lag1(0.3);
+  const double r09 = lag1(0.9);
+  EXPECT_NEAR(r03, 0.3, 0.05);
+  EXPECT_NEAR(r09, 0.9, 0.05);
+  EXPECT_GT(r09, r03);
+}
+
+TEST(Fading, BadParametersRejected) {
+  Rng rng{13};
+  EXPECT_THROW((Ar1ShadowingTrack{1.5, Decibels{3.0}, rng}),
+               std::logic_error);
+  EXPECT_THROW((Ar1ShadowingTrack{0.5, Decibels{-1.0}, rng}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::channel

@@ -1,0 +1,64 @@
+#include "topology/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::topology {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+TEST(Geometry, RandomInRectStaysInside) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const Point p = random_in_rect(rng, -2.0, 1.0, 5.0, 4.0);
+    EXPECT_GE(p.x, -2.0);
+    EXPECT_LT(p.x, 5.0);
+    EXPECT_GE(p.y, 1.0);
+    EXPECT_LT(p.y, 4.0);
+  }
+}
+
+TEST(Geometry, RandomInDiscStaysInside) {
+  Rng rng{4};
+  const Point c{10.0, -5.0};
+  for (int i = 0; i < 1000; ++i) {
+    const Point p = random_in_disc(rng, c, 7.0);
+    EXPECT_LE(distance(p, c), 7.0 + 1e-12);
+  }
+}
+
+TEST(Geometry, RandomInDiscIsAreaUniform) {
+  // Half the points should land beyond r/sqrt(2) (equal-area split).
+  Rng rng{5};
+  const Point c{0.0, 0.0};
+  int outer = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    if (distance(random_in_disc(rng, c, 1.0), c) > 1.0 / std::sqrt(2.0)) {
+      ++outer;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(outer) / kN, 0.5, 0.02);
+}
+
+TEST(Geometry, AnnulusRespectsRadii) {
+  Rng rng{6};
+  const Point c{0.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    const double d = distance(random_in_annulus(rng, c, 2.0, 3.0), c);
+    EXPECT_GE(d, 2.0 - 1e-12);
+    EXPECT_LE(d, 3.0 + 1e-12);
+  }
+}
+
+TEST(Geometry, AnnulusRejectsBadRadii) {
+  Rng rng{6};
+  EXPECT_THROW((void)random_in_annulus(rng, Point{}, 3.0, 2.0),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::topology

@@ -1,0 +1,63 @@
+#include "analysis/grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::analysis {
+namespace {
+
+TEST(Grid, AxisValuesSpanRange) {
+  const Grid2D::Axis ax{"x", 0.0, 10.0, 11};
+  EXPECT_DOUBLE_EQ(ax.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(ax.value(5), 5.0);
+  EXPECT_DOUBLE_EQ(ax.value(10), 10.0);
+}
+
+TEST(Grid, FillEvaluatesFunction) {
+  Grid2D grid{{"x", 0.0, 2.0, 3}, {"y", 0.0, 1.0, 2}};
+  grid.fill([](double x, double y) { return x + 10.0 * y; });
+  EXPECT_DOUBLE_EQ(grid.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.at(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(grid.at(1, 1), 11.0);
+  EXPECT_DOUBLE_EQ(grid.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.max_value(), 12.0);
+}
+
+TEST(Grid, NearestLookup) {
+  Grid2D grid{{"x", 0.0, 10.0, 11}, {"y", 0.0, 10.0, 11}};
+  grid.fill([](double x, double y) { return x * 100.0 + y; });
+  EXPECT_DOUBLE_EQ(grid.nearest(3.2, 7.9), 308.0);
+  EXPECT_DOUBLE_EQ(grid.nearest(-5.0, 50.0), 10.0);  // clamped to corners
+}
+
+TEST(Grid, AsciiRenderShape) {
+  Grid2D grid{{"x", 0.0, 1.0, 8}, {"y", 0.0, 1.0, 4}};
+  grid.fill([](double x, double) { return x; });
+  const std::string art = grid.render_ascii();
+  // 4 rows of 8 chars + newline each + trailing metadata line.
+  int rows = 0;
+  for (const char c : art) {
+    if (c == '\n') ++rows;
+  }
+  EXPECT_EQ(rows, 5);
+}
+
+TEST(Grid, CsvHasHeaderAndAllCells) {
+  Grid2D grid{{"snr1", 0.0, 1.0, 2}, {"snr2", 0.0, 1.0, 3}};
+  grid.fill([](double, double) { return 1.0; });
+  const std::string csv = grid.to_csv();
+  EXPECT_NE(csv.find("snr1,snr2,value"), std::string::npos);
+  int lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 1 + 2 * 3);
+}
+
+TEST(Grid, ConstantGridRendersWithoutDivideByZero) {
+  Grid2D grid{{"x", 0.0, 1.0, 4}, {"y", 0.0, 1.0, 4}};
+  grid.fill([](double, double) { return 5.0; });
+  EXPECT_NO_THROW((void)grid.render_ascii());
+}
+
+}  // namespace
+}  // namespace sic::analysis

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hpp"
+#include "core/upload_pair.hpp"
+#include "topology/samplers.hpp"
+#include "util/rng.hpp"
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+UploadPairContext ctx_db(double s1_db, double s2_db) {
+  return UploadPairContext::make(Milliwatts{Decibels{s1_db}.linear()},
+                                 Milliwatts{Decibels{s2_db}.linear()}, kN0,
+                                 kShannon);
+}
+
+TEST(Impairments, ZeroImpairmentsMatchIdealAlgebra) {
+  const SicImpairments none;
+  for (double s1 = 6.0; s1 <= 40.0; s1 += 4.0) {
+    for (double s2 = 3.0; s2 <= s1; s2 += 4.0) {
+      const auto ctx = ctx_db(s1, s2);
+      const auto ideal = sic_rates(ctx);
+      const auto impaired = sic_rates(ctx, none);
+      EXPECT_DOUBLE_EQ(ideal.stronger.value(), impaired.stronger.value());
+      EXPECT_DOUBLE_EQ(ideal.weaker.value(), impaired.weaker.value());
+      EXPECT_DOUBLE_EQ(sic_airtime(ctx), sic_airtime(ctx, none));
+    }
+  }
+}
+
+TEST(Impairments, ResidualMonotonicallyDegradesWeakerRate) {
+  const auto ctx = ctx_db(26.0, 13.0);
+  double prev = sic_rates(ctx, SicImpairments{}).weaker.value();
+  for (const double residual : {0.001, 0.01, 0.05, 0.2, 1.0}) {
+    SicImpairments impairments;
+    impairments.cancellation_residual = residual;
+    const double rate = sic_rates(ctx, impairments).weaker.value();
+    EXPECT_LT(rate, prev) << "residual " << residual;
+    prev = rate;
+  }
+}
+
+TEST(Impairments, ResidualDoesNotTouchStrongerRate) {
+  const auto ctx = ctx_db(26.0, 13.0);
+  SicImpairments impairments;
+  impairments.cancellation_residual = 0.1;
+  EXPECT_DOUBLE_EQ(sic_rates(ctx, impairments).stronger.value(),
+                   sic_rates(ctx).stronger.value());
+}
+
+TEST(Impairments, FullResidualEqualsNoCancellation) {
+  // residual = 1: the weaker signal is decoded against the full stronger
+  // signal, i.e. as if no SIC happened.
+  const auto ctx = ctx_db(24.0, 15.0);
+  SicImpairments impairments;
+  impairments.cancellation_residual = 1.0;
+  const double expect =
+      kShannon
+          .rate(ctx.arrival.weaker /
+                (ctx.arrival.stronger + ctx.arrival.noise))
+          .value();
+  EXPECT_DOUBLE_EQ(sic_rates(ctx, impairments).weaker.value(), expect);
+}
+
+TEST(Impairments, AdcLimitIsAHardCliff) {
+  SicImpairments impairments;
+  impairments.max_decodable_disparity = Decibels{20.0};
+  // 18 dB apart: fine. 22 dB apart: weaker gone.
+  const auto near = ctx_db(30.0, 12.0);
+  EXPECT_GT(sic_rates(near, impairments).weaker.value(), 0.0);
+  const auto far = ctx_db(34.0, 12.0);
+  EXPECT_DOUBLE_EQ(sic_rates(far, impairments).weaker.value(), 0.0);
+  EXPECT_TRUE(std::isinf(sic_airtime(far, impairments)));
+  EXPECT_DOUBLE_EQ(realized_gain(far, impairments), 1.0);
+}
+
+TEST(Impairments, RealizedGainAlwaysAtLeastOne) {
+  Rng rng{17};
+  topology::SamplerConfig config;
+  for (int i = 0; i < 300; ++i) {
+    const auto sample = topology::sample_two_to_one(rng, config);
+    const auto ctx = core::UploadPairContext::make(sample.s1, sample.s2,
+                                                   sample.noise, kShannon);
+    SicImpairments impairments;
+    impairments.cancellation_residual = rng.uniform(0.0, 0.2);
+    impairments.max_decodable_disparity = Decibels{rng.uniform(10.0, 50.0)};
+    EXPECT_GE(realized_gain(ctx, impairments), 1.0);
+    // Impairments never *help*.
+    EXPECT_LE(realized_gain(ctx, impairments), realized_gain(ctx) + 1e-12);
+  }
+}
+
+TEST(Impairments, PercentResidualKillsTheFig11aGains) {
+  // The [13] claim as a measured property: at 1% residual the fraction of
+  // pairs gaining over 20% collapses to ~zero.
+  Rng rng{23};
+  topology::SamplerConfig config;
+  std::vector<double> ideal;
+  std::vector<double> impaired;
+  SicImpairments one_percent;
+  one_percent.cancellation_residual = 0.01;
+  for (int i = 0; i < 2000; ++i) {
+    const auto sample = topology::sample_two_to_one(rng, config);
+    const auto ctx = core::UploadPairContext::make(sample.s1, sample.s2,
+                                                   sample.noise, kShannon);
+    ideal.push_back(realized_gain(ctx));
+    impaired.push_back(realized_gain(ctx, one_percent));
+  }
+  const double ideal_frac =
+      analysis::EmpiricalCdf{ideal}.fraction_above(1.2);
+  const double impaired_frac =
+      analysis::EmpiricalCdf{impaired}.fraction_above(1.2);
+  EXPECT_GT(ideal_frac, 0.1);
+  EXPECT_LT(impaired_frac, 0.02);
+}
+
+TEST(Impairments, BadResidualRejected) {
+  const auto ctx = ctx_db(20.0, 10.0);
+  SicImpairments impairments;
+  impairments.cancellation_residual = 1.5;
+  EXPECT_THROW((void)sic_rates(ctx, impairments), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::core

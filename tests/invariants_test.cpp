@@ -1,0 +1,142 @@
+/// Policy-independent invariants of the core algebra, swept over every
+/// rate-adaptation policy the library ships (Shannon + the three discrete
+/// ladders) with parameterized gtest. These are the properties that must
+/// hold no matter how rates quantize.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/download.hpp"
+#include "core/multirate.hpp"
+#include "core/packing.hpp"
+#include "core/power_control.hpp"
+#include "core/scheduler.hpp"
+#include "core/upload_pair.hpp"
+#include "topology/samplers.hpp"
+#include "util/rng.hpp"
+
+namespace sic {
+namespace {
+
+constexpr Milliwatts kN0{1.0};
+
+std::unique_ptr<phy::RateAdapter> make_adapter(const std::string& name) {
+  if (name == "shannon") {
+    return std::make_unique<phy::ShannonRateAdapter>(megahertz(20.0));
+  }
+  if (name == "11b") {
+    return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11b());
+  }
+  if (name == "11g") {
+    return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11g());
+  }
+  return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11n());
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<std::string> {
+ protected:
+  PolicyInvariants() : adapter_(make_adapter(GetParam())) {}
+
+  core::UploadPairContext ctx_db(double s1_db, double s2_db) const {
+    return core::UploadPairContext::make(
+        Milliwatts{Decibels{s1_db}.linear()},
+        Milliwatts{Decibels{s2_db}.linear()}, kN0, *adapter_);
+  }
+
+  std::unique_ptr<phy::RateAdapter> adapter_;
+};
+
+TEST_P(PolicyInvariants, RateMonotoneInSinr) {
+  double prev = -1.0;
+  for (double db = -10.0; db <= 45.0; db += 0.25) {
+    const double r = adapter_->rate(Decibels{db}.linear()).value();
+    EXPECT_GE(r, prev) << GetParam() << " at " << db;
+    prev = r;
+  }
+}
+
+TEST_P(PolicyInvariants, SicAirtimeDominatesBothHalves) {
+  // Z+ >= each packet's own SIC airtime; Z- >= each clean airtime.
+  Rng rng{31};
+  for (int i = 0; i < 200; ++i) {
+    const auto ctx = ctx_db(rng.uniform(2.0, 42.0), rng.uniform(2.0, 42.0));
+    const auto rates = core::sic_rates(ctx);
+    const double z_plus = core::sic_airtime(ctx);
+    EXPECT_GE(z_plus, airtime_seconds(ctx.packet_bits, rates.stronger) - 1e-15);
+    EXPECT_GE(z_plus, airtime_seconds(ctx.packet_bits, rates.weaker) - 1e-15);
+  }
+}
+
+TEST_P(PolicyInvariants, StrongerSicRateNeverExceedsItsCleanRate) {
+  Rng rng{33};
+  for (int i = 0; i < 200; ++i) {
+    const auto ctx = ctx_db(rng.uniform(2.0, 42.0), rng.uniform(2.0, 42.0));
+    const auto rates = core::sic_rates(ctx);
+    const double clean =
+        adapter_->rate(ctx.arrival.stronger / ctx.arrival.noise).value();
+    EXPECT_LE(rates.stronger.value(), clean + 1e-9);
+    // The weaker's SIC rate equals its clean rate (perfect cancellation).
+    const double weak_clean =
+        adapter_->rate(ctx.arrival.weaker / ctx.arrival.noise).value();
+    EXPECT_DOUBLE_EQ(rates.weaker.value(), weak_clean);
+  }
+}
+
+TEST_P(PolicyInvariants, TechniquesNeverHurt) {
+  Rng rng{35};
+  for (int i = 0; i < 100; ++i) {
+    const auto ctx = ctx_db(rng.uniform(4.0, 40.0), rng.uniform(4.0, 40.0));
+    const double z_sic = core::sic_airtime(ctx);
+    EXPECT_LE(core::power_controlled_airtime(ctx), z_sic + 1e-15);
+    EXPECT_LE(core::multirate_airtime(ctx), z_sic + 1e-15);
+    EXPECT_GE(core::packing_two_to_one(ctx).gain, 1.0);
+  }
+}
+
+TEST_P(PolicyInvariants, DownloadGainNeverExceedsUploadGain) {
+  Rng rng{37};
+  for (int i = 0; i < 100; ++i) {
+    const auto ctx = ctx_db(rng.uniform(4.0, 40.0), rng.uniform(4.0, 40.0));
+    EXPECT_LE(core::evaluate_download(ctx).gain,
+              core::realized_gain(ctx) + 1e-12);
+  }
+}
+
+TEST_P(PolicyInvariants, SchedulerNeverWorseThanSerial) {
+  Rng rng{39};
+  topology::SamplerConfig config;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto clients =
+        topology::sample_upload_clients(rng, config, rng.uniform_int(2, 8));
+    core::SchedulerOptions options;
+    options.enable_power_control = true;
+    const auto schedule = core::schedule_upload(clients, *adapter_, options);
+    const double serial =
+        core::serial_upload_airtime(clients, *adapter_, options.packet_bits);
+    if (std::isfinite(serial)) {
+      EXPECT_LE(schedule.total_airtime, serial * (1.0 + 1e-12))
+          << GetParam() << " trial " << trial;
+    }
+  }
+}
+
+TEST_P(PolicyInvariants, RealizedGainsBounded) {
+  // Completion-time gain for one packet each is bounded by 2 (perfect
+  // overlap saves at most the shorter of two transmissions).
+  Rng rng{41};
+  for (int i = 0; i < 300; ++i) {
+    const auto ctx = ctx_db(rng.uniform(2.0, 45.0), rng.uniform(2.0, 45.0));
+    const double g = core::realized_gain(ctx);
+    EXPECT_GE(g, 1.0);
+    EXPECT_LE(g, 2.0 + 1e-9) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariants,
+                         ::testing::Values("shannon", "11b", "11g", "11n"),
+                         [](const auto& param_info) { return param_info.param; });
+
+}  // namespace
+}  // namespace sic

@@ -1,0 +1,81 @@
+#include "trace/link_trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::trace {
+namespace {
+
+TEST(LinkTrace, DimensionsAndDeterminism) {
+  LinkTraceConfig config;
+  const LinkTrace a = generate_link_trace(config, 7);
+  EXPECT_EQ(a.n_aps(), 5);
+  EXPECT_EQ(a.n_locations(), 100);
+  const LinkTrace b = generate_link_trace(config, 7);
+  for (int ap = 0; ap < a.n_aps(); ++ap) {
+    for (int loc = 0; loc < a.n_locations(); ++loc) {
+      EXPECT_DOUBLE_EQ(a.snr(ap, loc).value(), b.snr(ap, loc).value());
+    }
+  }
+}
+
+TEST(LinkTrace, NearestApUsuallyStrongest) {
+  // Locations near AP k's corridor position should mostly prefer AP k.
+  LinkTraceConfig config;
+  config.shadowing_sigma_db = 0.0 + 1e-9;  // almost deterministic
+  const LinkTrace t = generate_link_trace(config, 11);
+  int sane = 0;
+  for (int loc = 0; loc < t.n_locations(); ++loc) {
+    double best = -1e9;
+    for (int ap = 0; ap < t.n_aps(); ++ap) {
+      best = std::max(best, t.snr(ap, loc).value());
+    }
+    if (best > 10.0) ++sane;  // most locations have a usable AP
+  }
+  EXPECT_GT(sane, t.n_locations() / 2);
+}
+
+TEST(LinkTrace, CleanRateFollowsTable) {
+  LinkTrace t{2, 2};
+  t.set_snr(0, 0, Decibels{25.0});
+  t.set_snr(0, 1, Decibels{3.0});
+  const auto& g = phy::RateTable::dot11g();
+  EXPECT_DOUBLE_EQ(t.clean_rate(0, 0, g).megabits(), 54.0);
+  EXPECT_DOUBLE_EQ(t.clean_rate(0, 1, g).value(), 0.0);
+}
+
+TEST(LinkTrace, InterferenceRateBelowCleanRate) {
+  LinkTrace t{2, 1};
+  t.set_snr(0, 0, Decibels{30.0});
+  t.set_snr(1, 0, Decibels{20.0});
+  const auto& g = phy::RateTable::dot11g();
+  EXPECT_LT(t.rate_under_interference(0, 1, 0, g).value(),
+            t.clean_rate(0, 0, g).value());
+  // SINR = 30 dB signal vs 20 dB interferer ≈ 10 dB → 12 Mbps.
+  EXPECT_DOUBLE_EQ(t.rate_under_interference(0, 1, 0, g).megabits(), 12.0);
+}
+
+TEST(LinkTrace, TwoLinkRssMatrixMatchesSnrs) {
+  LinkTrace t{2, 2};
+  t.set_snr(0, 0, Decibels{20.0});
+  t.set_snr(1, 0, Decibels{10.0});
+  t.set_snr(0, 1, Decibels{5.0});
+  t.set_snr(1, 1, Decibels{25.0});
+  const auto rss = t.two_link_rss(0, 0, 1, 1);
+  EXPECT_NEAR(rss.s11.value(), Decibels{20.0}.linear(), 1e-9);
+  EXPECT_NEAR(rss.s12.value(), Decibels{10.0}.linear(), 1e-9);
+  EXPECT_NEAR(rss.s21.value(), Decibels{5.0}.linear(), 1e-9);
+  EXPECT_NEAR(rss.s22.value(), Decibels{25.0}.linear(), 1e-9);
+  EXPECT_DOUBLE_EQ(rss.noise.value(), 1.0);
+}
+
+TEST(LinkTrace, RejectsDegeneratePairs) {
+  LinkTrace t{2, 2};
+  EXPECT_THROW((void)t.two_link_rss(0, 0, 0, 1), std::logic_error);
+  EXPECT_THROW((void)t.two_link_rss(0, 0, 1, 0), std::logic_error);
+  EXPECT_THROW((void)t.rate_under_interference(1, 1, 0,
+                                               phy::RateTable::dot11g()),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::trace

@@ -1,0 +1,304 @@
+#include "matching/blossom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace sic::matching {
+namespace {
+
+double matching_weight(const std::vector<int>& mate,
+                       std::span<const WeightedEdge> edges) {
+  // Sum the best edge weight for each matched pair (parallel edges: max).
+  double total = 0.0;
+  for (int v = 0; v < static_cast<int>(mate.size()); ++v) {
+    if (mate[v] <= v) continue;
+    double best = -1e18;
+    for (const auto& e : edges) {
+      if ((e.u == v && e.v == mate[v]) || (e.v == v && e.u == mate[v])) {
+        best = std::max(best, e.weight);
+      }
+    }
+    EXPECT_GT(best, -1e17) << "matched pair has no edge";
+    total += best;
+  }
+  return total;
+}
+
+int cardinality(const std::vector<int>& mate) {
+  int c = 0;
+  for (const int m : mate) {
+    if (m != -1) ++c;
+  }
+  return c / 2;
+}
+
+TEST(Blossom, EmptyGraph) {
+  EXPECT_TRUE(max_weight_matching(0, {}).empty());
+  const auto mate = max_weight_matching(3, {});
+  EXPECT_EQ(mate, (std::vector<int>{-1, -1, -1}));
+}
+
+TEST(Blossom, SingleEdge) {
+  const WeightedEdge edges[] = {{0, 1, 1.0}};
+  EXPECT_EQ(max_weight_matching(2, edges), (std::vector<int>{1, 0}));
+}
+
+TEST(Blossom, PathPrefersMiddleByWeight) {
+  const WeightedEdge edges[] = {{0, 1, 2.0}, {1, 2, 5.0}, {2, 3, 2.0}};
+  const auto mate = max_weight_matching(4, edges, false);
+  EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, -1}));
+}
+
+TEST(Blossom, PathMaxCardinalityTakesOuterEdges) {
+  const WeightedEdge edges[] = {{0, 1, 2.0}, {1, 2, 5.0}, {2, 3, 2.0}};
+  const auto mate = max_weight_matching(4, edges, true);
+  EXPECT_EQ(mate, (std::vector<int>{1, 0, 3, 2}));
+}
+
+TEST(Blossom, ClassicBlossomInstances) {
+  // These exercise blossom creation/expansion (from van Rantwijk's suite).
+  {
+    // Create S-blossom and use it for augmentation.
+    const WeightedEdge edges[] = {
+        {1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}};
+    const auto mate = max_weight_matching(5, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 4, 3}));
+  }
+  {
+    const WeightedEdge edges[] = {
+        {1, 2, 8}, {1, 3, 9}, {2, 3, 10}, {3, 4, 7}, {1, 6, 5}, {4, 5, 6}};
+    const auto mate = max_weight_matching(7, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 5, 4, 1}));
+  }
+  {
+    // Create S-blossom, relabel as T-blossom, use for augmentation.
+    const WeightedEdge edges[] = {
+        {1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 4}, {1, 6, 3}};
+    const auto mate = max_weight_matching(7, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 5, 4, 1}));
+  }
+  {
+    const WeightedEdge edges[] = {
+        {1, 2, 9}, {1, 3, 8}, {2, 3, 10}, {1, 4, 5}, {4, 5, 3}, {3, 6, 4}};
+    const auto mate = max_weight_matching(7, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 6, 5, 4, 3}));
+  }
+  {
+    // Create nested S-blossom, use for augmentation.
+    const WeightedEdge edges[] = {{1, 2, 9}, {1, 3, 9}, {2, 3, 10},
+                                  {2, 4, 8}, {3, 5, 8}, {4, 5, 10},
+                                  {5, 6, 6}};
+    const auto mate = max_weight_matching(7, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 3, 4, 1, 2, 6, 5}));
+  }
+  {
+    // Create nested S-blossom, augment, expand recursively.
+    const WeightedEdge edges[] = {{1, 2, 8}, {1, 3, 8}, {2, 3, 10},
+                                  {2, 4, 12}, {3, 5, 12}, {4, 5, 14},
+                                  {4, 6, 12}, {5, 7, 12}, {6, 7, 14},
+                                  {7, 8, 12}};
+    const auto mate = max_weight_matching(9, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 5, 6, 3, 4, 8, 7}));
+  }
+  {
+    // Create S-blossom, relabel as S, include in nested S-blossom.
+    const WeightedEdge edges[] = {{1, 2, 10}, {1, 7, 10}, {2, 3, 12},
+                                  {3, 4, 20}, {3, 5, 20}, {4, 5, 25},
+                                  {5, 6, 10}, {6, 7, 10}, {7, 8, 8}};
+    const auto mate = max_weight_matching(9, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, 4, 3, 6, 5, 8, 7}));
+  }
+  {
+    // Create blossom, relabel as T in more than one way, expand, augment.
+    const WeightedEdge edges[] = {{1, 2, 45}, {1, 5, 45}, {2, 3, 50},
+                                  {3, 4, 45}, {4, 5, 50}, {1, 6, 30},
+                                  {3, 9, 35}, {4, 8, 35}, {5, 7, 26},
+                                  {9, 10, 5}};
+    const auto mate = max_weight_matching(11, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9}));
+  }
+  {
+    // Again, with a different T-expansion.
+    const WeightedEdge edges[] = {{1, 2, 45}, {1, 5, 45}, {2, 3, 50},
+                                  {3, 4, 45}, {4, 5, 50}, {1, 6, 30},
+                                  {3, 9, 35}, {4, 8, 26}, {5, 7, 40},
+                                  {9, 10, 5}};
+    const auto mate = max_weight_matching(11, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9}));
+  }
+  {
+    // Create blossom, relabel as T, expand such that a new least-slack
+    // S-to-free edge is produced, augment.
+    const WeightedEdge edges[] = {{1, 2, 45}, {1, 5, 45}, {2, 3, 50},
+                                  {3, 4, 45}, {4, 5, 50}, {1, 6, 30},
+                                  {3, 9, 35}, {4, 8, 28}, {5, 7, 26},
+                                  {9, 10, 5}};
+    const auto mate = max_weight_matching(11, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 6, 3, 2, 8, 7, 1, 5, 4, 10, 9}));
+  }
+  {
+    // Create nested blossom, relabel as T in more than one way, expand
+    // outer blossom such that inner blossom ends up on an augmenting path.
+    const WeightedEdge edges[] = {
+        {1, 2, 45}, {1, 7, 45}, {2, 3, 50}, {3, 4, 45}, {4, 5, 95},
+        {4, 6, 94}, {5, 6, 94}, {6, 7, 50}, {1, 8, 30}, {3, 11, 35},
+        {5, 9, 36}, {7, 10, 26}, {11, 12, 5}};
+    const auto mate = max_weight_matching(13, edges);
+    EXPECT_EQ(mate, (std::vector<int>{-1, 8, 3, 2, 6, 9, 4, 10, 1, 5, 7,
+                                      12, 11}));
+  }
+}
+
+TEST(Blossom, NegativeWeightsIgnoredUnlessMaxCardinality) {
+  const WeightedEdge edges[] = {
+      {1, 2, 2}, {1, 3, -2}, {2, 3, 1}, {2, 4, -1}, {3, 4, -6}};
+  auto mate = max_weight_matching(5, edges, false);
+  EXPECT_EQ(mate, (std::vector<int>{-1, 2, 1, -1, -1}));
+  mate = max_weight_matching(5, edges, true);
+  EXPECT_EQ(mate, (std::vector<int>{-1, 3, 4, 1, 2}));
+}
+
+/// Randomized cross-check against the exponential oracle, parameterized by
+/// graph density.
+class BlossomVsOracle : public ::testing::TestWithParam<double> {};
+
+TEST_P(BlossomVsOracle, MaxWeightMatchesOracleWeight) {
+  const double density = GetParam();
+  Rng rng{static_cast<std::uint64_t>(density * 1000) + 5};
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = rng.uniform_int(2, 11);
+    std::vector<WeightedEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.uniform(0.0, 1.0) < density) {
+          edges.push_back(WeightedEdge{i, j, rng.uniform(0.0, 100.0)});
+        }
+      }
+    }
+    const auto mate = max_weight_matching(n, edges, false);
+    ASSERT_TRUE(is_valid_mate_vector(mate));
+    const auto oracle = max_weight_matching_oracle(n, edges, false);
+    EXPECT_NEAR(matching_weight(mate, edges), oracle.total_weight, 1e-4)
+        << "n=" << n << " edges=" << edges.size() << " trial=" << trial;
+  }
+}
+
+TEST_P(BlossomVsOracle, MaxCardinalityMatchesOracle) {
+  const double density = GetParam();
+  Rng rng{static_cast<std::uint64_t>(density * 1000) + 99};
+  for (int trial = 0; trial < 120; ++trial) {
+    const int n = rng.uniform_int(2, 11);
+    std::vector<WeightedEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.uniform(0.0, 1.0) < density) {
+          edges.push_back(WeightedEdge{i, j, rng.uniform(-20.0, 100.0)});
+        }
+      }
+    }
+    const auto mate = max_weight_matching(n, edges, true);
+    ASSERT_TRUE(is_valid_mate_vector(mate));
+    const auto oracle = max_weight_matching_oracle(n, edges, true);
+    EXPECT_EQ(cardinality(mate), cardinality(oracle.mate))
+        << "n=" << n << " trial=" << trial;
+    EXPECT_NEAR(matching_weight(mate, edges), oracle.total_weight, 1e-4)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, BlossomVsOracle,
+                         ::testing::Values(0.3, 0.6, 0.9, 1.0));
+
+TEST(Blossom, IntegerWeightTiesMatchOracle) {
+  // Small integer weights maximize duplicate-weight ties, the usual trap
+  // for primal-dual implementations.
+  Rng rng{2024};
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = rng.uniform_int(2, 10);
+    std::vector<WeightedEdge> edges;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        edges.push_back(
+            WeightedEdge{i, j, static_cast<double>(rng.uniform_int(0, 4))});
+      }
+    }
+    const auto mate = max_weight_matching(n, edges, true);
+    ASSERT_TRUE(is_valid_mate_vector(mate));
+    const auto oracle = max_weight_matching_oracle(n, edges, true);
+    EXPECT_NEAR(matching_weight(mate, edges), oracle.total_weight, 1e-6)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(MinWeightPerfect, MatchesOracleOnRandomCompleteGraphs) {
+  Rng rng{31337};
+  for (int trial = 0; trial < 150; ++trial) {
+    const int n = 2 * rng.uniform_int(1, 6);
+    CostMatrix costs{n};
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        costs.set(i, j, rng.uniform(0.1, 50.0));
+      }
+    }
+    const auto blossom = min_weight_perfect_matching(costs);
+    const auto oracle = min_weight_perfect_matching_oracle(costs);
+    EXPECT_NEAR(blossom.total_cost, oracle.total_cost, 1e-5)
+        << "n=" << n << " trial=" << trial;
+    EXPECT_EQ(blossom.pairs.size(), static_cast<std::size_t>(n / 2));
+  }
+}
+
+TEST(MinWeightPerfect, AntiGreedyInstance) {
+  CostMatrix costs{4};
+  costs.set(0, 1, 1.0);
+  costs.set(2, 3, 100.0);
+  costs.set(0, 2, 2.0);
+  costs.set(1, 3, 2.0);
+  costs.set(0, 3, 50.0);
+  costs.set(1, 2, 50.0);
+  const auto m = min_weight_perfect_matching(costs);
+  EXPECT_NEAR(m.total_cost, 4.0, 1e-9);
+}
+
+TEST(MinWeightPerfect, LargerInstanceAgainstOracle) {
+  Rng rng{8};
+  constexpr int n = 14;
+  CostMatrix costs{n};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) costs.set(i, j, rng.uniform(0.0, 1.0));
+  }
+  const auto blossom = min_weight_perfect_matching(costs);
+  const auto oracle = min_weight_perfect_matching_oracle(costs);
+  EXPECT_NEAR(blossom.total_cost, oracle.total_cost, 1e-6);
+}
+
+TEST(MinWeightPerfect, OddCountRejected) {
+  CostMatrix costs{5};
+  EXPECT_THROW((void)min_weight_perfect_matching(costs), std::logic_error);
+}
+
+TEST(MinWeightPerfect, ScalesToHundredsOfVertices) {
+  // Sanity (and a smoke test for the O(n³) claim): n = 120 completes and
+  // produces a valid perfect matching no worse than greedy pairing.
+  Rng rng{55};
+  constexpr int n = 120;
+  CostMatrix costs{n};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) costs.set(i, j, rng.uniform(1.0, 100.0));
+  }
+  const auto m = min_weight_perfect_matching(costs);
+  EXPECT_EQ(m.pairs.size(), static_cast<std::size_t>(n / 2));
+  std::vector<bool> seen(n, false);
+  for (const auto& [a, b] : m.pairs) {
+    EXPECT_FALSE(seen[a]);
+    EXPECT_FALSE(seen[b]);
+    seen[a] = seen[b] = true;
+  }
+}
+
+}  // namespace
+}  // namespace sic::matching

@@ -1,0 +1,65 @@
+#include "matching/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/blossom.hpp"
+#include "matching/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace sic::matching {
+namespace {
+
+TEST(Greedy, TakesCheapestEdgeFirst) {
+  CostMatrix costs{4};
+  costs.set(0, 1, 1.0);
+  costs.set(2, 3, 100.0);
+  costs.set(0, 2, 2.0);
+  costs.set(1, 3, 2.0);
+  costs.set(0, 3, 50.0);
+  costs.set(1, 2, 50.0);
+  const auto m = greedy_min_weight_perfect_matching(costs);
+  EXPECT_DOUBLE_EQ(m.total_cost, 101.0);  // the greedy trap
+}
+
+TEST(Greedy, NeverBeatsBlossom) {
+  Rng rng{21};
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 2 * rng.uniform_int(1, 8);
+    CostMatrix costs{n};
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) costs.set(i, j, rng.uniform(0.0, 10.0));
+    }
+    const auto greedy = greedy_min_weight_perfect_matching(costs);
+    const auto exact = min_weight_perfect_matching(costs);
+    EXPECT_GE(greedy.total_cost + 1e-9, exact.total_cost)
+        << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(Greedy, ProducesPerfectMatching) {
+  Rng rng{22};
+  constexpr int n = 12;
+  CostMatrix costs{n};
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) costs.set(i, j, rng.uniform(0.0, 10.0));
+  }
+  const auto m = greedy_min_weight_perfect_matching(costs);
+  std::vector<bool> seen(n, false);
+  for (const auto& [a, b] : m.pairs) {
+    EXPECT_FALSE(seen[a]);
+    EXPECT_FALSE(seen[b]);
+    seen[a] = seen[b] = true;
+  }
+  EXPECT_EQ(m.pairs.size(), static_cast<std::size_t>(n / 2));
+}
+
+TEST(Greedy, OddCountRejected) {
+  CostMatrix costs{3};
+  EXPECT_THROW((void)greedy_min_weight_perfect_matching(costs),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::matching

@@ -1,0 +1,241 @@
+#include "mac/medium.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/capacity.hpp"
+
+namespace sic::mac {
+namespace {
+
+constexpr Milliwatts kN0{1.0};
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+class Recorder : public MediumListener {
+ public:
+  struct Delivery {
+    Frame frame;
+    bool decoded;
+  };
+  std::vector<Delivery> deliveries;
+  int channel_updates = 0;
+
+  void on_channel_update() override { ++channel_updates; }
+  void on_frame_received(const Frame& frame, bool decoded) override {
+    deliveries.push_back(Delivery{frame, decoded});
+  }
+};
+
+Frame data_frame(MacNodeId src, MacNodeId dst, double bits,
+                 std::uint64_t id = 1) {
+  Frame f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.payload_bits = bits;
+  return f;
+}
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() : medium_(queue_, 3, kN0, kShannon) {
+    // Node 0 = receiver; 1, 2 = transmitters.
+    medium_.set_gain(1, 0, Milliwatts{Decibels{25.0}.linear()});
+    medium_.set_gain(2, 0, Milliwatts{Decibels{12.0}.linear()});
+    medium_.set_gain(1, 2, Milliwatts{Decibels{20.0}.linear()});
+    medium_.attach(0, &rx_);
+  }
+
+  BitsPerSecond feasible_rate(double snr_db) {
+    return kShannon.rate(Decibels{snr_db}.linear());
+  }
+
+  EventQueue queue_;
+  Medium medium_;
+  Recorder rx_;
+};
+
+TEST_F(MediumTest, CleanFrameDelivered) {
+  medium_.transmit(data_frame(1, 0, 12000.0), feasible_rate(25.0));
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 1u);
+  EXPECT_TRUE(rx_.deliveries[0].decoded);
+  EXPECT_EQ(medium_.stats().delivered, 1u);
+}
+
+TEST_F(MediumTest, OverRateFrameFailsClean) {
+  medium_.transmit(data_frame(1, 0, 12000.0),
+                   BitsPerSecond{feasible_rate(25.0).value() * 1.01});
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 1u);
+  EXPECT_FALSE(rx_.deliveries[0].decoded);
+  EXPECT_EQ(medium_.stats().failed_clean, 1u);
+}
+
+TEST_F(MediumTest, SicCollisionDeliversBoth) {
+  // Rates at the SIC-feasible pair point for 25/12 dB.
+  const auto arrival = phy::TwoSignalArrival::make(
+      Milliwatts{Decibels{25.0}.linear()}, Milliwatts{Decibels{12.0}.linear()},
+      kN0);
+  const auto r_strong = phy::sic_rate_stronger(megahertz(20.0), arrival);
+  const auto r_weak = phy::sic_rate_weaker(megahertz(20.0), arrival);
+  medium_.transmit(data_frame(1, 0, 12000.0, 1), r_strong);
+  medium_.transmit(data_frame(2, 0, 12000.0, 2), r_weak);
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 2u);
+  EXPECT_TRUE(rx_.deliveries[0].decoded);
+  EXPECT_TRUE(rx_.deliveries[1].decoded);
+  EXPECT_EQ(medium_.stats().delivered, 2u);
+  EXPECT_EQ(medium_.stats().sic_decodes, 1u);
+  EXPECT_EQ(medium_.stats().capture_decodes, 1u);
+}
+
+TEST_F(MediumTest, NonSicMediumLosesWeakerFrame) {
+  EventQueue queue;
+  phy::SicDecoderConfig config;
+  config.sic_capable = false;
+  Medium medium{queue, 3, kN0, kShannon, config};
+  medium.set_gain(1, 0, Milliwatts{Decibels{25.0}.linear()});
+  medium.set_gain(2, 0, Milliwatts{Decibels{12.0}.linear()});
+  Recorder rx;
+  medium.attach(0, &rx);
+  const auto arrival = phy::TwoSignalArrival::make(
+      Milliwatts{Decibels{25.0}.linear()}, Milliwatts{Decibels{12.0}.linear()},
+      kN0);
+  medium.transmit(data_frame(1, 0, 12000.0, 1),
+                  phy::sic_rate_stronger(megahertz(20.0), arrival));
+  medium.transmit(data_frame(2, 0, 12000.0, 2),
+                  phy::sic_rate_weaker(megahertz(20.0), arrival));
+  queue.run();
+  ASSERT_EQ(rx.deliveries.size(), 2u);
+  int decoded = 0;
+  for (const auto& d : rx.deliveries) {
+    if (d.decoded) ++decoded;
+  }
+  EXPECT_EQ(decoded, 1);  // capture only
+  EXPECT_EQ(medium.stats().sic_decodes, 0u);
+}
+
+TEST_F(MediumTest, ClashAtFullCleanRatesFails) {
+  // Both transmit at their clean best rates — the classic collision the
+  // paper says SIC cannot save (rates too high for the SINRs).
+  medium_.transmit(data_frame(1, 0, 12000.0, 1), feasible_rate(25.0));
+  medium_.transmit(data_frame(2, 0, 12000.0, 2), feasible_rate(12.0));
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 2u);
+  EXPECT_FALSE(rx_.deliveries[0].decoded);
+  EXPECT_FALSE(rx_.deliveries[1].decoded);
+  EXPECT_EQ(medium_.stats().failed_collision, 2u);
+}
+
+TEST_F(MediumTest, ThreeWayPileUpFails) {
+  EventQueue queue;
+  Medium medium{queue, 4, kN0, kShannon};
+  Recorder rx;
+  medium.attach(0, &rx);
+  for (MacNodeId s : {1, 2, 3}) {
+    medium.set_gain(s, 0, Milliwatts{Decibels{20.0 + s}.linear()});
+  }
+  for (MacNodeId s : {1, 2, 3}) {
+    medium.transmit(data_frame(s, 0, 12000.0, static_cast<std::uint64_t>(s)),
+                    megabits_per_second(1.0));
+  }
+  queue.run();
+  ASSERT_EQ(rx.deliveries.size(), 3u);
+  for (const auto& d : rx.deliveries) EXPECT_FALSE(d.decoded);
+}
+
+TEST_F(MediumTest, HalfDuplexReceiverCannotDecode) {
+  Recorder rx2;
+  medium_.attach(2, &rx2);
+  // Node 2 transmits to 0 while node 1 transmits to 2 — node 2 is busy.
+  medium_.transmit(data_frame(2, 0, 12000.0, 1), megabits_per_second(1.0));
+  medium_.transmit(data_frame(1, 2, 12000.0, 2), megabits_per_second(1.0));
+  queue_.run();
+  ASSERT_EQ(rx2.deliveries.size(), 1u);
+  EXPECT_FALSE(rx2.deliveries[0].decoded);
+}
+
+TEST_F(MediumTest, CarrierSenseRespectsThreshold) {
+  EXPECT_FALSE(medium_.carrier_busy(2));
+  medium_.transmit(data_frame(1, 0, 12000.0), megabits_per_second(6.0));
+  // Node 2 hears node 1 at 20 dB > the 12 dB threshold.
+  EXPECT_TRUE(medium_.carrier_busy(2));
+  EXPECT_TRUE(medium_.carrier_busy(1));  // own transmission
+  queue_.run();
+  EXPECT_FALSE(medium_.carrier_busy(2));
+}
+
+TEST_F(MediumTest, PowerScaleReducesRss) {
+  // At scale, the weaker signal falls below decodability for its rate.
+  const auto rate = feasible_rate(12.0);  // needs full power
+  medium_.transmit(data_frame(2, 0, 12000.0), rate, /*power_scale=*/0.5);
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 1u);
+  EXPECT_FALSE(rx_.deliveries[0].decoded);
+}
+
+TEST_F(MediumTest, SequentialFramesDoNotInterfere) {
+  medium_.transmit(data_frame(1, 0, 12000.0, 1), feasible_rate(25.0));
+  queue_.run();
+  medium_.transmit(data_frame(2, 0, 12000.0, 2), feasible_rate(12.0));
+  queue_.run();
+  ASSERT_EQ(rx_.deliveries.size(), 2u);
+  EXPECT_TRUE(rx_.deliveries[0].decoded);
+  EXPECT_TRUE(rx_.deliveries[1].decoded);
+}
+
+TEST_F(MediumTest, OverhearingDeliversDecodableForeignFrames) {
+  Recorder rx2;
+  medium_.attach(2, &rx2);
+  // Node 1 -> node 0 at a rate node 2 can also decode (node 2 hears node 1
+  // at 20 dB).
+  medium_.transmit(data_frame(1, 0, 12000.0), megabits_per_second(6.0));
+  queue_.run();
+  // Node 2 got no on_frame_received (not the dst)...
+  EXPECT_TRUE(rx2.deliveries.empty());
+  // ...but the medium reported it as overheard via the listener interface.
+  // (Recorder does not override on_frame_overheard; use a dedicated one.)
+  struct Overhearer : MediumListener {
+    int overheard = 0;
+    void on_frame_overheard(const Frame&) override { ++overheard; }
+  } oh;
+  medium_.attach(2, &oh);
+  medium_.transmit(data_frame(1, 0, 12000.0, 2), megabits_per_second(6.0));
+  queue_.run();
+  EXPECT_EQ(oh.overheard, 1);
+}
+
+TEST_F(MediumTest, NoOverhearingAboveDecodableRate) {
+  struct Overhearer : MediumListener {
+    int overheard = 0;
+    void on_frame_overheard(const Frame&) override { ++overheard; }
+  } oh;
+  medium_.attach(2, &oh);
+  // Node 1 -> 0 faster than node 2's 20 dB channel can decode.
+  const auto too_fast = BitsPerSecond{feasible_rate(20.0).value() * 1.5};
+  medium_.transmit(data_frame(1, 0, 12000.0), too_fast);
+  queue_.run();
+  EXPECT_EQ(oh.overheard, 0);
+}
+
+TEST_F(MediumTest, ReceivingStateTracksDestination) {
+  EXPECT_FALSE(medium_.is_receiving(0));
+  medium_.transmit(data_frame(1, 0, 12000.0), megabits_per_second(6.0));
+  EXPECT_TRUE(medium_.is_receiving(0));
+  EXPECT_FALSE(medium_.is_receiving(2));
+  EXPECT_TRUE(medium_.is_transmitting(1));
+  queue_.run();
+  EXPECT_FALSE(medium_.is_receiving(0));
+}
+
+TEST_F(MediumTest, DoubleTransmitFromSameNodeRejected) {
+  medium_.transmit(data_frame(1, 0, 12000.0), megabits_per_second(6.0));
+  EXPECT_THROW(
+      medium_.transmit(data_frame(1, 0, 12000.0), megabits_per_second(6.0)),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::mac

@@ -1,0 +1,77 @@
+#include "core/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+topology::Deployment chain(double long_hop, double short_hop,
+                           double exponent = 4.0) {
+  auto deployment = topology::make_mesh_chain(long_hop, short_hop);
+  deployment.pathloss = channel::LogDistancePathLoss::for_carrier(exponent);
+  for (auto& node : deployment.nodes) node.tx_power = Dbm{23.0};
+  return deployment;
+}
+
+TEST(MeshChain, LongHopsEnableSicAtRelay) {
+  const auto report = analyze_mesh_chain(chain(40.0, 10.0), kShannon);
+  EXPECT_TRUE(report.sic_feasible_at_relay);
+  EXPECT_GT(report.gain, 1.2);
+}
+
+TEST(MeshChain, ShortHopsDisableSic) {
+  // Shrinking the long hops raises D's rate past what C can decode.
+  const auto report = analyze_mesh_chain(chain(20.0, 10.0), kShannon);
+  EXPECT_FALSE(report.sic_feasible_at_relay);
+  EXPECT_DOUBLE_EQ(report.gain, 1.0);
+  EXPECT_DOUBLE_EQ(report.pipelined_throughput_bps,
+                   report.serial_throughput_bps);
+}
+
+TEST(MeshChain, GainNeverBelowOne) {
+  for (double lh = 15.0; lh <= 50.0; lh += 5.0) {
+    for (double sh = 5.0; sh < lh; sh += 5.0) {
+      const auto report = analyze_mesh_chain(chain(lh, sh), kShannon);
+      EXPECT_GE(report.gain, 1.0) << "L=" << lh << " S=" << sh;
+      EXPECT_GE(report.pipelined_throughput_bps,
+                report.serial_throughput_bps - 1e-9);
+    }
+  }
+}
+
+TEST(MeshChain, SerialCycleIsSumOfHops) {
+  const auto deployment = chain(35.0, 12.0);
+  const auto report = analyze_mesh_chain(deployment, kShannon, 12000.0);
+  const auto& a = deployment.nodes[0];
+  const auto& c = deployment.nodes[1];
+  const auto& d = deployment.nodes[2];
+  const auto& e = deployment.nodes[3];
+  const double expect =
+      airtime_seconds(12000.0,
+                      kShannon.rate(deployment.rss(a, c) / deployment.noise())) +
+      airtime_seconds(12000.0,
+                      kShannon.rate(deployment.rss(c, d) / deployment.noise())) +
+      airtime_seconds(12000.0,
+                      kShannon.rate(deployment.rss(d, e) / deployment.noise()));
+  EXPECT_NEAR(report.serial_cycle_s, expect, expect * 1e-12);
+  EXPECT_NEAR(report.serial_throughput_bps, 12000.0 / expect, 1e-6);
+}
+
+TEST(MeshChain, LongerHopsLowerAbsoluteThroughput) {
+  // The paper's bottleneck observation: even when SIC wins relatively, the
+  // absolute numbers fall as the long hops stretch.
+  const auto near = analyze_mesh_chain(chain(25.0, 10.0), kShannon);
+  const auto far = analyze_mesh_chain(chain(45.0, 10.0), kShannon);
+  EXPECT_GT(near.serial_throughput_bps, far.serial_throughput_bps);
+  EXPECT_GT(near.pipelined_throughput_bps, far.pipelined_throughput_bps);
+}
+
+TEST(MeshChain, RejectsWrongChainShape) {
+  const auto bad = topology::make_ewlan();  // 6 nodes, not a chain
+  EXPECT_THROW((void)analyze_mesh_chain(bad, kShannon), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::core

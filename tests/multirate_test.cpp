@@ -1,0 +1,90 @@
+#include "core/multirate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+UploadPairContext ctx_db(double s1_db, double s2_db) {
+  return UploadPairContext::make(Milliwatts{Decibels{s1_db}.linear()},
+                                 Milliwatts{Decibels{s2_db}.linear()}, kN0,
+                                 kShannon);
+}
+
+TEST(Multirate, NeverWorseThanPlainSic) {
+  for (double s1 = 4.0; s1 <= 42.0; s1 += 2.0) {
+    for (double s2 = 2.0; s2 <= s1; s2 += 2.0) {
+      const auto ctx = ctx_db(s1, s2);
+      EXPECT_LE(multirate_airtime(ctx), sic_airtime(ctx) + 1e-12)
+          << "s1=" << s1 << " s2=" << s2;
+    }
+  }
+}
+
+TEST(Multirate, BoostsWhenStrongerLags) {
+  // Similar RSS: the stronger client's SIC rate is tiny; after the weaker
+  // finishes, the remainder goes out at the clean rate (Fig. 10f).
+  const auto ctx = ctx_db(21.0, 20.0);
+  const auto result = multirate_airtime_detailed(ctx);
+  EXPECT_TRUE(result.boosted);
+  EXPECT_LT(result.airtime, sic_airtime(ctx));
+  EXPECT_LT(result.overlap_bits, ctx.packet_bits);
+}
+
+TEST(Multirate, LowerBoundedByWeakerAirtime) {
+  // The overlap segment always spans the weaker packet, so Z_mr >= t₂.
+  for (double s1 = 10.0; s1 <= 40.0; s1 += 5.0) {
+    for (double s2 = 5.0; s2 <= s1; s2 += 5.0) {
+      const auto ctx = ctx_db(s1, s2);
+      const double t2 = airtime_seconds(
+          ctx.packet_bits, kShannon.rate(ctx.arrival.weaker / ctx.arrival.noise));
+      EXPECT_GE(multirate_airtime(ctx), t2 - 1e-15);
+    }
+  }
+}
+
+TEST(Multirate, NoOpWhenWeakerIsBottleneck) {
+  // Past the square point the weaker clean-rate packet dominates; nothing
+  // to boost.
+  const auto ctx = ctx_db(40.0, 10.0);
+  const auto result = multirate_airtime_detailed(ctx);
+  EXPECT_FALSE(result.boosted);
+  EXPECT_NEAR(result.airtime, sic_airtime(ctx), 1e-15);
+  EXPECT_DOUBLE_EQ(result.overlap_bits, ctx.packet_bits);
+}
+
+TEST(Multirate, TimeAccountingIsExact) {
+  const auto ctx = ctx_db(18.0, 17.0);
+  const auto result = multirate_airtime_detailed(ctx);
+  ASSERT_TRUE(result.boosted);
+  const auto rates = sic_rates(ctx);
+  const double t2 = airtime_seconds(ctx.packet_bits, rates.weaker);
+  const double clean =
+      kShannon.rate(ctx.arrival.stronger / ctx.arrival.noise).value();
+  const double expected =
+      t2 + (ctx.packet_bits - rates.stronger.value() * t2) / clean;
+  EXPECT_NEAR(result.airtime, expected, expected * 1e-12);
+}
+
+TEST(Multirate, InfeasibleWeakLinkPropagates) {
+  const auto ctx = UploadPairContext::make(Milliwatts{100.0}, Milliwatts{0.0},
+                                           kN0, kShannon);
+  EXPECT_TRUE(std::isinf(multirate_airtime(ctx)));
+}
+
+TEST(Multirate, GainBetweenSicAndSerial) {
+  // Multirate fixes the stronger link's tail, so its completion sits
+  // between the SIC time and the weaker link's clean airtime.
+  const auto ctx = ctx_db(25.0, 23.0);
+  const double mr = multirate_airtime(ctx);
+  EXPECT_LT(mr, sic_airtime(ctx));
+  EXPECT_LT(mr, serial_airtime(ctx));
+}
+
+}  // namespace
+}  // namespace sic::core

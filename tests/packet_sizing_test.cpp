@@ -1,0 +1,95 @@
+#include "core/packet_sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+UploadPairContext ctx_db(double s1_db, double s2_db) {
+  return UploadPairContext::make(Milliwatts{Decibels{s1_db}.linear()},
+                                 Milliwatts{Decibels{s2_db}.linear()}, kN0,
+                                 kShannon);
+}
+
+TEST(PacketSizing, UnequalAlgebraReducesToEqualCase) {
+  const auto ctx = ctx_db(24.0, 12.0);
+  EXPECT_NEAR(serial_airtime_unequal(ctx, ctx.packet_bits, ctx.packet_bits),
+              serial_airtime(ctx), 1e-15);
+  EXPECT_NEAR(sic_airtime_unequal(ctx, ctx.packet_bits, ctx.packet_bits),
+              sic_airtime(ctx), 1e-15);
+}
+
+TEST(PacketSizing, AirtimesScaleLinearlyInBits) {
+  const auto ctx = ctx_db(20.0, 14.0);
+  EXPECT_NEAR(serial_airtime_unequal(ctx, 24000.0, 6000.0),
+              2.0 * serial_airtime_unequal(ctx, 12000.0, 3000.0), 1e-15);
+}
+
+TEST(PacketSizing, UnlimitedMtuEqualizesAirtimes) {
+  // Similar RSS: the weaker (fast) link gets a big packet so both end
+  // together, and the exchange beats plain SIC throughput-wise.
+  const auto ctx = ctx_db(21.0, 20.0);
+  const auto plan = fill_gap_with_packet_size(ctx, /*mtu_bits=*/1e9);
+  EXPECT_FALSE(plan.mtu_limited);
+  const auto rates = sic_rates(ctx);
+  const double t_slow = ctx.packet_bits / rates.stronger.value();
+  EXPECT_NEAR(plan.airtime, t_slow, t_slow * 1e-9);
+  EXPECT_NEAR(plan.fast_link_bits, rates.weaker.value() * t_slow,
+              plan.fast_link_bits * 1e-9);
+  EXPECT_GT(plan.gain, 1.1);
+}
+
+TEST(PacketSizing, DefaultMtuUsuallyBinds) {
+  // The paper's pessimism: with similar RSSs the equalizing packet is far
+  // larger than any 802.11 frame, so the MTU clamps it and the slack
+  // survives.
+  const auto ctx = ctx_db(20.5, 20.0);
+  const auto plan = fill_gap_with_packet_size(ctx);
+  EXPECT_TRUE(plan.mtu_limited);
+  EXPECT_DOUBLE_EQ(plan.fast_link_bits, 2304.0 * 8.0);
+  // MTU-limited sizing yields less gain than the unlimited ideal.
+  const auto ideal = fill_gap_with_packet_size(ctx, 1e9);
+  EXPECT_LT(plan.gain, ideal.gain);
+}
+
+TEST(PacketSizing, GainAtLeastOneEverywhere) {
+  for (double s1 = 4.0; s1 <= 40.0; s1 += 4.0) {
+    for (double s2 = 2.0; s2 <= s1; s2 += 4.0) {
+      const auto plan = fill_gap_with_packet_size(ctx_db(s1, s2));
+      EXPECT_GE(plan.gain, 1.0) << s1 << "/" << s2;
+      EXPECT_GT(plan.fast_link_bits, 0.0);
+    }
+  }
+}
+
+TEST(PacketSizing, RidgePairNeedsNoResizing) {
+  // On the Fig. 4 ridge both rates are equal: the "fast" link's ideal size
+  // equals the standard packet and nothing changes.
+  const Milliwatts weaker{Decibels{12.0}.linear()};
+  const Milliwatts stronger = equal_rate_stronger_rss(weaker, kN0);
+  const auto ctx = UploadPairContext::make(stronger, weaker, kN0, kShannon);
+  const auto plan = fill_gap_with_packet_size(ctx);
+  EXPECT_NEAR(plan.fast_link_bits, ctx.packet_bits, ctx.packet_bits * 1e-6);
+  EXPECT_FALSE(plan.mtu_limited);
+}
+
+TEST(PacketSizing, InfeasiblePairFallsBackToSerial) {
+  const auto ctx = UploadPairContext::make(Milliwatts{100.0}, Milliwatts{0.0},
+                                           kN0, kShannon);
+  const auto plan = fill_gap_with_packet_size(ctx);
+  EXPECT_DOUBLE_EQ(plan.gain, 1.0);
+  EXPECT_TRUE(std::isinf(plan.airtime));
+}
+
+TEST(PacketSizing, MtuSmallerThanPacketRejected) {
+  const auto ctx = ctx_db(20.0, 10.0);
+  EXPECT_THROW((void)fill_gap_with_packet_size(ctx, 100.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::core

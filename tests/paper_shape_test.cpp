@@ -1,0 +1,204 @@
+/// \file paper_shape_test.cpp
+/// Integration tests asserting the *shapes* of the paper's headline results
+/// (EXPERIMENTS.md records the exact numbers these tests bound):
+///
+///  - Fig. 3: capacity gain ≤ 2, maximized at low similar RSS.
+///  - Fig. 4: completion-time gain peaks on the SNR₁ ≈ 2·SNR₂ (dB) ridge.
+///  - Fig. 6: ~90 % of random two-receiver topologies see no SIC gain.
+///  - Fig. 8: download (2 APs → 1 client) gains are small.
+///  - Fig. 11a: SIC alone >20 % gain in ~20 % of one-receiver cases;
+///    power control / multirate lift that substantially.
+///  - Fig. 11b: two-receiver cases gain almost nothing, even with help.
+///  - Fig. 13: trace-driven pairing shows the Fig. 11a ordering.
+///  - Fig. 14: discrete bitrates leave more room for SIC than ideal ones.
+
+#include <gtest/gtest.h>
+
+#include "analysis/montecarlo.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/trace_eval.hpp"
+#include "core/download.hpp"
+#include "phy/capacity.hpp"
+#include "trace/generator.hpp"
+#include "trace/link_trace.hpp"
+
+namespace sic {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+TEST(PaperShape, Fig3CapacityGainStructure) {
+  double max_gain = 0.0;
+  double argmax_s1 = 0.0;
+  double argmax_s2 = 0.0;
+  for (double s1 = 0.0; s1 <= 40.0; s1 += 1.0) {
+    for (double s2 = 0.0; s2 <= 40.0; s2 += 1.0) {
+      const auto arrival = phy::TwoSignalArrival::make(
+          Milliwatts{Decibels{s1}.linear()}, Milliwatts{Decibels{s2}.linear()},
+          kN0);
+      const double g = phy::capacity_gain(megahertz(20.0), arrival);
+      EXPECT_LT(g, 2.0);
+      EXPECT_GT(g, 1.0);
+      if (g > max_gain) {
+        max_gain = g;
+        argmax_s1 = s1;
+        argmax_s2 = s2;
+      }
+    }
+  }
+  // Maximum sits at the low-SNR equal-RSS corner of the sweep.
+  EXPECT_DOUBLE_EQ(argmax_s1, 0.0);
+  EXPECT_DOUBLE_EQ(argmax_s2, 0.0);
+  EXPECT_GT(max_gain, 1.4);
+}
+
+TEST(PaperShape, Fig4RidgeFollowsSquareLaw) {
+  // For each weaker SNR, locate the stronger SNR maximizing the gain; it
+  // must track 2× (in dB) within grid resolution.
+  for (double s2 = 8.0; s2 <= 18.0; s2 += 2.0) {
+    double best_gain = 0.0;
+    double best_s1 = 0.0;
+    for (double s1 = s2; s1 <= 45.0; s1 += 0.1) {
+      const auto ctx = core::UploadPairContext::make(
+          Milliwatts{Decibels{s1}.linear()}, Milliwatts{Decibels{s2}.linear()},
+          kN0, kShannon);
+      const double g = core::sic_gain(ctx);
+      if (g > best_gain) {
+        best_gain = g;
+        best_s1 = s1;
+      }
+    }
+    EXPECT_NEAR(best_s1, 2.0 * s2, 1.0) << "s2=" << s2;
+    EXPECT_GT(best_gain, 1.3) << "s2=" << s2;
+    EXPECT_LT(best_gain, 2.0) << "s2=" << s2;
+  }
+}
+
+TEST(PaperShape, Fig6NinetyPercentNoGain) {
+  topology::SamplerConfig config;
+  config.range_m = 40.0;
+  const auto gains =
+      analysis::run_two_link_gains(config, kShannon, 10000, 1234);
+  const analysis::EmpiricalCdf cdf{gains};
+  const double no_gain_fraction = cdf.at(1.0 + 1e-9);
+  EXPECT_GT(no_gain_fraction, 0.85);  // "no gain from SIC in 90% of cases"
+  EXPECT_LT(no_gain_fraction, 1.0);   // but SIC is not *never* useful
+}
+
+TEST(PaperShape, Fig6RobustAcrossRanges) {
+  for (const double range : {30.0, 50.0}) {
+    topology::SamplerConfig config;
+    config.range_m = range;
+    const auto gains =
+        analysis::run_two_link_gains(config, kShannon, 4000, 99);
+    const analysis::EmpiricalCdf cdf{gains};
+    EXPECT_GT(cdf.at(1.0 + 1e-9), 0.8) << "range=" << range;
+  }
+}
+
+TEST(PaperShape, Fig8DownloadGainsSmall) {
+  // Sweep the Fig. 8 grid; the download gain must stay far below the
+  // upload gain envelope and rarely exceed ~1.3.
+  double worst = 0.0;
+  for (double s1 = 5.0; s1 <= 40.0; s1 += 0.5) {
+    for (double s2 = 5.0; s2 <= 40.0; s2 += 0.5) {
+      const auto ctx = core::UploadPairContext::make(
+          Milliwatts{Decibels{s1}.linear()}, Milliwatts{Decibels{s2}.linear()},
+          kN0, kShannon);
+      worst = std::max(worst, core::evaluate_download(ctx).gain);
+    }
+  }
+  EXPECT_GT(worst, 1.0);   // some benefit exists (Fig. 8's faint ridge)
+  EXPECT_LT(worst, 1.45);  // but it is modest everywhere
+}
+
+TEST(PaperShape, Fig11aTechniquesUnlockUploadGains) {
+  topology::SamplerConfig config;
+  const auto samples =
+      analysis::run_two_to_one_techniques(config, kShannon, 10000, 42);
+  const analysis::EmpiricalCdf sic{samples.sic};
+  const analysis::EmpiricalCdf pc{samples.power_control};
+  const analysis::EmpiricalCdf mr{samples.multirate};
+  const double sic_frac = sic.fraction_above(1.2);
+  const double pc_frac = pc.fraction_above(1.2);
+  const double mr_frac = mr.fraction_above(1.2);
+  // "gains with SIC alone are modest (20% of the cases gain over 20%)".
+  EXPECT_GT(sic_frac, 0.08);
+  EXPECT_LT(sic_frac, 0.30);
+  // "significant gains (over 20% in 40% of the topologies) by using one of
+  // the above mechanisms".
+  EXPECT_GT(std::max(pc_frac, mr_frac), 0.3);
+  EXPECT_GT(pc_frac, sic_frac);
+  EXPECT_GT(mr_frac, sic_frac);
+}
+
+TEST(PaperShape, Fig11bTwoReceiverCasesStayBarren) {
+  topology::SamplerConfig config;
+  const auto samples =
+      analysis::run_two_link_techniques(config, kShannon, 4000, 43);
+  const analysis::EmpiricalCdf sic{samples.sic};
+  const analysis::EmpiricalCdf pc{samples.power_control};
+  const analysis::EmpiricalCdf packing{samples.packing};
+  EXPECT_LT(sic.fraction_above(1.2), 0.08);
+  EXPECT_LT(pc.fraction_above(1.2), 0.18);
+  EXPECT_LT(packing.fraction_above(1.2), 0.12);
+}
+
+TEST(PaperShape, Fig11UploadBeatsCrossLinkEverywhereOnTheCdf) {
+  topology::SamplerConfig config;
+  const auto upload =
+      analysis::run_two_to_one_techniques(config, kShannon, 5000, 44);
+  const auto cross = analysis::run_two_link_gains(config, kShannon, 5000, 44);
+  const analysis::EmpiricalCdf up{upload.sic};
+  const analysis::EmpiricalCdf cl{cross};
+  for (const double g : {1.05, 1.1, 1.2, 1.4}) {
+    EXPECT_GE(up.fraction_above(g) + 1e-12, cl.fraction_above(g))
+        << "threshold " << g;
+  }
+}
+
+TEST(PaperShape, Fig13TraceOrderingMatchesFig11a) {
+  trace::BuildingConfig config;
+  config.duration_s = 24 * 3600;  // one day is plenty for the ordering
+  config.diurnal = false;         // stationary occupancy: denser cells
+  const auto trace = generate_building_trace(config, 2026);
+  const auto gains = analysis::evaluate_upload_trace(trace, kShannon);
+  ASSERT_GT(gains.cells_evaluated, 50);
+  const double pairing_mean = analysis::summarize(gains.pairing).mean;
+  const double pc_mean = analysis::summarize(gains.power_control).mean;
+  const double mr_mean = analysis::summarize(gains.multirate).mean;
+  const double greedy_mean = analysis::summarize(gains.greedy_pairing).mean;
+  EXPECT_GE(pairing_mean, 1.0);
+  EXPECT_GE(pc_mean, pairing_mean);
+  EXPECT_GE(mr_mean, pairing_mean);
+  EXPECT_GE(pairing_mean + 1e-12, greedy_mean);
+  // The paper reports real prospective gains on traces.
+  EXPECT_GT(std::max(pc_mean, mr_mean), 1.05);
+}
+
+TEST(PaperShape, Fig14DiscreteBitratesFavorSic) {
+  trace::LinkTraceConfig config;
+  const auto link_trace = trace::generate_link_trace(config, 777);
+  analysis::DownloadTraceEvalConfig eval;
+  eval.pair_samples = 4000;
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  const auto arbitrary =
+      analysis::evaluate_download_trace(link_trace, kShannon, eval);
+  const auto discrete = analysis::evaluate_download_trace(link_trace, g, eval);
+  const analysis::EmpiricalCdf arb_pack{arbitrary.packing};
+  const analysis::EmpiricalCdf disc_pack{discrete.packing};
+  const analysis::EmpiricalCdf arb_plain{arbitrary.plain};
+  const analysis::EmpiricalCdf disc_plain{discrete.plain};
+  // (a) arbitrary bitrates: even with packing, gains stay limited.
+  EXPECT_LT(arb_plain.fraction_above(1.2), 0.15);
+  // (b) discrete bitrates do at least as well as continuous at every
+  // reported threshold, and packing helps.
+  EXPECT_GE(disc_plain.fraction_above(1.2) + 1e-12,
+            arb_plain.fraction_above(1.2));
+  EXPECT_GE(disc_pack.fraction_above(1.2) + 1e-12,
+            disc_plain.fraction_above(1.2));
+}
+
+}  // namespace
+}  // namespace sic

@@ -1,0 +1,117 @@
+#include "core/power_control.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+UploadPairContext ctx_db(double s1_db, double s2_db,
+                         const phy::RateAdapter& adapter = kShannon) {
+  return UploadPairContext::make(Milliwatts{Decibels{s1_db}.linear()},
+                                 Milliwatts{Decibels{s2_db}.linear()}, kN0,
+                                 adapter);
+}
+
+TEST(PowerControl, NeverWorseThanPlainSic) {
+  for (double s1 = 6.0; s1 <= 42.0; s1 += 4.0) {
+    for (double s2 = 2.0; s2 <= s1; s2 += 4.0) {
+      const auto ctx = ctx_db(s1, s2);
+      EXPECT_LE(power_controlled_airtime(ctx), sic_airtime(ctx) + 1e-12)
+          << "s1=" << s1 << " s2=" << s2;
+    }
+  }
+}
+
+TEST(PowerControl, HelpsWhenRssSimilar) {
+  // Section 5.2: close RSSs make the stronger client the bottleneck;
+  // reducing the weaker's power lifts the pair.
+  const auto ctx = ctx_db(21.0, 20.0);
+  const auto result = optimize_weaker_power(ctx);
+  EXPECT_TRUE(result.applied);
+  EXPECT_LT(result.scale, 1.0);
+  EXPECT_LT(result.airtime, sic_airtime(ctx) * 0.75);
+}
+
+TEST(PowerControl, EqualizesRatesAtOptimum) {
+  const auto ctx = ctx_db(22.0, 20.0);
+  const auto result = optimize_weaker_power(ctx);
+  ASSERT_TRUE(result.applied);
+  EXPECT_NEAR(result.rates.stronger.value(), result.rates.weaker.value(),
+              result.rates.weaker.value() * 1e-6);
+}
+
+TEST(PowerControl, NoOpWhenWeakerAlreadyBottleneck) {
+  // S¹ far beyond the square point: the weaker link is the bottleneck and
+  // only a boost (disallowed) would help.
+  const auto ctx = ctx_db(40.0, 10.0);
+  const auto result = optimize_weaker_power(ctx);
+  EXPECT_FALSE(result.applied);
+  EXPECT_DOUBLE_EQ(result.scale, 1.0);
+  EXPECT_NEAR(result.airtime, sic_airtime(ctx), 1e-12);
+}
+
+TEST(PowerControl, ClosedFormMatchesGridSearch) {
+  // The Shannon fast path must agree with brute-force search over scales.
+  for (const auto& [s1, s2] : {std::pair{18.0, 16.0}, std::pair{25.0, 21.0},
+                               std::pair{30.0, 29.0}}) {
+    const auto ctx = ctx_db(s1, s2);
+    const auto fast = optimize_weaker_power(ctx);
+    double best = sic_airtime(ctx);
+    for (int i = 1; i <= 4000; ++i) {
+      const double db = -40.0 * i / 4000.0;
+      UploadPairContext scaled = ctx;
+      scaled.arrival.weaker =
+          ctx.arrival.weaker * std::pow(10.0, db / 10.0);
+      best = std::min(best, sic_airtime(scaled));
+    }
+    EXPECT_NEAR(fast.airtime, best, best * 1e-3) << "s1=" << s1;
+    EXPECT_LE(fast.airtime, best + best * 1e-6);
+  }
+}
+
+TEST(PowerControl, DiscreteAdapterNeverWorse) {
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  for (double s1 = 10.0; s1 <= 40.0; s1 += 3.0) {
+    for (double s2 = 6.0; s2 <= s1; s2 += 3.0) {
+      const auto ctx = ctx_db(s1, s2, g);
+      const auto result = optimize_weaker_power(ctx);
+      EXPECT_LE(result.airtime, sic_airtime(ctx) + 1e-12)
+          << "s1=" << s1 << " s2=" << s2;
+    }
+  }
+}
+
+TEST(PowerControl, DiscreteAdapterFindsStepImprovement) {
+  // With 802.11g steps, a small reduction of the weaker client can bump
+  // the stronger client across a rate threshold. At 26/25 dB, plain SIC
+  // leaves the stronger at SINR ≈ 3.5 dB (rate 0!) — power control must
+  // rescue the pair.
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  const auto ctx = ctx_db(26.0, 25.0, g);
+  const double plain = sic_airtime(ctx);
+  const auto result = optimize_weaker_power(ctx);
+  EXPECT_TRUE(std::isinf(plain));
+  EXPECT_TRUE(std::isfinite(result.airtime));
+  EXPECT_TRUE(result.applied);
+}
+
+TEST(PowerControl, ScaleAlwaysInUnitInterval) {
+  Rng rng{9};
+  for (int i = 0; i < 200; ++i) {
+    const double s1 = rng.uniform(0.0, 45.0);
+    const double s2 = rng.uniform(0.0, s1);
+    const auto result = optimize_weaker_power(ctx_db(s1, s2));
+    EXPECT_GT(result.scale, 0.0);
+    EXPECT_LE(result.scale, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace sic::core

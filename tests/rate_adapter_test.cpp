@@ -1,0 +1,66 @@
+#include "phy/rate_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/capacity.hpp"
+
+namespace sic::phy {
+namespace {
+
+TEST(ShannonRateAdapter, MatchesShannonRate) {
+  const ShannonRateAdapter adapter{megahertz(20.0)};
+  for (const double sinr : {0.1, 1.0, 10.0, 1000.0}) {
+    EXPECT_DOUBLE_EQ(adapter.rate(sinr).value(),
+                     shannon_rate(megahertz(20.0), sinr).value());
+  }
+  EXPECT_EQ(adapter.name(), "shannon");
+}
+
+TEST(DiscreteRateAdapter, QuantizesToTable) {
+  const DiscreteRateAdapter adapter{RateTable::dot11g()};
+  EXPECT_DOUBLE_EQ(adapter.rate(Decibels{10.0}.linear()).megabits(), 12.0);
+  EXPECT_DOUBLE_EQ(adapter.rate(Decibels{2.0}.linear()).value(), 0.0);
+  EXPECT_DOUBLE_EQ(adapter.rate(0.0).value(), 0.0);
+  EXPECT_EQ(adapter.name(), "802.11g");
+}
+
+TEST(RateAdapter, FeasibleIsRateAtLeast) {
+  const DiscreteRateAdapter adapter{RateTable::dot11g()};
+  const double sinr = Decibels{12.0}.linear();  // supports up to 18 Mbps
+  EXPECT_TRUE(adapter.feasible(megabits_per_second(18.0), sinr));
+  EXPECT_TRUE(adapter.feasible(megabits_per_second(6.0), sinr));
+  EXPECT_FALSE(adapter.feasible(megabits_per_second(24.0), sinr));
+}
+
+TEST(RateAdapter, DiscreteNeverExceedsShannonAtRealisticSnr) {
+  // The discrete table is a *practical* ladder: it must sit at or below the
+  // information-theoretic ceiling wherever the ladder is defined.
+  const ShannonRateAdapter shannon{megahertz(20.0)};
+  const DiscreteRateAdapter discrete{RateTable::dot11g()};
+  for (double db = 0.0; db <= 40.0; db += 0.5) {
+    const double sinr = Decibels{db}.linear();
+    EXPECT_LE(discrete.rate(sinr).value(), shannon.rate(sinr).value())
+        << "at " << db << " dB";
+  }
+}
+
+TEST(RateAdapter, FinerTablesCaptureMoreOfShannon) {
+  // The paper's core trend: more rates ⇒ less slack left for SIC.
+  const ShannonRateAdapter shannon{megahertz(20.0)};
+  const DiscreteRateAdapter b{RateTable::dot11b()};
+  const DiscreteRateAdapter g{RateTable::dot11g()};
+  double slack_b = 0.0;
+  double slack_g = 0.0;
+  int samples = 0;
+  for (double db = 6.0; db <= 30.0; db += 0.5) {
+    const double sinr = Decibels{db}.linear();
+    const double cap = shannon.rate(sinr).value();
+    slack_b += (cap - b.rate(sinr).value()) / cap;
+    slack_g += (cap - g.rate(sinr).value()) / cap;
+    ++samples;
+  }
+  EXPECT_GT(slack_b / samples, slack_g / samples);
+}
+
+}  // namespace
+}  // namespace sic::phy

@@ -1,0 +1,89 @@
+#include "phy/rate_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sic::phy {
+namespace {
+
+TEST(RateTable, DotElevenBHasFourRates) {
+  EXPECT_EQ(RateTable::dot11b().entries().size(), 4u);
+  EXPECT_DOUBLE_EQ(RateTable::dot11b().top_rate().megabits(), 11.0);
+}
+
+TEST(RateTable, DotElevenGHasEightRates) {
+  EXPECT_EQ(RateTable::dot11g().entries().size(), 8u);
+  EXPECT_DOUBLE_EQ(RateTable::dot11g().base_rate().megabits(), 6.0);
+  EXPECT_DOUBLE_EQ(RateTable::dot11g().top_rate().megabits(), 54.0);
+}
+
+TEST(RateTable, DotElevenNIsFinerThanG) {
+  // The paper's granularity argument: 4 (b) vs 8 (g) vs 32 nominal MCS in
+  // n. On the SINR frontier many of the 32 MCS are redundant (a lower
+  // stream count reaches the same rate more cheaply), so the usable ladder
+  // is ~14-18 rungs — still much finer than g's 8.
+  EXPECT_GT(RateTable::dot11n().entries().size(),
+            RateTable::dot11g().entries().size());
+  EXPECT_GE(RateTable::dot11n().entries().size(), 12u);
+  EXPECT_DOUBLE_EQ(RateTable::dot11n().top_rate().megabits(), 260.0);
+}
+
+TEST(RateTable, BestRateIsStepFunction) {
+  const auto& g = RateTable::dot11g();
+  EXPECT_DOUBLE_EQ(g.best_rate(Decibels{5.0}).value(), 0.0);  // below base
+  EXPECT_DOUBLE_EQ(g.best_rate(Decibels{6.0}).megabits(), 6.0);
+  EXPECT_DOUBLE_EQ(g.best_rate(Decibels{9.5}).megabits(), 12.0);
+  EXPECT_DOUBLE_EQ(g.best_rate(Decibels{24.6}).megabits(), 54.0);
+  EXPECT_DOUBLE_EQ(g.best_rate(Decibels{60.0}).megabits(), 54.0);
+}
+
+TEST(RateTable, BestRateMonotone) {
+  for (const RateTable* table :
+       {&RateTable::dot11b(), &RateTable::dot11g(), &RateTable::dot11n()}) {
+    double prev = -1.0;
+    for (double db = -5.0; db <= 50.0; db += 0.25) {
+      const double r = table->best_rate(Decibels{db}).value();
+      EXPECT_GE(r, prev) << table->name() << " at " << db << " dB";
+      prev = r;
+    }
+  }
+}
+
+TEST(RateTable, MinSinrForInvertsBestRate) {
+  const auto& g = RateTable::dot11g();
+  for (const auto& e : g.entries()) {
+    EXPECT_DOUBLE_EQ(g.min_sinr_for(e.rate).value(), e.min_sinr.value());
+    EXPECT_TRUE(g.supports(e.rate, e.min_sinr));
+    EXPECT_FALSE(g.supports(e.rate, e.min_sinr - Decibels{0.1}));
+  }
+}
+
+TEST(RateTable, MinSinrForUnknownRateThrows) {
+  EXPECT_THROW((void)RateTable::dot11g().min_sinr_for(megabits_per_second(7.0)),
+               std::logic_error);
+}
+
+TEST(RateTable, ConstructorRejectsNonMonotone) {
+  EXPECT_THROW(RateTable("bad", {{megabits_per_second(6.0), Decibels{6.0}},
+                                 {megabits_per_second(5.0), Decibels{7.0}}}),
+               std::logic_error);
+  EXPECT_THROW(RateTable("bad", {{megabits_per_second(6.0), Decibels{6.0}},
+                                 {megabits_per_second(9.0), Decibels{6.0}}}),
+               std::logic_error);
+  EXPECT_THROW(RateTable("empty", {}), std::logic_error);
+}
+
+TEST(RateTable, ThresholdsStrictlyIncreasingInAllCanonicalTables) {
+  for (const RateTable* table :
+       {&RateTable::dot11b(), &RateTable::dot11g(), &RateTable::dot11n()}) {
+    const auto entries = table->entries();
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      EXPECT_GT(entries[i].rate.value(), entries[i - 1].rate.value());
+      EXPECT_GT(entries[i].min_sinr.value(), entries[i - 1].min_sinr.value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sic::phy

@@ -1,0 +1,98 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace sic {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{7};
+  std::vector<int> seen(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const int v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++seen[static_cast<std::size_t>(v)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{11};
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sum2 / kN - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.25);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng{13};
+  int hits = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent{99};
+  Rng child = parent.fork();
+  // The child stream is deterministic given the parent seed...
+  Rng parent2{99};
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+  }
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm{0};
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2{0};
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+}  // namespace
+}  // namespace sic

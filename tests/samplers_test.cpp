@@ -1,0 +1,89 @@
+#include "topology/samplers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::topology {
+namespace {
+
+TEST(Samplers, TwoToOneRssConsistentWithDistance) {
+  Rng rng{1};
+  SamplerConfig config;
+  config.range_m = 40.0;
+  config.pathloss_exponent = 4.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto s = sample_two_to_one(rng, config);
+    EXPECT_LE(s.d1_m, config.range_m + 1e-9);
+    EXPECT_LE(s.d2_m, config.range_m + 1e-9);
+    const double expected1 = std::pow(std::max(1.0, s.d1_m), -4.0);
+    EXPECT_NEAR(s.s1.value(), expected1, expected1 * 1e-12);
+    EXPECT_DOUBLE_EQ(s.noise.value(), config.noise);
+  }
+}
+
+TEST(Samplers, TwoLinkGeometryFixed) {
+  Rng rng{2};
+  SamplerConfig config;
+  config.range_m = 30.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto s = sample_two_link(rng, config);
+    EXPECT_DOUBLE_EQ(s.t1.x, 0.0);
+    EXPECT_DOUBLE_EQ(s.t2.x, 30.0);
+    EXPECT_LE(distance(s.t1, s.r1), 30.0 + 1e-9);
+    EXPECT_LE(distance(s.t2, s.r2), 30.0 + 1e-9);
+    // All four RSS entries positive, noise as configured.
+    EXPECT_GT(s.rss.s11.value(), 0.0);
+    EXPECT_GT(s.rss.s12.value(), 0.0);
+    EXPECT_GT(s.rss.s21.value(), 0.0);
+    EXPECT_GT(s.rss.s22.value(), 0.0);
+  }
+}
+
+TEST(Samplers, TwoLinkOwnSignalUsuallyDecentButInterferenceReal) {
+  // Receivers sit in their own transmitter's disc, so S11/S22 dominate on
+  // average, yet a nontrivial fraction of draws put the receiver nearer the
+  // foreign transmitter — the raw material of Fig. 6.
+  Rng rng{3};
+  SamplerConfig config;
+  int interference_dominant = 0;
+  constexpr int kN = 5000;
+  for (int i = 0; i < kN; ++i) {
+    const auto s = sample_two_link(rng, config);
+    if (s.rss.s12 > s.rss.s11 || s.rss.s21 > s.rss.s22) {
+      ++interference_dominant;
+    }
+  }
+  const double frac = static_cast<double>(interference_dominant) / kN;
+  EXPECT_GT(frac, 0.02);
+  EXPECT_LT(frac, 0.5);
+}
+
+TEST(Samplers, UploadClientsSortedByRss) {
+  Rng rng{4};
+  SamplerConfig config;
+  const auto budgets = sample_upload_clients(rng, config, 10);
+  ASSERT_EQ(budgets.size(), 10u);
+  for (std::size_t i = 1; i < budgets.size(); ++i) {
+    EXPECT_GE(budgets[i - 1].rss.value(), budgets[i].rss.value());
+    EXPECT_DOUBLE_EQ(budgets[i].noise.value(), config.noise);
+  }
+}
+
+TEST(Samplers, UploadClientsEmptyAndSingle) {
+  Rng rng{5};
+  SamplerConfig config;
+  EXPECT_TRUE(sample_upload_clients(rng, config, 0).empty());
+  EXPECT_EQ(sample_upload_clients(rng, config, 1).size(), 1u);
+}
+
+TEST(Samplers, DeterministicAcrossSeeds) {
+  SamplerConfig config;
+  Rng a{77};
+  Rng b{77};
+  const auto sa = sample_two_link(a, config);
+  const auto sb = sample_two_link(b, config);
+  EXPECT_DOUBLE_EQ(sa.rss.s11.value(), sb.rss.s11.value());
+  EXPECT_DOUBLE_EQ(sa.rss.s22.value(), sb.rss.s22.value());
+}
+
+}  // namespace
+}  // namespace sic::topology

@@ -1,0 +1,75 @@
+#include "topology/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::topology {
+namespace {
+
+TEST(Scenarios, EwlanShape) {
+  const Deployment d = make_ewlan();
+  ASSERT_EQ(d.nodes.size(), 6u);
+  EXPECT_EQ(d.nodes[0].role, NodeRole::kAccessPoint);
+  EXPECT_EQ(d.nodes[1].role, NodeRole::kAccessPoint);
+  for (std::size_t i = 2; i < 6; ++i) {
+    EXPECT_EQ(d.nodes[i].role, NodeRole::kClient);
+  }
+  // Each AP's clients are within its cell.
+  const auto& ap1 = d.by_role(NodeRole::kAccessPoint, 0);
+  const auto& ap2 = d.by_role(NodeRole::kAccessPoint, 1);
+  EXPECT_LE(distance(d.by_role(NodeRole::kClient, 0).position, ap1.position),
+            15.0 + 1e-9);
+  EXPECT_LE(distance(d.by_role(NodeRole::kClient, 2).position, ap2.position),
+            15.0 + 1e-9);
+}
+
+TEST(Scenarios, EwlanClientsHearOwnApBetter) {
+  const Deployment d = make_ewlan(/*ap_separation_m=*/40.0,
+                                  /*cell_radius_m=*/12.0, /*seed=*/3);
+  const auto& ap1 = d.by_role(NodeRole::kAccessPoint, 0);
+  const auto& ap2 = d.by_role(NodeRole::kAccessPoint, 1);
+  const auto& c1 = d.by_role(NodeRole::kClient, 0);
+  EXPECT_GT(d.rss(c1, ap1).value(), d.rss(c1, ap2).value());
+}
+
+TEST(Scenarios, ResidentialC2ClosestToNeighborAp) {
+  // The Section 4.2 configuration: C2 hears AP2 louder than its own AP1.
+  const Deployment d = make_residential();
+  const auto& ap1 = d.by_role(NodeRole::kAccessPoint, 0);
+  const auto& ap2 = d.by_role(NodeRole::kAccessPoint, 1);
+  const auto& c2 = d.by_role(NodeRole::kClient, 1);
+  EXPECT_GT(d.rss(ap2, c2).value(), d.rss(ap1, c2).value());
+}
+
+TEST(Scenarios, MeshChainHopPattern) {
+  const Deployment d = make_mesh_chain(35.0, 10.0);
+  ASSERT_EQ(d.nodes.size(), 4u);
+  const auto& a = d.nodes[0];
+  const auto& c = d.nodes[1];
+  const auto& dd = d.nodes[2];
+  const auto& e = d.nodes[3];
+  EXPECT_DOUBLE_EQ(distance(a.position, c.position), 35.0);
+  EXPECT_DOUBLE_EQ(distance(c.position, dd.position), 10.0);
+  EXPECT_DOUBLE_EQ(distance(dd.position, e.position), 35.0);
+  // Long-short-long: C hears D much louder than it hears A.
+  EXPECT_GT(d.rss(dd, c).value(), d.rss(a, c).value());
+}
+
+TEST(Scenarios, RssSymmetricAndPositive) {
+  const Deployment d = make_ewlan();
+  for (const auto& from : d.nodes) {
+    for (const auto& to : d.nodes) {
+      if (from.id == to.id) continue;
+      EXPECT_GT(d.rss(from, to).value(), 0.0);
+      EXPECT_DOUBLE_EQ(d.rss(from, to).value(), d.rss(to, from).value());
+    }
+  }
+  EXPECT_GT(d.noise().value(), 0.0);
+}
+
+TEST(Scenarios, ByRoleThrowsWhenMissing) {
+  const Deployment d = make_mesh_chain();
+  EXPECT_THROW((void)d.by_role(NodeRole::kAccessPoint, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::topology

@@ -1,0 +1,126 @@
+#include "phy/sic_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::phy {
+namespace {
+
+constexpr Hertz kB = megahertz(20.0);
+constexpr Milliwatts kN0{1.0};
+
+TwoSignalArrival arrival_db(double strong_db, double weak_db) {
+  return TwoSignalArrival::make(Milliwatts{Decibels{strong_db}.linear()},
+                                Milliwatts{Decibels{weak_db}.linear()}, kN0);
+}
+
+class SicDecoderTest : public ::testing::Test {
+ protected:
+  ShannonRateAdapter adapter_{kB};
+};
+
+TEST_F(SicDecoderTest, DecodesBothAtFeasibleRates) {
+  const SicDecoder decoder{adapter_};
+  const auto a = arrival_db(30.0, 15.0);
+  const auto r1 = sic_rate_stronger(kB, a);
+  const auto r2 = sic_rate_weaker(kB, a);
+  const auto out = decoder.decode(a, r1, r2);
+  EXPECT_TRUE(out.stronger_decoded);
+  EXPECT_TRUE(out.weaker_decoded);
+  EXPECT_TRUE(out.both());
+}
+
+TEST_F(SicDecoderTest, StrongerAboveFeasibleRateKillsBoth) {
+  const SicDecoder decoder{adapter_};
+  const auto a = arrival_db(30.0, 15.0);
+  const auto r1_too_fast =
+      BitsPerSecond{sic_rate_stronger(kB, a).value() * 1.01};
+  const auto out = decoder.decode(a, r1_too_fast, sic_rate_weaker(kB, a));
+  // Cannot decode the stronger ⇒ cannot cancel ⇒ weaker also lost.
+  EXPECT_FALSE(out.stronger_decoded);
+  EXPECT_FALSE(out.weaker_decoded);
+  EXPECT_TRUE(out.none());
+}
+
+TEST_F(SicDecoderTest, WeakerAboveFeasibleRateLosesOnlyWeaker) {
+  const SicDecoder decoder{adapter_};
+  const auto a = arrival_db(30.0, 15.0);
+  const auto r2_too_fast = BitsPerSecond{sic_rate_weaker(kB, a).value() * 1.01};
+  const auto out = decoder.decode(a, sic_rate_stronger(kB, a), r2_too_fast);
+  EXPECT_TRUE(out.stronger_decoded);
+  EXPECT_FALSE(out.weaker_decoded);
+}
+
+TEST_F(SicDecoderTest, NonSicReceiverNeverRecoversWeaker) {
+  SicDecoderConfig config;
+  config.sic_capable = false;
+  const SicDecoder decoder{adapter_, config};
+  const auto a = arrival_db(30.0, 15.0);
+  const auto out =
+      decoder.decode(a, sic_rate_stronger(kB, a), sic_rate_weaker(kB, a));
+  EXPECT_TRUE(out.stronger_decoded);
+  EXPECT_FALSE(out.weaker_decoded);
+}
+
+TEST_F(SicDecoderTest, ResidualBlocksWeakerAtItsPerfectRate) {
+  SicDecoderConfig config;
+  config.cancellation_residual = 0.05;
+  const SicDecoder decoder{adapter_, config};
+  const auto a = arrival_db(30.0, 15.0);
+  // The rate assumes perfect cancellation; 5% residual of a 30 dB signal
+  // leaves ~17 dB of interference against a 15 dB signal.
+  const auto out =
+      decoder.decode(a, sic_rate_stronger(kB, a), sic_rate_weaker(kB, a));
+  EXPECT_TRUE(out.stronger_decoded);
+  EXPECT_FALSE(out.weaker_decoded);
+}
+
+TEST_F(SicDecoderTest, AdcSaturationGuard) {
+  SicDecoderConfig config;
+  config.max_decodable_disparity = Decibels{30.0};
+  const SicDecoder decoder{adapter_, config};
+  const auto near = arrival_db(35.0, 10.0);  // 25 dB apart: fine
+  EXPECT_TRUE(decoder
+                  .decode(near, sic_rate_stronger(kB, near),
+                          sic_rate_weaker(kB, near))
+                  .weaker_decoded);
+  const auto far = arrival_db(45.0, 10.0);  // 35 dB apart: saturated
+  EXPECT_FALSE(decoder
+                   .decode(far, sic_rate_stronger(kB, far),
+                           sic_rate_weaker(kB, far))
+                   .weaker_decoded);
+}
+
+TEST_F(SicDecoderTest, DecodeSingleIsCleanSnrCheck) {
+  const SicDecoder decoder{adapter_};
+  const Milliwatts s{Decibels{20.0}.linear()};
+  const auto feasible = shannon_rate(kB, s, kN0);
+  EXPECT_TRUE(decoder.decode_single(s, kN0, feasible));
+  EXPECT_FALSE(decoder.decode_single(
+      s, kN0, BitsPerSecond{feasible.value() * 1.0001}));
+}
+
+TEST_F(SicDecoderTest, DiscreteAdapterIntegration) {
+  // Example from Section 3.2: SNRs of 40/50/30 dB. T2 at r10 ⇒ both decode;
+  // T2 at r30 ⇒ neither (with the discrete g table as the rate oracle).
+  const DiscreteRateAdapter g{RateTable::dot11g()};
+  const SicDecoder decoder{g};
+  const auto a = arrival_db(50.0, 40.0);  // T2 stronger (50), T1 weaker (40)
+  const auto r10 = g.rate(Decibels{10.0}.linear());
+  const auto r30 = g.rate(Decibels{30.0}.linear());
+  const auto r40 = g.rate(Decibels{40.0}.linear());
+  ASSERT_GT(r30.value(), r10.value());
+  // T2 transmitting at a rate supported by 10 dB SINR: both decodable.
+  EXPECT_TRUE(decoder.decode(a, r10, r40).both());
+  // T2 at a 30 dB rate: SINR of 10 dB cannot support it — both lost.
+  EXPECT_TRUE(decoder.decode(a, r30, r40).none());
+}
+
+TEST(SicDecoderConfigTest, RejectsBadResidual) {
+  const ShannonRateAdapter adapter{kB};
+  SicDecoderConfig config;
+  config.cancellation_residual = 1.5;
+  EXPECT_THROW((SicDecoder{adapter, config}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::phy

@@ -1,0 +1,115 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sic::analysis {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const std::vector<double> one{7.0};
+  const Summary s = summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Cdf, AtAndFractionAbove) {
+  const EmpiricalCdf cdf{{1.0, 2.0, 2.0, 3.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_above(2.0), 0.25);
+}
+
+TEST(Cdf, Quantiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const EmpiricalCdf cdf{std::move(xs)};
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 90.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, CurveEndpointsAndMonotonicity) {
+  const EmpiricalCdf cdf{{3.0, 1.0, 2.0, 5.0, 4.0}};
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().x, 5.0);
+  EXPECT_DOUBLE_EQ(curve.back().f, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].f, curve[i - 1].f);
+  }
+}
+
+TEST(Cdf, EmptyRejected) {
+  EXPECT_THROW(EmpiricalCdf{std::vector<double>{}}, std::logic_error);
+}
+
+TEST(Bootstrap, CoversTrueFraction) {
+  // Bernoulli(0.3) samples: the CI around the empirical fraction should
+  // cover 0.3 and shrink with sample size.
+  Rng rng{5};
+  std::vector<double> small_sample;
+  std::vector<double> big_sample;
+  for (int i = 0; i < 200; ++i) {
+    small_sample.push_back(rng.chance(0.3) ? 2.0 : 0.5);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    big_sample.push_back(rng.chance(0.3) ? 2.0 : 0.5);
+  }
+  const auto ci_small = bootstrap_fraction_above(small_sample, 1.0);
+  const auto ci_big = bootstrap_fraction_above(big_sample, 1.0);
+  EXPECT_TRUE(ci_small.contains(ci_small.point));
+  EXPECT_NEAR(ci_big.point, 0.3, 0.03);
+  EXPECT_TRUE(ci_big.contains(ci_big.point));
+  EXPECT_LT(ci_big.hi - ci_big.lo, ci_small.hi - ci_small.lo);
+  EXPECT_LE(ci_big.lo, ci_big.point);
+  EXPECT_GE(ci_big.hi, ci_big.point);
+}
+
+TEST(Bootstrap, DegenerateSamples) {
+  const std::vector<double> all_above{2.0, 3.0, 4.0};
+  const auto ci = bootstrap_fraction_above(all_above, 1.0);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 1.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+  const std::vector<double> none_above{0.1, 0.2};
+  const auto ci0 = bootstrap_fraction_above(none_above, 1.0);
+  EXPECT_DOUBLE_EQ(ci0.point, 0.0);
+}
+
+TEST(Bootstrap, DeterministicPerSeed) {
+  std::vector<double> xs;
+  Rng rng{9};
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform(0.0, 2.0));
+  const auto a = bootstrap_fraction_above(xs, 1.0, 0.95, 500, 7);
+  const auto b = bootstrap_fraction_above(xs, 1.0, 0.95, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Cdf, QuantileOutOfRangeRejected) {
+  const EmpiricalCdf cdf{{1.0}};
+  EXPECT_THROW((void)cdf.quantile(1.5), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::analysis

@@ -1,0 +1,87 @@
+#include "analysis/trace_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "trace/generator.hpp"
+
+namespace sic::analysis {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+trace::RssiTrace small_trace() {
+  trace::BuildingConfig config;
+  config.duration_s = 6 * 3600;
+  config.diurnal = false;  // stationary occupancy keeps the cells dense
+  return generate_building_trace(config, 31);
+}
+
+TEST(UploadTraceEval, GainsAtLeastOneAndOrdered) {
+  const auto gains = evaluate_upload_trace(small_trace(), kShannon);
+  ASSERT_GT(gains.cells_evaluated, 10);
+  ASSERT_EQ(gains.pairing.size(), gains.power_control.size());
+  ASSERT_EQ(gains.pairing.size(), gains.multirate.size());
+  for (std::size_t i = 0; i < gains.pairing.size(); ++i) {
+    EXPECT_GE(gains.pairing[i], 1.0 - 1e-12);
+    // Techniques dominate plain pairing per cell.
+    EXPECT_GE(gains.power_control[i] + 1e-9, gains.pairing[i]);
+    EXPECT_GE(gains.multirate[i] + 1e-9, gains.pairing[i]);
+    // Blossom dominates greedy per cell.
+    EXPECT_GE(gains.pairing[i] + 1e-9, gains.greedy_pairing[i]);
+  }
+}
+
+TEST(UploadTraceEval, RespectsMinClients) {
+  UploadTraceEvalConfig config;
+  config.min_clients = 3;
+  const auto strict = evaluate_upload_trace(small_trace(), kShannon, config);
+  const auto loose = evaluate_upload_trace(small_trace(), kShannon);
+  EXPECT_LT(strict.cells_evaluated, loose.cells_evaluated);
+}
+
+TEST(DownloadTraceEval, ShapeAndBounds) {
+  trace::LinkTraceConfig config;
+  const auto link_trace = trace::generate_link_trace(config, 17);
+  DownloadTraceEvalConfig eval;
+  eval.pair_samples = 500;
+  const auto gains = evaluate_download_trace(link_trace, kShannon, eval);
+  ASSERT_EQ(gains.plain.size(), 500u);
+  ASSERT_EQ(gains.packing.size(), 500u);
+  for (std::size_t i = 0; i < gains.plain.size(); ++i) {
+    EXPECT_GE(gains.plain[i], 1.0);
+    EXPECT_GE(gains.packing[i] + 1e-12, gains.plain[i]);
+  }
+}
+
+TEST(DownloadTraceEval, DiscreteRatesBeatContinuous) {
+  // Fig. 14's point: quantization slack gives SIC more room under the
+  // discrete 802.11g ladder than under ideal Shannon adaptation.
+  trace::LinkTraceConfig config;
+  const auto link_trace = trace::generate_link_trace(config, 17);
+  DownloadTraceEvalConfig eval;
+  eval.pair_samples = 2000;
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  const auto cont = evaluate_download_trace(link_trace, kShannon, eval);
+  const auto disc = evaluate_download_trace(link_trace, g, eval);
+  const double cont_frac =
+      EmpiricalCdf{cont.packing}.fraction_above(1.2);
+  const double disc_frac =
+      EmpiricalCdf{disc.packing}.fraction_above(1.2);
+  EXPECT_GE(disc_frac, cont_frac);
+}
+
+TEST(DownloadTraceEval, DeterministicPerSeed) {
+  trace::LinkTraceConfig config;
+  const auto link_trace = trace::generate_link_trace(config, 23);
+  DownloadTraceEvalConfig eval;
+  eval.pair_samples = 100;
+  const auto a = evaluate_download_trace(link_trace, kShannon, eval);
+  const auto b = evaluate_download_trace(link_trace, kShannon, eval);
+  for (std::size_t i = 0; i < a.plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.plain[i], b.plain[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sic::analysis

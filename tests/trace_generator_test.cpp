@@ -1,0 +1,130 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sic::trace {
+namespace {
+
+BuildingConfig small_config() {
+  BuildingConfig config;
+  config.duration_s = 4 * 3600;  // 4 hours for test speed
+  config.diurnal = false;        // stationary occupancy for exact checks
+  return config;
+}
+
+TEST(TraceGenerator, SnapshotCadence) {
+  const auto config = small_config();
+  const RssiTrace trace = generate_building_trace(config, 1);
+  EXPECT_EQ(trace.snapshots.size(),
+            static_cast<std::size_t>(config.duration_s /
+                                     config.snapshot_period_s));
+  for (std::size_t i = 0; i < trace.snapshots.size(); ++i) {
+    EXPECT_EQ(trace.snapshots[i].timestamp_s,
+              static_cast<std::int64_t>(i) * config.snapshot_period_s);
+  }
+}
+
+TEST(TraceGenerator, EveryApPresentInEverySnapshot) {
+  const auto config = small_config();
+  const RssiTrace trace = generate_building_trace(config, 2);
+  const std::size_t n_aps =
+      static_cast<std::size_t>(config.ap_grid_x * config.ap_grid_y);
+  for (const auto& snap : trace.snapshots) {
+    EXPECT_EQ(snap.aps.size(), n_aps);
+  }
+}
+
+TEST(TraceGenerator, ClientAppearsAtMostOncePerSnapshot) {
+  const RssiTrace trace = generate_building_trace(small_config(), 3);
+  for (const auto& snap : trace.snapshots) {
+    std::set<std::uint32_t> seen;
+    for (const auto& ap : snap.aps) {
+      for (const auto& obs : ap.clients) {
+        EXPECT_TRUE(seen.insert(obs.client_id).second)
+            << "client associated with two APs in one snapshot";
+      }
+    }
+  }
+}
+
+TEST(TraceGenerator, RssiAboveAssociationFloor) {
+  const auto config = small_config();
+  const RssiTrace trace = generate_building_trace(config, 4);
+  for (const auto& snap : trace.snapshots) {
+    for (const auto& ap : snap.aps) {
+      for (const auto& obs : ap.clients) {
+        EXPECT_GE(obs.rssi_dbm, config.association_floor_dbm);
+        EXPECT_LT(obs.rssi_dbm, config.client_tx_power_dbm);
+      }
+    }
+  }
+}
+
+TEST(TraceGenerator, PresenceMatchesDutyCycle) {
+  auto config = small_config();
+  config.presence_probability = 0.5;
+  const RssiTrace trace = generate_building_trace(config, 5);
+  const double expected =
+      trace.snapshots.size() * config.client_population * 0.5;
+  const double actual = static_cast<double>(trace.total_observations());
+  // Association floor drops a few observations; allow slack on both sides.
+  EXPECT_GT(actual, expected * 0.6);
+  EXPECT_LT(actual, expected * 1.1);
+}
+
+TEST(TraceGenerator, DeterministicPerSeed) {
+  const auto a = generate_building_trace(small_config(), 9);
+  const auto b = generate_building_trace(small_config(), 9);
+  ASSERT_EQ(a.total_observations(), b.total_observations());
+  ASSERT_EQ(a.snapshots.size(), b.snapshots.size());
+  for (std::size_t i = 0; i < a.snapshots.size(); ++i) {
+    ASSERT_EQ(a.snapshots[i].aps.size(), b.snapshots[i].aps.size());
+  }
+}
+
+TEST(TraceGenerator, DiurnalFactorShape) {
+  // Trace starts Monday 00:00. Weekday peak around 13:00 is ~1; 03:00 is
+  // near the floor; Saturday noon sits between.
+  const double monday_1pm = diurnal_presence_factor(13 * 3600);
+  const double monday_3am = diurnal_presence_factor(3 * 3600);
+  const double saturday_1pm = diurnal_presence_factor((5 * 24 + 13) * 3600);
+  EXPECT_GT(monday_1pm, 0.9);
+  EXPECT_LT(monday_3am, 0.15);
+  EXPECT_GT(saturday_1pm, monday_3am);
+  EXPECT_LT(saturday_1pm, 0.5 * monday_1pm);
+}
+
+TEST(TraceGenerator, DiurnalTraceIsBusierAtNoonThanAtNight) {
+  BuildingConfig config;
+  config.duration_s = 24 * 3600;
+  config.diurnal = true;
+  const RssiTrace trace = generate_building_trace(config, 8);
+  std::size_t noon = 0;
+  std::size_t night = 0;
+  for (const auto& snap : trace.snapshots) {
+    const int hour = static_cast<int>((snap.timestamp_s / 3600) % 24);
+    std::size_t present = 0;
+    for (const auto& ap : snap.aps) present += ap.clients.size();
+    if (hour >= 11 && hour < 15) noon += present;
+    if (hour >= 1 && hour < 5) night += present;
+  }
+  EXPECT_GT(noon, 5 * std::max<std::size_t>(night, 1));
+}
+
+TEST(TraceGenerator, MultipleClientsPerApOccur) {
+  // Fig. 13 needs (snapshot, AP) cells with >= 2 clients; the default
+  // building must produce plenty.
+  const RssiTrace trace = generate_building_trace(small_config(), 6);
+  int multi = 0;
+  for (const auto& snap : trace.snapshots) {
+    for (const auto& ap : snap.aps) {
+      if (ap.clients.size() >= 2) ++multi;
+    }
+  }
+  EXPECT_GT(multi, 20);
+}
+
+}  // namespace
+}  // namespace sic::trace

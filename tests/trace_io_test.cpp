@@ -1,0 +1,86 @@
+#include "trace/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace sic::trace {
+namespace {
+
+RssiTrace tiny_trace() {
+  RssiTrace t;
+  Snapshot s0;
+  s0.timestamp_s = 0;
+  s0.aps.push_back(ApSnapshot{0, {{10, -55.5}, {11, -71.25}}});
+  s0.aps.push_back(ApSnapshot{1, {{12, -60.0}}});
+  Snapshot s1;
+  s1.timestamp_s = 900;
+  s1.aps.push_back(ApSnapshot{0, {{10, -56.0}}});
+  t.snapshots = {s0, s1};
+  return t;
+}
+
+TEST(TraceIo, RoundTripPreservesObservations) {
+  const RssiTrace original = tiny_trace();
+  std::stringstream ss;
+  write_csv(original, ss);
+  const RssiTrace parsed = read_csv(ss);
+  ASSERT_EQ(parsed.snapshots.size(), 2u);
+  EXPECT_EQ(parsed.snapshots[0].timestamp_s, 0);
+  EXPECT_EQ(parsed.snapshots[1].timestamp_s, 900);
+  EXPECT_EQ(parsed.total_observations(), original.total_observations());
+  // Find AP 0's clients in the first snapshot.
+  const auto& ap0 = parsed.snapshots[0].aps[0];
+  ASSERT_EQ(ap0.clients.size(), 2u);
+  EXPECT_EQ(ap0.clients[0].client_id, 10u);
+  EXPECT_DOUBLE_EQ(ap0.clients[0].rssi_dbm, -55.5);
+  EXPECT_DOUBLE_EQ(ap0.clients[1].rssi_dbm, -71.25);
+}
+
+TEST(TraceIo, HeaderValidated) {
+  std::stringstream ss{"wrong,header\n"};
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+  std::stringstream empty{""};
+  EXPECT_THROW((void)read_csv(empty), std::runtime_error);
+}
+
+TEST(TraceIo, MalformedRowRejected) {
+  std::stringstream ss{
+      "timestamp_s,ap_id,client_id,rssi_dbm\n0,1,notanumber,-50\n"};
+  EXPECT_THROW((void)read_csv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, BlankLinesIgnored) {
+  std::stringstream ss{
+      "timestamp_s,ap_id,client_id,rssi_dbm\n0,0,1,-50\n\n900,0,1,-51\n"};
+  const RssiTrace t = read_csv(ss);
+  EXPECT_EQ(t.snapshots.size(), 2u);
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrips) {
+  BuildingConfig config;
+  config.duration_s = 2 * 3600;
+  const RssiTrace original = generate_building_trace(config, 21);
+  std::stringstream ss;
+  write_csv(original, ss);
+  const RssiTrace parsed = read_csv(ss);
+  EXPECT_EQ(parsed.total_observations(), original.total_observations());
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const RssiTrace original = tiny_trace();
+  const std::string path = ::testing::TempDir() + "/sicmac_trace_test.csv";
+  write_csv_file(original, path);
+  const RssiTrace parsed = read_csv_file(path);
+  EXPECT_EQ(parsed.total_observations(), original.total_observations());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_csv_file("/nonexistent/sicmac.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sic::trace

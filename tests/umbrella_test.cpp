@@ -1,0 +1,46 @@
+/// Compile-and-smoke test for the umbrella header: one include must expose
+/// the whole public API, with every layer usable together.
+
+#include "sicmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EveryLayerReachable) {
+  using namespace sic;
+  // util
+  Rng rng{1};
+  EXPECT_GE(rng.uniform(0.0, 1.0), 0.0);
+  // phy
+  const phy::ShannonRateAdapter adapter{megahertz(20.0)};
+  EXPECT_GT(adapter.rate(10.0).value(), 0.0);
+  // channel
+  const auto link = channel::LinkBudget::from_snr_db(Decibels{20.0});
+  EXPECT_GT(link.snr(), 0.0);
+  // topology
+  const auto mesh = topology::make_mesh_chain();
+  EXPECT_EQ(mesh.nodes.size(), 4u);
+  // matching
+  matching::CostMatrix costs{2};
+  costs.set(0, 1, 1.0);
+  EXPECT_EQ(matching::min_weight_perfect_matching(costs).pairs.size(), 1u);
+  // core
+  const auto ctx = core::UploadPairContext::make(
+      Milliwatts{100.0}, Milliwatts{10.0}, Milliwatts{1.0}, adapter);
+  EXPECT_GE(core::realized_gain(ctx), 1.0);
+  // mac
+  mac::EventQueue queue;
+  queue.schedule_at(5, [] {});
+  queue.run();
+  EXPECT_EQ(queue.now(), 5);
+  // trace
+  trace::BuildingConfig config;
+  config.duration_s = 1800;
+  EXPECT_FALSE(trace::generate_building_trace(config, 1).snapshots.empty());
+  // analysis
+  const analysis::EmpiricalCdf cdf{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 2.0);
+}
+
+}  // namespace

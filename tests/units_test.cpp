@@ -1,0 +1,87 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace sic {
+namespace {
+
+TEST(Units, DecibelLinearRoundTrip) {
+  for (const double db : {-30.0, -10.0, 0.0, 3.0103, 10.0, 40.0}) {
+    const Decibels d{db};
+    EXPECT_NEAR(Decibels::from_linear(d.linear()).value(), db, 1e-9);
+  }
+}
+
+TEST(Units, DecibelArithmetic) {
+  const Decibels a{10.0};
+  const Decibels b{3.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 13.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 7.0);
+  EXPECT_DOUBLE_EQ((-a).value(), -10.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).value(), 20.0);
+}
+
+TEST(Units, TenDbIsFactorTen) {
+  EXPECT_NEAR(Decibels{10.0}.linear(), 10.0, 1e-12);
+  EXPECT_NEAR(Decibels{20.0}.linear(), 100.0, 1e-10);
+  EXPECT_NEAR(Decibels{-10.0}.linear(), 0.1, 1e-12);
+}
+
+TEST(Units, DbmMilliwattsRoundTrip) {
+  const Dbm p{-94.0};
+  const Milliwatts mw = p.to_milliwatts();
+  EXPECT_NEAR(Dbm::from_milliwatts(mw).value(), -94.0, 1e-9);
+  EXPECT_NEAR(Dbm{0.0}.to_milliwatts().value(), 1.0, 1e-12);
+  EXPECT_NEAR(Dbm{30.0}.to_milliwatts().value(), 1000.0, 1e-9);
+}
+
+TEST(Units, DbmPlusGainIsAbsolute) {
+  const Dbm p{-60.0};
+  EXPECT_DOUBLE_EQ((p + Decibels{15.0}).value(), -45.0);
+  EXPECT_DOUBLE_EQ((p - Decibels{15.0}).value(), -75.0);
+  EXPECT_DOUBLE_EQ((Dbm{-40.0} - Dbm{-70.0}).value(), 30.0);
+}
+
+TEST(Units, MilliwattArithmetic) {
+  const Milliwatts a{4.0};
+  const Milliwatts b{1.0};
+  EXPECT_DOUBLE_EQ((a + b).value(), 5.0);
+  EXPECT_DOUBLE_EQ((a - b).value(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).value(), 2.0);
+}
+
+TEST(Units, BandwidthAndRateHelpers) {
+  EXPECT_DOUBLE_EQ(megahertz(20.0).value(), 20e6);
+  EXPECT_DOUBLE_EQ(megabits_per_second(54.0).value(), 54e6);
+  EXPECT_DOUBLE_EQ(megabits_per_second(54.0).megabits(), 54.0);
+}
+
+TEST(Units, AirtimeBasics) {
+  EXPECT_DOUBLE_EQ(airtime_seconds(12e6, megabits_per_second(12.0)), 1.0);
+  EXPECT_DOUBLE_EQ(airtime_seconds(6e6, megabits_per_second(12.0)), 0.5);
+}
+
+TEST(Units, AirtimeAtZeroRateIsInfinite) {
+  EXPECT_TRUE(std::isinf(airtime_seconds(1000.0, BitsPerSecond{0.0})));
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << Decibels{3.5} << ' ' << Dbm{-94.0} << ' ' << Milliwatts{2.0} << ' '
+     << megabits_per_second(54.0);
+  EXPECT_EQ(os.str(), "3.5 dB -94 dBm 2 mW 54 Mbps");
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Decibels{3.0}, Decibels{4.0});
+  EXPECT_GT(Milliwatts{2.0}, Milliwatts{1.0});
+  EXPECT_LE(Dbm{-90.0}, Dbm{-90.0});
+  EXPECT_LT(BitsPerSecond{1e6}, BitsPerSecond{2e6});
+}
+
+}  // namespace
+}  // namespace sic

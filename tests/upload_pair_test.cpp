@@ -1,0 +1,145 @@
+#include "core/upload_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/mathx.hpp"
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+constexpr Milliwatts kN0{1.0};
+
+UploadPairContext ctx_db(double s1_db, double s2_db, double bits = 12000.0) {
+  return UploadPairContext::make(Milliwatts{Decibels{s1_db}.linear()},
+                                 Milliwatts{Decibels{s2_db}.linear()}, kN0,
+                                 kShannon, bits);
+}
+
+TEST(UploadPair, SerialAirtimeIsEquation5) {
+  const auto ctx = ctx_db(20.0, 10.0);
+  const double r1 = kShannon.rate(Decibels{20.0}.linear()).value();
+  const double r2 = kShannon.rate(Decibels{10.0}.linear()).value();
+  EXPECT_NEAR(serial_airtime(ctx), 12000.0 / r1 + 12000.0 / r2, 1e-12);
+}
+
+TEST(UploadPair, SicAirtimeIsEquation6) {
+  const auto ctx = ctx_db(20.0, 10.0);
+  const auto rates = sic_rates(ctx);
+  const double expect = std::max(12000.0 / rates.stronger.value(),
+                                 12000.0 / rates.weaker.value());
+  EXPECT_NEAR(sic_airtime(ctx), expect, 1e-12);
+}
+
+TEST(UploadPair, SicRatesMatchEquations1And2) {
+  const auto ctx = ctx_db(24.0, 11.0);
+  const auto rates = sic_rates(ctx);
+  const double s1 = Decibels{24.0}.linear();
+  const double s2 = Decibels{11.0}.linear();
+  EXPECT_NEAR(rates.stronger.value(), 20e6 * log2_1p(s1 / (s2 + 1.0)), 1.0);
+  EXPECT_NEAR(rates.weaker.value(), 20e6 * log2_1p(s2), 1.0);
+}
+
+TEST(UploadPair, GainPeaksAtSquareRelationship) {
+  // Fig. 4: for fixed S², the gain over S¹ peaks where SNR₁ ≈ 2·SNR₂ in dB.
+  const double s2_db = 12.0;
+  double best_gain = 0.0;
+  double best_s1_db = 0.0;
+  for (double s1_db = s2_db; s1_db <= 40.0; s1_db += 0.05) {
+    const double g = sic_gain(ctx_db(s1_db, s2_db));
+    if (g > best_gain) {
+      best_gain = g;
+      best_s1_db = s1_db;
+    }
+  }
+  EXPECT_NEAR(best_s1_db, 2.0 * s2_db, 0.75);
+  EXPECT_GT(best_gain, 1.4);
+}
+
+TEST(UploadPair, EqualRateStrongerRssClosedForm) {
+  const Milliwatts weaker{Decibels{12.0}.linear()};
+  const Milliwatts target = equal_rate_stronger_rss(weaker, kN0);
+  // At that stronger RSS the two SIC rates coincide.
+  const auto ctx = UploadPairContext::make(target, weaker, kN0, kShannon);
+  const auto rates = sic_rates(ctx);
+  EXPECT_NEAR(rates.stronger.value(), rates.weaker.value(),
+              rates.weaker.value() * 1e-9);
+  // And the square law: S¹* = S²(S²+N₀)/N₀ ≈ (S²)² for large S², i.e.
+  // ~24 dB for a 12 dB weaker signal (slightly above, by the +N₀ term).
+  EXPECT_NEAR(Decibels::from_linear(target.value()).value(), 24.0, 0.35);
+}
+
+TEST(UploadPair, GainAtEqualRatesIsMaximal) {
+  // On the ridge the full serial exchange collapses into one airtime.
+  const Milliwatts weaker{Decibels{15.0}.linear()};
+  const Milliwatts stronger = equal_rate_stronger_rss(weaker, kN0);
+  const auto ctx = UploadPairContext::make(stronger, weaker, kN0, kShannon);
+  // Z+ = the weaker's clean airtime; Z- = stronger clean + weaker clean.
+  const double z_plus = sic_airtime(ctx);
+  const double weaker_clean =
+      airtime_seconds(12000.0, kShannon.rate(weaker.value()));
+  EXPECT_NEAR(z_plus, weaker_clean, 1e-12);
+  EXPECT_GT(sic_gain(ctx), 1.5);
+}
+
+TEST(UploadPair, ExtremeDisparityApproachesNoGain) {
+  // Far off the ridge SIC degenerates: Z+ ≈ the weaker link's airtime ≈
+  // the whole serial exchange.
+  const double g = sic_gain(ctx_db(60.0, 3.0));
+  EXPECT_LT(g, 1.2);
+  EXPECT_GT(g, 0.9);
+}
+
+TEST(UploadPair, RealizedGainClampsAtOne) {
+  for (double s1 = 5.0; s1 <= 45.0; s1 += 5.0) {
+    for (double s2 = 1.0; s2 <= s1; s2 += 4.0) {
+      EXPECT_GE(realized_gain(ctx_db(s1, s2)), 1.0);
+    }
+  }
+}
+
+TEST(UploadPair, GainIndependentOfPacketLength) {
+  // Both Z's scale linearly in L, so the ratio is L-free.
+  const double g_small = sic_gain(ctx_db(22.0, 11.0, 1000.0));
+  const double g_large = sic_gain(ctx_db(22.0, 11.0, 1e6));
+  EXPECT_NEAR(g_small, g_large, 1e-12);
+}
+
+TEST(UploadPair, DeadWeakLinkMakesSicInfeasible) {
+  const auto ctx = UploadPairContext::make(Milliwatts{100.0}, Milliwatts{0.0},
+                                           kN0, kShannon);
+  EXPECT_TRUE(std::isinf(sic_airtime(ctx)));
+  EXPECT_TRUE(std::isinf(serial_airtime(ctx)));
+  EXPECT_DOUBLE_EQ(sic_gain(ctx), 0.0);
+}
+
+TEST(UploadPair, MakeRejectsBadLength) {
+  EXPECT_THROW((void)UploadPairContext::make(Milliwatts{1.0}, Milliwatts{1.0},
+                                             kN0, kShannon, 0.0),
+               std::logic_error);
+}
+
+/// Discrete rates leave slack for SIC to harvest (Section 7): with the
+/// 802.11g ladder the realized gain is never below the Shannon-policy gain
+/// in these sampled geometries.
+class DiscreteSlack : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DiscreteSlack, RealizedGainAtLeastOne) {
+  const auto [s1_db, s2_db] = GetParam();
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  const auto ctx = UploadPairContext::make(
+      Milliwatts{Decibels{s1_db}.linear()},
+      Milliwatts{Decibels{s2_db}.linear()}, kN0, g);
+  EXPECT_GE(realized_gain(ctx), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DiscreteSlack,
+    ::testing::Values(std::pair{30.0, 15.0}, std::pair{24.0, 12.0},
+                      std::pair{40.0, 20.0}, std::pair{18.0, 9.0},
+                      std::pair{12.0, 6.0}, std::pair{50.0, 25.0}));
+
+}  // namespace
+}  // namespace sic::core

@@ -1,0 +1,156 @@
+#include "mac/upload_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sic::mac {
+namespace {
+
+constexpr Milliwatts kN0{1.0};
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+std::vector<channel::LinkBudget> clients_db(std::initializer_list<double> snrs) {
+  std::vector<channel::LinkBudget> out;
+  for (const double db : snrs) {
+    out.push_back(channel::LinkBudget{Milliwatts{Decibels{db}.linear()}, kN0});
+  }
+  return out;
+}
+
+TEST(UploadSim, DcfDeliversBacklog) {
+  const auto clients = clients_db({25.0, 18.0, 30.0});
+  UploadSimConfig config;
+  config.frames_per_client = 3;
+  const auto result = run_dcf_upload(clients, kShannon, config);
+  EXPECT_EQ(result.offered, 9u);
+  EXPECT_GT(result.delivered, 6u);
+  EXPECT_GT(result.completion_s, 0.0);
+}
+
+TEST(UploadSim, ScheduledPlainPairsAllDecode) {
+  // The executable-feasibility check: every pair the scheduler plans as
+  // concurrent must decode at the AP under the medium's SIC model.
+  const auto clients = clients_db({30.0, 24.0, 15.0, 12.0, 20.0, 10.0});
+  core::SchedulerOptions options;
+  const auto schedule = core::schedule_upload(clients, kShannon, options);
+  UploadSimConfig config;
+  const auto result = run_scheduled_upload(clients, kShannon, schedule, config);
+  EXPECT_EQ(result.delivered, result.offered);
+  EXPECT_EQ(result.offered, 6u);
+}
+
+TEST(UploadSim, ScheduledPowerControlPairsAllDecode) {
+  const auto clients = clients_db({30.0, 29.0, 21.0, 20.0, 16.0});
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  const auto schedule = core::schedule_upload(clients, kShannon, options);
+  UploadSimConfig config;
+  const auto result = run_scheduled_upload(clients, kShannon, schedule, config);
+  EXPECT_EQ(result.delivered, result.offered);
+  EXPECT_EQ(result.offered, 5u);
+}
+
+TEST(UploadSim, ScheduledMultiratePairsAllDecode) {
+  // Close-RSS cell: the scheduler picks multirate slots, which the runner
+  // executes as fragment bursts; every packet must still complete.
+  const auto clients = clients_db({26.0, 25.0, 21.0, 20.0});
+  core::SchedulerOptions options;
+  options.enable_multirate = true;
+  const auto schedule = core::schedule_upload(clients, kShannon, options);
+  bool has_multirate = false;
+  for (const auto& slot : schedule.slots) {
+    if (slot.plan.mode == core::PairMode::kSicMultirate) has_multirate = true;
+  }
+  ASSERT_TRUE(has_multirate) << "cell should trigger multirate pairing";
+  const auto result =
+      run_scheduled_upload(clients, kShannon, schedule, UploadSimConfig{});
+  EXPECT_EQ(result.delivered, result.offered);
+  EXPECT_EQ(result.offered, 4u);
+}
+
+TEST(UploadSim, MultirateScheduleFasterThanSerialSchedule) {
+  const auto clients = clients_db({26.0, 25.0, 21.0, 20.0});
+  core::SchedulerOptions mr_options;
+  mr_options.enable_multirate = true;
+  const auto mr_schedule = core::schedule_upload(clients, kShannon, mr_options);
+  UploadSimConfig config;
+  const auto mr_run =
+      run_scheduled_upload(clients, kShannon, mr_schedule, config);
+  core::Schedule serial;
+  for (int i = 0; i < 4; ++i) {
+    core::ScheduledSlot slot;
+    slot.first = i;
+    slot.plan.mode = core::PairMode::kSolo;
+    slot.plan.airtime = core::solo_airtime(clients[static_cast<std::size_t>(i)],
+                                           kShannon, config.packet_bits);
+    serial.slots.push_back(slot);
+  }
+  const auto serial_run =
+      run_scheduled_upload(clients, kShannon, serial, config);
+  EXPECT_EQ(mr_run.delivered, mr_run.offered);
+  EXPECT_LT(mr_run.completion_s, serial_run.completion_s);
+}
+
+TEST(UploadSim, ScheduledBeatsSerialOnFavorableTopology) {
+  // Clients on the Fig. 4 ridge pair perfectly; the scheduled SIC upload
+  // should finish faster than the same medium running one-at-a-time.
+  const auto clients = clients_db({24.0, 12.0, 26.0, 13.0, 28.0, 14.0});
+  core::SchedulerOptions options;
+  const auto schedule = core::schedule_upload(clients, kShannon, options);
+  UploadSimConfig config;
+  const auto scheduled =
+      run_scheduled_upload(clients, kShannon, schedule, config);
+  // Serial schedule: force the pairing to be all-solo by scheduling each
+  // client as its own slot.
+  core::Schedule serial;
+  for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
+    core::ScheduledSlot slot;
+    slot.first = i;
+    slot.second = -1;
+    slot.plan.mode = core::PairMode::kSolo;
+    slot.plan.airtime = core::solo_airtime(clients[static_cast<std::size_t>(i)],
+                                           kShannon, config.packet_bits);
+    serial.slots.push_back(slot);
+  }
+  const auto serial_run =
+      run_scheduled_upload(clients, kShannon, serial, config);
+  EXPECT_EQ(scheduled.delivered, scheduled.offered);
+  EXPECT_EQ(serial_run.delivered, serial_run.offered);
+  EXPECT_LT(scheduled.completion_s, serial_run.completion_s);
+}
+
+TEST(UploadSim, SicApImprovesOrMatchesDcfCompletion) {
+  const auto clients = clients_db({26.0, 13.0, 24.0, 12.0});
+  UploadSimConfig sic_config;
+  sic_config.frames_per_client = 4;
+  UploadSimConfig plain_config = sic_config;
+  plain_config.sic_at_ap = false;
+  const auto with_sic = run_dcf_upload(clients, kShannon, sic_config);
+  const auto without = run_dcf_upload(clients, kShannon, plain_config);
+  // Identical contention dynamics are not guaranteed, but SIC should never
+  // lose deliveries.
+  EXPECT_GE(with_sic.delivered, without.delivered);
+}
+
+TEST(UploadSim, OddClientCountScheduleRuns) {
+  const auto clients = clients_db({22.0, 11.0, 18.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  const auto result =
+      run_scheduled_upload(clients, kShannon, schedule, UploadSimConfig{});
+  EXPECT_EQ(result.offered, 3u);
+  EXPECT_EQ(result.delivered, 3u);
+}
+
+TEST(UploadSim, MismatchedNoiseRejected) {
+  std::vector<channel::LinkBudget> clients{
+      {Milliwatts{10.0}, Milliwatts{1.0}},
+      {Milliwatts{10.0}, Milliwatts{2.0}}};
+  EXPECT_THROW((void)run_dcf_upload(clients, kShannon, UploadSimConfig{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::mac

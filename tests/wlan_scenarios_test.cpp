@@ -1,0 +1,84 @@
+#include "core/wlan_scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sic::core {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+TEST(WlanStudy, UploadPairMatchesCoreAlgebra) {
+  const auto ewlan = topology::make_ewlan();
+  const WlanStudy study{ewlan, kShannon};
+  // Clients 2 and 3 upload to AP 0.
+  const auto ctx = study.upload_pair(2, 3, 0);
+  EXPECT_DOUBLE_EQ(study.upload_gain(2, 3, 0), realized_gain(ctx));
+  EXPECT_GE(study.upload_gain(2, 3, 0), 1.0);
+}
+
+TEST(WlanStudy, DownloadUsesBetterApBaseline) {
+  const auto ewlan = topology::make_ewlan();
+  const WlanStudy study{ewlan, kShannon, 12000.0};
+  const auto result = study.download_to(2, 0, 1);
+  // Serial baseline = 2 packets through the better AP.
+  const auto& client = ewlan.nodes[2];
+  const auto better = study.better_ap(2, 0, 1);
+  const double best_rate =
+      kShannon
+          .rate(ewlan.rss(ewlan.nodes[static_cast<std::size_t>(better)],
+                          client) /
+                ewlan.noise())
+          .value();
+  EXPECT_NEAR(result.serial_airtime, 2.0 * 12000.0 / best_rate, 1e-12);
+  EXPECT_GE(result.gain, 1.0);
+}
+
+TEST(WlanStudy, BetterApIsOwnCellAp) {
+  // EWLAN geometry: each client's own-cell AP is the stronger one.
+  const auto ewlan = topology::make_ewlan(40.0, 12.0, /*seed=*/3);
+  const WlanStudy study{ewlan, kShannon};
+  EXPECT_EQ(study.better_ap(2, 0, 1), 0u);  // AP1's client
+  EXPECT_EQ(study.better_ap(4, 0, 1), 1u);  // AP2's client
+}
+
+TEST(WlanStudy, FreeAssociationMakesSicUnneeded) {
+  // Section 4.1's EWLAN argument: "transmission to the closest AP is
+  // obviously a better alternative... hence SIC is not needed".
+  const auto ewlan = topology::make_ewlan(40.0, 12.0, /*seed=*/3);
+  const WlanStudy study{ewlan, kShannon};
+  const auto report = study.upload_with_free_association(2, 4, 0, 1);
+  EXPECT_EQ(report.ap_for_a, 0u);
+  EXPECT_EQ(report.ap_for_b, 1u);
+  EXPECT_FALSE(report.sic_needed);
+  EXPECT_EQ(report.result.kase, CrossLinkCase::kCaptureBoth);
+}
+
+TEST(WlanStudy, ForcedFarApNeedsSic) {
+  // Forcing a client through the far AP creates the Fig. 5b/c geometry.
+  const auto ewlan = topology::make_ewlan(40.0, 12.0, /*seed=*/3);
+  const WlanStudy study{ewlan, kShannon};
+  // Client 2 (AP1's) transmits to AP2 while client 4 (AP2's) transmits to
+  // AP1 — both cross links.
+  const auto cross = study.concurrent_links(2, 1, 4, 0);
+  EXPECT_NE(cross.kase, CrossLinkCase::kCaptureBoth);
+}
+
+TEST(WlanStudy, ResidentialAsymmetryViaStudy) {
+  // The Section 4.2 result, expressed through the study API: AP1→C2 can be
+  // concurrent with the neighbor's far link but not the near one.
+  const auto home = topology::make_residential();
+  const WlanStudy study{home, kShannon};
+  const auto with_far = study.concurrent_links(0, 3, 1, 5);   // AP2→C4
+  const auto with_near = study.concurrent_links(0, 3, 1, 4);  // AP2→C3
+  EXPECT_TRUE(with_far.sic_feasible);
+  EXPECT_FALSE(with_near.sic_feasible);
+}
+
+TEST(WlanStudy, UnknownNodeIdRejected) {
+  const auto ewlan = topology::make_ewlan();
+  const WlanStudy study{ewlan, kShannon};
+  EXPECT_THROW((void)study.upload_gain(2, 3, 99), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sic::core

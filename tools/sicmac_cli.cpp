@@ -1,0 +1,415 @@
+/// sicmac — command-line front end to the library. One binary, the whole
+/// paper:
+///
+///   sicmac pair --s1 24 --s2 12 [--table shannon|11b|11g|11n]
+///   sicmac crosslink --s11 30 --s12 10 --s21 45 --s22 25
+///   sicmac schedule --clients 24,18,12,9 [--power-control] [--multirate]
+///   sicmac backlog --clients 24,18,12 --queues 4,2,8 [--no-packing]
+///   sicmac montecarlo --scenario upload|crosslink [--trials N] [--seed S]
+///   sicmac trace-gen --out trace.csv [--days 14] [--seed S]
+///   sicmac trace-eval --in trace.csv
+///   sicmac mesh --long 40 --short 10 [--exponent 4]
+///   sicmac capacity --s1 20 --s2 12
+///   sicmac report [--trials N] [--seed S]      # markdown repro summary
+///
+/// All SNRs in dB over a unit noise floor; rates on a 20 MHz channel.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sicmac.hpp"
+#include "util/cli_args.hpp"
+
+namespace {
+
+using namespace sic;
+
+constexpr double kBits = 12000.0;
+
+std::unique_ptr<phy::RateAdapter> make_adapter(const std::string& name) {
+  if (name == "shannon") {
+    return std::make_unique<phy::ShannonRateAdapter>(megahertz(20.0));
+  }
+  if (name == "11b") {
+    return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11b());
+  }
+  if (name == "11g") {
+    return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11g());
+  }
+  if (name == "11n") {
+    return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11n());
+  }
+  throw std::runtime_error("unknown --table (use shannon|11b|11g|11n): " +
+                           name);
+}
+
+Milliwatts from_db(double snr_db) {
+  return Milliwatts{Decibels{snr_db}.linear()};
+}
+
+int cmd_pair(const ArgParser& args) {
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const double s1 = args.get_double("s1", 24.0);
+  const double s2 = args.get_double("s2", 12.0);
+  const auto ctx = core::UploadPairContext::make(
+      from_db(s1), from_db(s2), Milliwatts{1.0}, *adapter,
+      args.get_double("bits", kBits));
+  const auto rates = core::sic_rates(ctx);
+  std::printf("pair: S1=%.1f dB, S2=%.1f dB, policy=%s\n", s1, s2,
+              adapter->name().c_str());
+  std::printf("  concurrent rates : %.2f / %.2f Mbps\n",
+              rates.stronger.megabits(), rates.weaker.megabits());
+  std::printf("  serial   (eq 5)  : %.1f us\n",
+              1e6 * core::serial_airtime(ctx));
+  std::printf("  SIC      (eq 6)  : %.1f us  (gain %.3fx)\n",
+              1e6 * core::sic_airtime(ctx), core::sic_gain(ctx));
+  const auto pc = core::optimize_weaker_power(ctx);
+  std::printf("  + power control  : %.1f us  (scale %.2f%s)\n",
+              1e6 * pc.airtime, pc.scale, pc.applied ? "" : ", no-op");
+  std::printf("  + multirate      : %.1f us\n",
+              1e6 * core::multirate_airtime(ctx));
+  const auto packing = core::packing_two_to_one(ctx);
+  std::printf("  + packing        : %d fast packets, per-packet gain %.3fx\n",
+              packing.fast_packets, packing.gain);
+  return 0;
+}
+
+int cmd_capacity(const ArgParser& args) {
+  const double s1 = args.get_double("s1", 20.0);
+  const double s2 = args.get_double("s2", 12.0);
+  const phy::CapacityRegion region{megahertz(20.0), from_db(s1), from_db(s2),
+                                   Milliwatts{1.0}};
+  std::printf("two-user MAC capacity region (S1=%.1f dB, S2=%.1f dB):\n", s1,
+              s2);
+  std::printf("  max r1        : %.2f Mbps\n", region.max_r1().megabits());
+  std::printf("  max r2        : %.2f Mbps\n", region.max_r2().megabits());
+  std::printf("  sum (eq 4)    : %.2f Mbps\n",
+              region.sum_capacity().megabits());
+  const auto a = region.corner_user1_decoded_first();
+  const auto b = region.corner_user2_decoded_first();
+  std::printf("  SIC corner A  : (%.2f, %.2f) Mbps  [user1 decoded first]\n",
+              a.r1.megabits(), a.r2.megabits());
+  std::printf("  SIC corner B  : (%.2f, %.2f) Mbps\n", b.r1.megabits(),
+              b.r2.megabits());
+  const auto arrival =
+      phy::TwoSignalArrival::make(from_db(s1), from_db(s2), Milliwatts{1.0});
+  std::printf("  gain vs TDMA  : %.4fx (Fig. 3 value)\n",
+              phy::capacity_gain(megahertz(20.0), arrival));
+  return 0;
+}
+
+int cmd_crosslink(const ArgParser& args) {
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  channel::TwoLinkRss rss;
+  rss.s11 = from_db(args.get_double("s11", 30.0));
+  rss.s12 = from_db(args.get_double("s12", 10.0));
+  rss.s21 = from_db(args.get_double("s21", 45.0));
+  rss.s22 = from_db(args.get_double("s22", 25.0));
+  rss.noise = Milliwatts{1.0};
+  const auto result = core::evaluate_cross_link(rss, *adapter, kBits);
+  std::printf("cross-link case: %s\n", to_string(result.kase));
+  std::printf("  SIC feasible     : %s\n", result.sic_feasible ? "yes" : "no");
+  std::printf("  serial  (Z-SIC)  : %.1f us\n", 1e6 * result.serial_airtime);
+  if (result.sic_feasible) {
+    std::printf("  concurrent (Z+)  : %.1f us\n",
+                1e6 * result.concurrent_airtime);
+  }
+  std::printf("  realized gain    : %.3fx\n", result.gain);
+  std::printf("  with packing     : %.3fx\n",
+              core::cross_link_packing_gain(rss, *adapter, kBits));
+  return 0;
+}
+
+int cmd_schedule(const ArgParser& args) {
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const auto snrs = args.get_double_list("clients");
+  if (snrs.empty()) {
+    throw std::runtime_error("schedule needs --clients s1,s2,... (dB)");
+  }
+  std::vector<channel::LinkBudget> clients;
+  for (const double db : snrs) {
+    clients.push_back(channel::LinkBudget{from_db(db), Milliwatts{1.0}});
+  }
+  core::SchedulerOptions options;
+  options.enable_power_control = args.has("power-control");
+  options.enable_multirate = args.has("multirate");
+  const auto schedule = core::schedule_upload(clients, *adapter, options);
+  const double serial = core::serial_upload_airtime(clients, *adapter, kBits);
+  std::printf("SIC-aware schedule (%zu clients, policy=%s):\n", clients.size(),
+              adapter->name().c_str());
+  for (const auto& slot : schedule.slots) {
+    if (slot.second < 0) {
+      std::printf("  C%-2d solo            %9.1f us\n", slot.first,
+                  1e6 * slot.plan.airtime);
+    } else {
+      std::printf("  C%-2d + C%-2d %-11s %9.1f us\n", slot.first, slot.second,
+                  to_string(slot.plan.mode), 1e6 * slot.plan.airtime);
+    }
+  }
+  std::printf("total %.1f us vs serial %.1f us  ->  gain %.3fx\n",
+              1e6 * schedule.total_airtime, 1e6 * serial,
+              serial / schedule.total_airtime);
+  return 0;
+}
+
+int cmd_backlog(const ArgParser& args) {
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const auto snrs = args.get_double_list("clients");
+  const auto queues = args.get_double_list("queues");
+  if (snrs.empty() || queues.size() != snrs.size()) {
+    throw std::runtime_error(
+        "backlog needs --clients s1,s2,... and matching --queues n1,n2,...");
+  }
+  std::vector<core::BacklogClient> clients;
+  for (std::size_t i = 0; i < snrs.size(); ++i) {
+    clients.push_back(core::BacklogClient{
+        channel::LinkBudget{from_db(snrs[i]), Milliwatts{1.0}},
+        static_cast<int>(queues[i])});
+  }
+  core::BacklogOptions options;
+  options.enable_packing = !args.has("no-packing");
+  const auto schedule =
+      core::schedule_backlog_upload(clients, *adapter, options);
+  const double serial =
+      core::serial_backlog_airtime(clients, *adapter, kBits);
+  std::printf("backlog schedule (%zu clients):\n", clients.size());
+  for (const auto& slot : schedule.slots) {
+    if (slot.second < 0) {
+      std::printf("  C%-2d solo drain            %9.1f us\n", slot.first,
+                  1e6 * slot.plan.airtime);
+    } else {
+      std::printf("  C%-2d + C%-2d %-14s %9.1f us (%d rounds)\n", slot.first,
+                  slot.second, to_string(slot.plan.mode),
+                  1e6 * slot.plan.airtime, slot.plan.rounds);
+    }
+  }
+  std::printf("total %.1f us vs serial %.1f us  ->  gain %.3fx\n",
+              1e6 * schedule.total_airtime, 1e6 * serial,
+              serial / schedule.total_airtime);
+  return 0;
+}
+
+int cmd_montecarlo(const ArgParser& args) {
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const std::string scenario = args.get_string("scenario", "upload");
+  const int trials = args.get_int("trials", 10000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  topology::SamplerConfig config;
+  config.range_m = args.get_double("range", config.range_m);
+  const auto report = [](const char* name, const std::vector<double>& xs) {
+    const analysis::EmpiricalCdf cdf{xs};
+    std::printf("  %-16s no-gain %5.1f%%  >20%% %5.1f%%  median %.3f\n", name,
+                100.0 * cdf.at(1.0 + 1e-9),
+                100.0 * cdf.fraction_above(1.2), cdf.quantile(0.5));
+  };
+  if (scenario == "upload") {
+    const auto s = analysis::run_two_to_one_techniques(config, *adapter,
+                                                       trials, seed);
+    std::printf("upload (two clients -> one AP), %d trials, seed %llu:\n",
+                trials, static_cast<unsigned long long>(seed));
+    report("SIC", s.sic);
+    report("+power control", s.power_control);
+    report("+multirate", s.multirate);
+    report("+packing", s.packing);
+  } else if (scenario == "crosslink") {
+    const auto s =
+        analysis::run_two_link_techniques(config, *adapter, trials, seed);
+    std::printf("cross-link (two tx -> two rx), %d trials, seed %llu:\n",
+                trials, static_cast<unsigned long long>(seed));
+    report("SIC", s.sic);
+    report("+power control", s.power_control);
+    report("+packing", s.packing);
+  } else {
+    throw std::runtime_error("unknown --scenario (upload|crosslink): " +
+                             scenario);
+  }
+  return 0;
+}
+
+int cmd_trace_gen(const ArgParser& args) {
+  const std::string out = args.get_string("out", "");
+  if (out.empty()) throw std::runtime_error("trace-gen needs --out <file>");
+  trace::BuildingConfig config;
+  config.duration_s = static_cast<int>(args.get_double("days", 14.0) * 86400);
+  const auto trace =
+      trace::generate_building_trace(config, args.get_u64("seed", 1));
+  trace::write_csv_file(trace, out);
+  std::printf("wrote %zu snapshots / %zu observations to %s\n",
+              trace.snapshots.size(), trace.total_observations(), out.c_str());
+  return 0;
+}
+
+int cmd_trace_eval(const ArgParser& args) {
+  const std::string in = args.get_string("in", "");
+  if (in.empty()) throw std::runtime_error("trace-eval needs --in <file>");
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const auto trace = trace::read_csv_file(in);
+  const auto gains = analysis::evaluate_upload_trace(trace, *adapter);
+  std::printf("%s: %zu snapshots, %d cells with >= 2 clients\n", in.c_str(),
+              trace.snapshots.size(), gains.cells_evaluated);
+  const auto report = [](const char* name, const std::vector<double>& xs) {
+    if (xs.empty()) return;
+    const analysis::EmpiricalCdf cdf{xs};
+    std::printf("  %-22s mean %.3f  >20%% gain %5.1f%%\n", name,
+                analysis::summarize(xs).mean,
+                100.0 * cdf.fraction_above(1.2));
+  };
+  report("pairing (blossom)", gains.pairing);
+  report("pairing + power ctl", gains.power_control);
+  report("pairing + multirate", gains.multirate);
+  report("greedy pairing", gains.greedy_pairing);
+  return 0;
+}
+
+int cmd_mesh(const ArgParser& args) {
+  auto chain = topology::make_mesh_chain(args.get_double("long", 40.0),
+                                         args.get_double("short", 10.0));
+  chain.pathloss = channel::LogDistancePathLoss::for_carrier(
+      args.get_double("exponent", 4.0));
+  for (auto& node : chain.nodes) node.tx_power = Dbm{23.0};
+  const phy::ShannonRateAdapter adapter{megahertz(20.0)};
+  const auto report = core::analyze_mesh_chain(chain, adapter);
+  std::printf("mesh chain A->C->D->E:\n");
+  std::printf("  SIC feasible at relay C : %s (case %s)\n",
+              report.sic_feasible_at_relay ? "yes" : "no",
+              to_string(report.cross.kase));
+  std::printf("  serial throughput       : %.1f Mbps\n",
+              report.serial_throughput_bps / 1e6);
+  std::printf("  pipelined throughput    : %.1f Mbps (gain %.3fx)\n",
+              report.pipelined_throughput_bps / 1e6, report.gain);
+  return 0;
+}
+
+int cmd_report(const ArgParser& args) {
+  // A self-contained markdown reproduction summary with bootstrap 95% CIs
+  // on every headline fraction — the quick-look version of EXPERIMENTS.md.
+  const int trials = args.get_int("trials", 4000);
+  const std::uint64_t seed = args.get_u64("seed", 42);
+  const phy::ShannonRateAdapter shannon{megahertz(20.0)};
+  topology::SamplerConfig config;
+
+  const auto row = [&](const char* name, const std::vector<double>& xs,
+                       const char* paper) {
+    const auto ci = analysis::bootstrap_fraction_above(xs, 1.2, 0.95, 400, 9);
+    std::printf("| %-28s | %5.1f%% [%4.1f, %4.1f] | %-18s |\n", name,
+                100.0 * ci.point, 100.0 * ci.lo, 100.0 * ci.hi, paper);
+  };
+  const auto table_header = [] {
+    std::printf("| series | >20%% gain | paper |\n|---|---|---|\n");
+  };
+
+  std::printf("# sicmac reproduction summary\n\n");
+  std::printf(
+      "trials per experiment: %d, seed %llu. Values are the fraction of\n"
+      "cases gaining over 20%% (bootstrap 95%% CI in brackets).\n\n",
+      trials, static_cast<unsigned long long>(seed));
+
+  std::printf("## Fig. 11a — upload pair techniques\n\n");
+  table_header();
+  const auto up =
+      analysis::run_two_to_one_techniques(config, shannon, trials, seed);
+  row("SIC alone", up.sic, "~20%");
+  row("SIC + power control", up.power_control, "~40%");
+  row("SIC + multirate", up.multirate, "~40%");
+  row("SIC + packing", up.packing, "(not quoted)");
+
+  std::printf("\n## Fig. 6 / 11b — two receivers\n\n");
+  table_header();
+  const auto cross =
+      analysis::run_two_link_techniques(config, shannon, trials, seed);
+  row("SIC alone", cross.sic, "~0 (90% no gain)");
+  row("SIC + power control", cross.power_control, "very little");
+  row("SIC + packing", cross.packing, "very little");
+  {
+    const auto gains =
+        analysis::run_two_link_gains(config, shannon, trials, seed);
+    const analysis::EmpiricalCdf cdf{gains};
+    std::printf("\nno-gain fraction (Fig. 6): %.1f%%  (paper: ~90%%)\n",
+                100.0 * cdf.at(1.0 + 1e-9));
+  }
+
+  std::printf("\n## Fig. 13 — trace-driven upload (1-day synthetic trace)\n\n");
+  trace::BuildingConfig building;
+  building.duration_s = 24 * 3600;
+  const auto building_trace = trace::generate_building_trace(building, seed);
+  const auto tgains = analysis::evaluate_upload_trace(building_trace, shannon);
+  table_header();
+  row("pairing (blossom)", tgains.pairing, "prospective");
+  row("pairing + power ctl", tgains.power_control, "enhanced");
+  row("pairing + multirate", tgains.multirate, "enhanced");
+  row("greedy pairing", tgains.greedy_pairing, "(ablation)");
+
+  std::printf("\n## Fig. 14 — trace-driven download link pairs\n\n");
+  trace::LinkTraceConfig campaign;
+  const auto link_trace = trace::generate_link_trace(campaign, seed);
+  analysis::DownloadTraceEvalConfig eval;
+  eval.pair_samples = trials;
+  const phy::DiscreteRateAdapter g11{phy::RateTable::dot11g()};
+  const auto arb = analysis::evaluate_download_trace(link_trace, shannon, eval);
+  const auto disc = analysis::evaluate_download_trace(link_trace, g11, eval);
+  table_header();
+  row("arbitrary rates, SIC", arb.plain, "limited");
+  row("arbitrary rates, +packing", arb.packing, "limited");
+  row("802.11g rates, SIC", disc.plain, "not significant");
+  row("802.11g rates, +packing", disc.packing, "~40%");
+  return 0;
+}
+
+int usage() {
+  std::printf(
+      "sicmac — SIC MAC-layer analysis toolkit\n"
+      "commands:\n"
+      "  pair        --s1 dB --s2 dB [--table shannon|11b|11g|11n]\n"
+      "  capacity    --s1 dB --s2 dB\n"
+      "  crosslink   --s11 dB --s12 dB --s21 dB --s22 dB [--table ...]\n"
+      "  schedule    --clients dB,dB,... [--power-control] [--multirate]\n"
+      "  backlog     --clients dB,... --queues n,... [--no-packing]\n"
+      "  montecarlo  --scenario upload|crosslink [--trials N] [--seed S]\n"
+      "  trace-gen   --out file.csv [--days D] [--seed S]\n"
+      "  trace-eval  --in file.csv [--table ...]\n"
+      "  mesh        --long m --short m [--exponent a]\n"
+      "  report      [--trials N] [--seed S]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args{argc, argv};
+    const std::string& cmd = args.command();
+    int rc = 0;
+    if (cmd == "pair") {
+      rc = cmd_pair(args);
+    } else if (cmd == "capacity") {
+      rc = cmd_capacity(args);
+    } else if (cmd == "crosslink") {
+      rc = cmd_crosslink(args);
+    } else if (cmd == "schedule") {
+      rc = cmd_schedule(args);
+    } else if (cmd == "backlog") {
+      rc = cmd_backlog(args);
+    } else if (cmd == "montecarlo") {
+      rc = cmd_montecarlo(args);
+    } else if (cmd == "trace-gen") {
+      rc = cmd_trace_gen(args);
+    } else if (cmd == "trace-eval") {
+      rc = cmd_trace_eval(args);
+    } else if (cmd == "mesh") {
+      rc = cmd_mesh(args);
+    } else if (cmd == "report") {
+      rc = cmd_report(args);
+    } else {
+      return usage();
+    }
+    for (const auto& flag : args.unknown_flags()) {
+      std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
