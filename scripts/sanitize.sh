@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer (the
+# "sanitize" CMake preset) and runs the tier-1 ctest suite under it. Any
+# heap error, leak, or UB aborts the run (-fno-sanitize-recover=all).
+#
+#   scripts/sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+  ctest --preset sanitize -j "$(nproc)" "$@"

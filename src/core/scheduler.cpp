@@ -23,7 +23,16 @@ PairPlan best_pair_plan(const channel::LinkBudget& a,
                         const SchedulerOptions& options) {
   SIC_CHECK_MSG(a.noise == b.noise,
                 "pair plan assumes a common receiver noise floor");
-  const auto ctx = UploadPairContext::make(a.rss, b.rss, a.noise, adapter,
+  SIC_CHECK_MSG(options.admission_margin_db.value() >= 0.0,
+                "admission margin must be >= 0 dB");
+  // Concurrent candidates are evaluated on a derated view of the channel
+  // (both RSS backed off by the admission margin); the serial baseline
+  // keeps the clean rates. A margined pair is therefore only admitted when
+  // it beats serial *with headroom to spare*, and its recorded airtime is
+  // the conservative one the executor realizes.
+  const double derate = Decibels{-options.admission_margin_db.value()}.linear();
+  const auto ctx = UploadPairContext::make(a.rss * derate, b.rss * derate,
+                                           a.noise, adapter,
                                            options.packet_bits);
   PairPlan best;
   best.mode = PairMode::kSerial;
@@ -61,6 +70,7 @@ Schedule schedule_upload(std::span<const channel::LinkBudget> clients,
                          const phy::RateAdapter& adapter,
                          const SchedulerOptions& options) {
   Schedule schedule;
+  schedule.admission_margin_db = options.admission_margin_db;
   const int n = static_cast<int>(clients.size());
   if (n == 0) return schedule;
   if (n == 1) {

@@ -54,6 +54,14 @@ struct SchedulerOptions {
     kBlossom,  ///< exact minimum-weight perfect matching (the paper)
     kGreedy,   ///< cheapest-pair-first heuristic (ablation baseline)
   } pairing = Pairing::kBlossom;
+  /// Margin-aware pair admission: concurrent candidates (SIC, power
+  /// control, multirate) are planned as if every RSS were this many dB
+  /// lower, so an admitted pair carries that much SINR headroom against
+  /// stale estimates and still has to beat the (unmargined) serial
+  /// baseline. The executable version of the slack argument
+  /// bench/ablation_stale_rates measures open-loop. 0 dB reproduces the
+  /// paper's perfect-knowledge plan exactly.
+  Decibels admission_margin_db{0.0};
 };
 
 /// The chosen transmission plan for one pair (or solo client).
@@ -88,6 +96,10 @@ struct ScheduledSlot {
 struct Schedule {
   std::vector<ScheduledSlot> slots;
   double total_airtime = 0.0;
+  /// The admission margin the slots were planned with; the executor must
+  /// derate its concurrent-rate choices identically or the plan's headroom
+  /// evaporates.
+  Decibels admission_margin_db{0.0};
 };
 
 /// Baseline: every client transmits alone, serially (the no-SIC MAC).

@@ -10,7 +10,8 @@ AccessPoint::AccessPoint(EventQueue& queue, Medium& medium, MacNodeId id)
     : queue_(&queue),
       medium_(&medium),
       id_(id),
-      per_source_(static_cast<std::size_t>(medium.n_nodes()), 0) {
+      per_source_(static_cast<std::size_t>(medium.n_nodes()), 0),
+      seen_ids_(static_cast<std::size_t>(medium.n_nodes())) {
   medium_->attach(id_, this);
 }
 
@@ -46,6 +47,10 @@ void AccessPoint::on_frame_received(const Frame& frame, bool decoded) {
   if (frame.src >= 0 &&
       frame.src < static_cast<MacNodeId>(per_source_.size())) {
     ++per_source_[static_cast<std::size_t>(frame.src)];
+    if (!seen_ids_[static_cast<std::size_t>(frame.src)].insert(frame.id)
+             .second) {
+      ++stats_.duplicate_data;
+    }
   }
   Frame ack;
   ack.id = (static_cast<std::uint64_t>(id_) << 48) | frame.id;

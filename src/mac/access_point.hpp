@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "mac/event_queue.hpp"
@@ -18,6 +19,10 @@ namespace sic::mac {
 struct ApStats {
   std::uint64_t data_received = 0;
   std::uint64_t acks_sent = 0;
+  /// Receptions of a (src, frame id) pair the AP had already decoded — a
+  /// retransmission whose original delivery succeeded but whose ACK never
+  /// made it back (the ACK-vs-latency tension the upload_sim note cites).
+  std::uint64_t duplicate_data = 0;
 };
 
 class AccessPoint : public MediumListener {
@@ -46,6 +51,9 @@ class AccessPoint : public MediumListener {
   bool ack_scheduled_ = false;
   ApStats stats_;
   std::vector<std::uint64_t> per_source_;
+  /// Frame ids already received, per source (retransmissions keep the
+  /// original id, as 802.11 retries keep their sequence number).
+  std::vector<std::unordered_set<std::uint64_t>> seen_ids_;
 };
 
 }  // namespace sic::mac

@@ -1,0 +1,61 @@
+#include "mac/fault_model.hpp"
+
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+FaultModel::FaultModel(const FaultConfig& config, int n_clients,
+                       std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  SIC_CHECK_MSG(config.stale_rss_sigma_db >= 0.0, "sigma must be >= 0");
+  SIC_CHECK_MSG(
+      config.stale_rss_rho >= 0.0 && config.stale_rss_rho <= 1.0,
+      "AR(1) rho must be in [0,1]");
+  SIC_CHECK_MSG(config.cancellation_failure_prob >= 0.0 &&
+                    config.cancellation_failure_prob <= 1.0,
+                "cancellation failure probability must be in [0,1]");
+  SIC_CHECK_MSG(config.ack_loss_prob >= 0.0 && config.ack_loss_prob <= 1.0,
+                "ACK loss probability must be in [0,1]");
+  if (config_.channel_faults()) {
+    tracks_.reserve(static_cast<std::size_t>(n_clients));
+    for (int i = 0; i < n_clients; ++i) {
+      tracks_.emplace_back(config_.stale_rss_rho,
+                           Decibels{config_.stale_rss_sigma_db}, rng_);
+    }
+  }
+}
+
+Decibels FaultModel::drift(int client) const {
+  if (tracks_.empty()) return Decibels{0.0};
+  SIC_CHECK(client >= 0 && client < static_cast<int>(tracks_.size()));
+  return tracks_[static_cast<std::size_t>(client)].current();
+}
+
+Milliwatts FaultModel::true_rss(Milliwatts nominal, int client) const {
+  if (tracks_.empty()) return nominal;
+  return nominal * drift(client).linear();
+}
+
+void FaultModel::advance_epoch() {
+  for (auto& track : tracks_) (void)track.step(rng_);
+}
+
+bool FaultModel::should_fail_decode(const Frame& frame, bool sic_path) {
+  if (!sic_path || frame.type != FrameType::kData) return false;
+  if (config_.cancellation_failure_prob <= 0.0) return false;
+  if (!rng_.chance(config_.cancellation_failure_prob)) return false;
+  injected_.insert(frame.id);
+  ++injected_count_;
+  return true;
+}
+
+bool FaultModel::was_injected(std::uint64_t frame_id) const {
+  return injected_.contains(frame_id);
+}
+
+bool FaultModel::ack_lost() {
+  if (config_.ack_loss_prob <= 0.0) return false;
+  return rng_.chance(config_.ack_loss_prob);
+}
+
+}  // namespace sic::mac

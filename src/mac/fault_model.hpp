@@ -1,0 +1,109 @@
+#ifndef SICMAC_MAC_FAULT_MODEL_HPP
+#define SICMAC_MAC_FAULT_MODEL_HPP
+
+/// \file fault_model.hpp
+/// Fault injection for the scheduled-upload pipeline. The Section 6
+/// scheduler plans on a frozen, perfect channel snapshot; this model
+/// supplies the three ways reality disagrees with the plan:
+///
+///  1. Stale / noisy RSS estimates — the channel drifts between the
+///     measurement the schedule was computed from and the packet flight,
+///     modeled as a per-client AR(1) shadowing track in dB
+///     (channel/fading), exactly the seen-vs-now split the
+///     ablation_stale_rates bench measures open-loop.
+///  2. Probabilistic cancellation failures — an otherwise-successful SIC
+///     (weaker-after-cancellation) decode is force-failed with some
+///     probability, standing in for burst channel-estimation error on the
+///     reconstruction path (the Section 9 caveat as a transient rather
+///     than a steady residual).
+///  3. ACK loss — a delivered frame's ACK never reaches the station, so
+///     the sender retransmits a frame the AP already has (the duplicate
+///     path the ACK-deferral note in upload_sim.hpp describes).
+///
+/// All knobs default to zero, which makes the model inert: no RNG draws
+/// are taken and scheduled uploads behave bit-identically to a fault-free
+/// run.
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "channel/fading.hpp"
+#include "mac/frame.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sic::mac {
+
+/// Knobs for the injected faults. Defaults are the paper's ideal world.
+struct FaultConfig {
+  /// Stationary std-dev (dB) of each client's AR(1) channel drift between
+  /// the RSS measurement and the packet flight. 0 disables channel faults.
+  double stale_rss_sigma_db = 0.0;
+  /// AR(1) correlation between consecutive estimation epochs. 1 freezes
+  /// the drift at its initial draw; 0 makes every epoch independent.
+  double stale_rss_rho = 0.9;
+  /// Probability an otherwise-successful SIC (weaker) decode is lost to a
+  /// cancellation failure.
+  double cancellation_failure_prob = 0.0;
+  /// Probability the ACK of a delivered data frame is lost on the way
+  /// back, triggering a spurious retransmission.
+  double ack_loss_prob = 0.0;
+
+  [[nodiscard]] bool channel_faults() const { return stale_rss_sigma_db > 0.0; }
+  [[nodiscard]] bool any() const {
+    return channel_faults() || cancellation_failure_prob > 0.0 ||
+           ack_loss_prob > 0.0;
+  }
+};
+
+/// Seeded source of the injected faults, plus the book-keeping the
+/// recovery layer needs to attribute failures to causes.
+class FaultModel {
+ public:
+  FaultModel(const FaultConfig& config, int n_clients, std::uint64_t seed);
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+  /// Current deviation (dB) of \p client's channel from the nominal RSS
+  /// the schedule was planned on. Zero when channel faults are disabled.
+  [[nodiscard]] Decibels drift(int client) const;
+
+  /// Nominal RSS perturbed by the client's current drift.
+  [[nodiscard]] Milliwatts true_rss(Milliwatts nominal, int client) const;
+
+  /// Advances every client's channel one coherence interval — called at
+  /// each re-estimation epoch, so a fresh measurement is again one AR(1)
+  /// step stale by the time the re-matched slots fly.
+  void advance_epoch();
+
+  /// Medium decode-fault hook: decides whether to force-fail an
+  /// otherwise-successful decode of \p frame. \p sic_path is true when the
+  /// decode went through cancellation (the weaker signal of a collision);
+  /// only that path is vulnerable to cancellation failures. Injected frame
+  /// ids are recorded for cause attribution until clear_injections().
+  [[nodiscard]] bool should_fail_decode(const Frame& frame, bool sic_path);
+
+  /// Whether \p frame_id 's failure this slot was injected by the model
+  /// (as opposed to a genuine rate miss).
+  [[nodiscard]] bool was_injected(std::uint64_t frame_id) const;
+
+  /// Forgets the per-slot injection record.
+  void clear_injections() { injected_.clear(); }
+
+  /// Rolls ACK loss for one delivered frame.
+  [[nodiscard]] bool ack_lost();
+
+  [[nodiscard]] std::uint64_t injected_count() const { return injected_count_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<channel::Ar1ShadowingTrack> tracks_;
+  std::unordered_set<std::uint64_t> injected_;
+  std::uint64_t injected_count_ = 0;
+};
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_FAULT_MODEL_HPP

@@ -176,6 +176,15 @@ void Medium::finish(std::uint64_t key) {
   const MacNodeId dst = done.frame.dst;
   if (dst >= 0 && dst < n_nodes_) {
     verdict = decode_at(dst);
+    // Fault injection applies to the destination's verdict only, after the
+    // physics said yes — overhearers below re-evaluate without the hook.
+    if (fault_hook_ && is_success(verdict) &&
+        fault_hook_(done.frame, verdict == DecodeVerdict::kSicOk)) {
+      verdict = verdict == DecodeVerdict::kCleanOk
+                    ? DecodeVerdict::kFailClean
+                    : DecodeVerdict::kFailCollision;
+      ++stats_.injected_failures;
+    }
   }
   // Overhearers: every other attached node that could decode this frame
   // (feeds virtual carrier sense / NAV).

@@ -10,6 +10,7 @@
 /// denser pile-up is a loss.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "mac/event_queue.hpp"
@@ -51,6 +52,8 @@ struct MediumStats {
   std::uint64_t sic_decodes = 0;      ///< weaker-signal successes via SIC
   std::uint64_t capture_decodes = 0;  ///< stronger-signal successes under
                                       ///< interference
+  std::uint64_t injected_failures = 0;  ///< successes converted to failures
+                                        ///< by the decode-fault hook
 };
 
 class Medium {
@@ -85,6 +88,17 @@ class Medium {
   /// node's own demodulator state, which it knows regardless of whether
   /// the signal clears the energy-detect threshold.
   [[nodiscard]] bool is_receiving(MacNodeId node) const;
+
+  /// Fault-injection hook (see mac/fault_model.hpp): consulted once per
+  /// frame when the *destination's* decode would otherwise succeed.
+  /// \p sic_path is true when the decode went through cancellation (the
+  /// weaker signal of a collision). Returning true converts the success
+  /// into a failure, counted under stats().injected_failures. Overhearing
+  /// evaluations never consult the hook. Pass nullptr to detach.
+  using DecodeFaultHook = std::function<bool(const Frame& frame, bool sic_path)>;
+  void set_decode_fault_hook(DecodeFaultHook hook) {
+    fault_hook_ = std::move(hook);
+  }
 
   /// Starts a transmission; duration = preamble + bits/rate. The frame is
   /// evaluated for decoding at frame.dst when it ends. \p power_scale
@@ -128,6 +142,7 @@ class Medium {
   /// active ones.
   std::vector<Transmission> recent_;
   MediumStats stats_;
+  DecodeFaultHook fault_hook_;
   std::uint64_t next_key_ = 1;
 };
 

@@ -89,88 +89,175 @@ UploadSimResult run_dcf_upload(std::span<const channel::LinkBudget> clients,
 
 namespace {
 
-/// Executes one schedule slot starting now; returns the wall-clock span of
-/// its data portion (ACK turnaround is appended by the caller).
-class ScheduleRunner {
+/// Closed-loop executor of a Section 6 schedule. Each slot transmits
+/// exactly as the open-loop runner did; the slot's completion event then
+/// confirms every participating frame against the AP's receive counters
+/// and drives the recovery ladder of RecoveryConfig. With no injected
+/// faults every confirmation succeeds on the first attempt and the event
+/// timeline (hence every result field) is identical to the open-loop
+/// executor this replaced.
+class ClosedLoopRunner {
  public:
-  ScheduleRunner(EventQueue& queue, Medium& medium,
-                 std::span<const channel::LinkBudget> clients,
-                 const phy::RateAdapter& adapter, const core::Schedule& schedule,
-                 double packet_bits)
+  ClosedLoopRunner(EventQueue& queue, Medium& medium, AccessPoint& ap,
+                   std::span<const channel::LinkBudget> clients,
+                   const phy::RateAdapter& adapter,
+                   const core::Schedule& schedule,
+                   const UploadSimConfig& config, FaultModel& faults)
       : queue_(&queue),
         medium_(&medium),
+        ap_(&ap),
         clients_(clients),
         adapter_(&adapter),
-        schedule_(&schedule),
-        packet_bits_(packet_bits) {}
+        config_(&config),
+        faults_(&faults),
+        margin_db_(schedule.admission_margin_db.value()),
+        noise_(clients.front().noise) {
+    const std::size_t n = clients.size();
+    estimates_.reserve(n);
+    for (const auto& c : clients_) estimates_.push_back(c.rss);
+    pending_.assign(n, 0);
+    attempts_.assign(n, 0);
+    failures_.assign(n, 0);
+    dropped_.assign(n, false);
+    demoted_.assign(n, false);
+    ap_seen_.assign(n, 0);
+    const int buckets =
+        std::clamp(config.recovery.max_attempts_per_frame, 1, 16);
+    telemetry_.retry_histogram.assign(static_cast<std::size_t>(buckets), 0);
+    for (const auto& slot : schedule.slots) {
+      RunSlot rs;
+      rs.first = slot.first;
+      rs.second = slot.second;
+      rs.mode = slot.second < 0 ? core::PairMode::kSolo : slot.plan.mode;
+      rs.planned_weaker_scale = slot.plan.weaker_power_scale;
+      rs.use_planned_scale = true;
+      ++pending_[static_cast<std::size_t>(slot.first)];
+      if (slot.second >= 0) ++pending_[static_cast<std::size_t>(slot.second)];
+      round_slots_.push_back(rs);
+    }
+  }
 
   void start() { run_slot(0); }
 
+  /// Accounts frames still pending when the horizon cut the run short.
+  void finalize() {
+    for (std::size_t c = 0; c < pending_.size(); ++c) {
+      if (pending_[c] > 0 && !dropped_[c]) {
+        telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
+        pending_[c] = 0;
+      }
+    }
+  }
+
+  [[nodiscard]] const FailureTelemetry& telemetry() const { return telemetry_; }
+
  private:
+  struct RunSlot {
+    int first = 0;
+    int second = -1;  ///< -1 = solo
+    core::PairMode mode = core::PairMode::kSolo;
+    /// Weaker-client power scale from the planner; retry slots recompute
+    /// it from the current estimates instead.
+    double planned_weaker_scale = 1.0;
+    bool use_planned_scale = false;
+  };
+
+  enum class CheckOutcome { kConfirmed, kFailed, kDropped };
+
+  [[nodiscard]] static std::uint64_t frame_id(int client) {
+    // Stable per-client ids: a retransmission carries the same id as the
+    // original (as an 802.11 retry keeps its sequence number), which lets
+    // the AP count duplicate deliveries.
+    return static_cast<std::uint64_t>(client) + 1;
+  }
+
+  /// RSS the executor *selects rates from*: the current estimate, derated
+  /// by the plan's admission margin plus the client's retry backoff.
+  /// Transmissions still leave at full (or planner-scaled) power.
+  [[nodiscard]] Milliwatts selection_rss(int client) const {
+    const std::size_t c = static_cast<std::size_t>(client);
+    const double backoff_db =
+        margin_db_ +
+        failures_[c] * config_->recovery.retry_backoff_db;
+    return estimates_[c] * Decibels{-backoff_db}.linear();
+  }
+
+  [[nodiscard]] BitsPerSecond clean_rate(int client) const {
+    return adapter_->rate(selection_rss(client) / noise_);
+  }
+
+  [[nodiscard]] core::UploadPairContext pair_ctx(int a, int b) const {
+    return core::UploadPairContext::make(selection_rss(a), selection_rss(b),
+                                         noise_, *adapter_,
+                                         config_->packet_bits);
+  }
+
+  /// Transmits one data frame; zero-rate links (a discrete adapter below
+  /// its lowest threshold) skip the air entirely and fail at confirmation.
+  SimTime send(int client, BitsPerSecond rate, double scale,
+               double bits, bool final_fragment) {
+    if (rate.value() <= 0.0) return 0;
+    Frame f;
+    f.id = frame_id(client);
+    f.type = FrameType::kData;
+    f.src = client + 1;
+    f.dst = kApId;
+    f.payload_bits = bits;
+    f.final_fragment = final_fragment;
+    medium_->transmit(f, rate, scale);
+    return medium_->frame_duration(f, rate);
+  }
+
+  void note_attempt(int client) {
+    const std::size_t c = static_cast<std::size_t>(client);
+    ++attempts_[c];
+    if (attempts_[c] > 1) ++telemetry_.retransmissions;
+  }
+
   void run_slot(std::size_t index) {
-    if (index >= schedule_->slots.size()) return;
-    const core::ScheduledSlot& slot = schedule_->slots[index];
+    if (index >= round_slots_.size()) {
+      end_round();
+      return;
+    }
+    // Copy: retry slots appended below may reallocate round_slots_.
+    const RunSlot slot = round_slots_[index];
     const PhyParams& phy = medium_->phy();
+    const double bits = config_->packet_bits;
     SimTime span = 0;
 
-    const auto send = [&](int client, BitsPerSecond rate, double scale) {
-      Frame f;
-      f.id = next_id_++;
-      f.type = FrameType::kData;
-      f.src = client + 1;
-      f.dst = kApId;
-      f.payload_bits = packet_bits_;
-      medium_->transmit(f, rate, scale);
-      return medium_->frame_duration(f, rate);
-    };
-    const auto clean_rate = [&](int client) {
-      return adapter_->rate(clients_[static_cast<std::size_t>(client)].snr());
-    };
+    note_attempt(slot.first);
+    if (slot.second >= 0) note_attempt(slot.second);
 
     int acks = 1;
-    switch (slot.plan.mode) {
+    switch (slot.mode) {
       case core::PairMode::kSolo:
-        span = send(slot.first, clean_rate(slot.first), 1.0);
+        span = send(slot.first, clean_rate(slot.first), 1.0, bits, true);
         break;
       case core::PairMode::kSerial: {
         // First packet now; the second after the first's ACK turnaround.
-        const SimTime t1 = send(slot.first, clean_rate(slot.first), 1.0);
+        const SimTime t1 =
+            send(slot.first, clean_rate(slot.first), 1.0, bits, true);
         const SimTime gap = t1 + phy.sifs + phy.ack_duration() + phy.sifs;
         const int second = slot.second;
-        queue_->schedule_after(gap, [this, second, index, send_bits =
-                                     packet_bits_] {
-          Frame f;
-          f.id = next_id_++;
-          f.type = FrameType::kData;
-          f.src = second + 1;
-          f.dst = kApId;
-          f.payload_bits = send_bits;
-          const BitsPerSecond r = adapter_->rate(
-              clients_[static_cast<std::size_t>(second)].snr());
-          medium_->transmit(f, r);
-          const SimTime t2 = medium_->frame_duration(f, r);
-          queue_->schedule_after(
-              t2 + medium_->phy().sifs + medium_->phy().ack_duration() +
-                  medium_->phy().sifs,
-              [this, index] { run_slot(index + 1); });
+        queue_->schedule_after(gap, [this, second, index, bits] {
+          const SimTime t2 =
+              send(second, clean_rate(second), 1.0, bits, true);
+          const PhyParams& p = medium_->phy();
+          queue_->schedule_after(t2 + p.sifs + p.ack_duration() + p.sifs,
+                                 [this, index] { finish_slot(index); });
         });
-        return;  // continuation handles the next slot
+        return;  // continuation handles the slot completion
       }
       case core::PairMode::kSicMultirate: {
         SIC_CHECK(slot.second >= 0);
-        const auto& a = clients_[static_cast<std::size_t>(slot.first)];
-        const auto& b = clients_[static_cast<std::size_t>(slot.second)];
-        const bool a_stronger = a.rss >= b.rss;
-        const int strong = a_stronger ? slot.first : slot.second;
-        const int weak = a_stronger ? slot.second : slot.first;
-        const auto ctx = core::UploadPairContext::make(
-            a.rss, b.rss, a.noise, *adapter_, packet_bits_);
+        const auto [strong, weak] = strong_weak(slot);
+        const auto ctx = pair_ctx(slot.first, slot.second);
         const auto mr = core::multirate_airtime_detailed(ctx);
         if (!mr.boosted) {
           // Nothing to boost; run as a plain SIC pair.
           const auto rates = core::sic_rates(ctx);
-          const SimTime ts = send(strong, rates.stronger, 1.0);
-          const SimTime tw = send(weak, rates.weaker, 1.0);
+          const SimTime ts = send(strong, rates.stronger, 1.0, bits, true);
+          const SimTime tw = send(weak, rates.weaker, 1.0, bits, true);
           span = std::max(ts, tw);
           acks = 2;
           break;
@@ -178,59 +265,41 @@ class ScheduleRunner {
         // Fragment 1 of the stronger packet rides the overlap at the
         // interference-limited rate; the weaker packet runs in full.
         const auto rates = core::sic_rates(ctx);
-        SimTime overlap_span = send(weak, rates.weaker, 1.0);
+        SimTime overlap_span = send(weak, rates.weaker, 1.0, bits, true);
         if (mr.overlap_bits > 0.0) {
-          Frame frag;
-          frag.id = next_id_++;
-          frag.type = FrameType::kData;
-          frag.src = strong + 1;
-          frag.dst = kApId;
-          frag.payload_bits = mr.overlap_bits;
-          frag.final_fragment = false;
-          medium_->transmit(frag, rates.stronger);
-          overlap_span =
-              std::max(overlap_span, medium_->frame_duration(frag, rates.stronger));
+          overlap_span = std::max(
+              overlap_span,
+              send(strong, rates.stronger, 1.0, mr.overlap_bits, false));
         }
         // After the overlap and the weaker packet's ACK turnaround, the
         // stronger client boosts the remainder to its clean rate.
-        const double remaining =
-            std::max(0.0, packet_bits_ - mr.overlap_bits);
+        const double remaining = std::max(0.0, bits - mr.overlap_bits);
         const SimTime gap =
             overlap_span + phy.sifs + phy.ack_duration() + phy.sifs;
         queue_->schedule_after(gap, [this, strong, remaining, index] {
-          Frame tail;
-          tail.id = next_id_++;
-          tail.type = FrameType::kData;
-          tail.src = strong + 1;
-          tail.dst = kApId;
-          tail.payload_bits = remaining;
-          const BitsPerSecond clean = adapter_->rate(
-              clients_[static_cast<std::size_t>(strong)].snr());
-          medium_->transmit(tail, clean);
-          const SimTime t_tail = medium_->frame_duration(tail, clean);
+          const SimTime t_tail =
+              send(strong, clean_rate(strong), 1.0, remaining, true);
           const PhyParams& p = medium_->phy();
           queue_->schedule_after(t_tail + p.sifs + p.ack_duration() + p.sifs,
-                                 [this, index] { run_slot(index + 1); });
+                                 [this, index] { finish_slot(index); });
         });
-        return;  // continuation handles the next slot
+        return;  // continuation handles the slot completion
       }
       case core::PairMode::kSic:
       case core::PairMode::kSicPowerControl: {
         SIC_CHECK(slot.second >= 0);
-        const auto& a = clients_[static_cast<std::size_t>(slot.first)];
-        const auto& b = clients_[static_cast<std::size_t>(slot.second)];
-        const bool a_stronger = a.rss >= b.rss;
-        const int strong = a_stronger ? slot.first : slot.second;
-        const int weak = a_stronger ? slot.second : slot.first;
-        const double scale = slot.plan.mode == core::PairMode::kSicPowerControl
-                                 ? slot.plan.weaker_power_scale
-                                 : 1.0;
-        auto ctx = core::UploadPairContext::make(
-            a.rss, b.rss, a.noise, *adapter_, packet_bits_);
+        const auto [strong, weak] = strong_weak(slot);
+        auto ctx = pair_ctx(slot.first, slot.second);
+        double scale = 1.0;
+        if (slot.mode == core::PairMode::kSicPowerControl) {
+          scale = slot.use_planned_scale
+                      ? slot.planned_weaker_scale
+                      : core::optimize_weaker_power(ctx).scale;
+        }
         ctx.arrival.weaker = ctx.arrival.weaker * scale;
         const auto rates = core::sic_rates(ctx);
-        const SimTime ts = send(strong, rates.stronger, 1.0);
-        const SimTime tw = send(weak, rates.weaker, scale);
+        const SimTime ts = send(strong, rates.stronger, 1.0, bits, true);
+        const SimTime tw = send(weak, rates.weaker, scale, bits, true);
         span = std::max(ts, tw);
         acks = 2;
         break;
@@ -238,16 +307,217 @@ class ScheduleRunner {
     }
     const SimTime turnaround =
         span + phy.sifs + acks * (phy.ack_duration() + phy.sifs);
-    queue_->schedule_after(turnaround, [this, index] { run_slot(index + 1); });
+    queue_->schedule_after(turnaround, [this, index] { finish_slot(index); });
+  }
+
+  /// Stronger/weaker roles from the executor's *estimates* — under stale
+  /// RSS the realized ordering may differ, which is itself a failure mode.
+  [[nodiscard]] std::pair<int, int> strong_weak(const RunSlot& slot) const {
+    const bool first_stronger =
+        estimates_[static_cast<std::size_t>(slot.first)] >=
+        estimates_[static_cast<std::size_t>(slot.second)];
+    return first_stronger ? std::pair{slot.first, slot.second}
+                          : std::pair{slot.second, slot.first};
+  }
+
+  /// Confirmation + recovery at the instant the open-loop runner would
+  /// have blindly moved on.
+  void finish_slot(std::size_t index) {
+    const RunSlot slot = round_slots_[index];
+    const CheckOutcome first = check_client(slot.first);
+    const CheckOutcome second =
+        slot.second >= 0 ? check_client(slot.second) : CheckOutcome::kConfirmed;
+    faults_->clear_injections();
+
+    if (config_->recovery.enabled) {
+      const bool concurrent = slot.mode == core::PairMode::kSic ||
+                              slot.mode == core::PairMode::kSicPowerControl ||
+                              slot.mode == core::PairMode::kSicMultirate;
+      if (concurrent && first == CheckOutcome::kFailed &&
+          second == CheckOutcome::kFailed) {
+        // Both lost: retry the pair one step down the degradation ladder.
+        RunSlot retry;
+        retry.first = slot.first;
+        retry.second = slot.second;
+        retry.mode = degrade(slot.mode);
+        ++telemetry_.mode_demotions;
+        round_slots_.push_back(retry);
+      } else if (concurrent) {
+        // One lost (typically the weaker to a cancellation failure):
+        // immediate serial fallback for the victim alone.
+        for (const auto& [client, outcome] :
+             {std::pair{slot.first, first}, std::pair{slot.second, second}}) {
+          if (outcome != CheckOutcome::kFailed) continue;
+          RunSlot retry;
+          retry.first = client;
+          retry.mode = core::PairMode::kSolo;
+          ++telemetry_.mode_demotions;
+          round_slots_.push_back(retry);
+        }
+      }
+      // kSolo / kSerial failures mean the clean-rate estimate itself is
+      // stale; retrying on the same estimate is futile, so those clients
+      // wait for the round boundary's re-estimation + re-matching.
+    }
+    run_slot(index + 1);
+  }
+
+  CheckOutcome check_client(int client) {
+    const std::size_t c = static_cast<std::size_t>(client);
+    if (pending_[c] <= 0) return CheckOutcome::kConfirmed;
+    const std::uint64_t total = ap_->received_from(client + 1);
+    const std::uint64_t delta = total - ap_seen_[c];
+    ap_seen_[c] = total;
+    if (delta > 0) {
+      if (faults_->ack_lost()) {
+        // The AP has the frame; the station never hears so and will
+        // retransmit — the duplicate-delivery path.
+        ++telemetry_.ack_losses;
+      } else {
+        --pending_[c];
+        const std::size_t bucket =
+            std::min(static_cast<std::size_t>(attempts_[c] > 0
+                                                  ? attempts_[c] - 1
+                                                  : 0),
+                     telemetry_.retry_histogram.size() - 1);
+        ++telemetry_.retry_histogram[bucket];
+        if (attempts_[c] > 1) ++telemetry_.recovered;
+        return CheckOutcome::kConfirmed;
+      }
+    } else if (faults_->was_injected(frame_id(client))) {
+      ++telemetry_.cancellation_failures;
+    } else {
+      ++telemetry_.rate_misses;
+    }
+    ++failures_[c];
+    if (!config_->recovery.enabled ||
+        attempts_[c] >= config_->recovery.max_attempts_per_frame) {
+      telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
+      pending_[c] = 0;
+      dropped_[c] = true;
+      return CheckOutcome::kDropped;
+    }
+    return CheckOutcome::kFailed;
+  }
+
+  [[nodiscard]] static core::PairMode degrade(core::PairMode mode) {
+    switch (mode) {
+      case core::PairMode::kSicMultirate: return core::PairMode::kSic;
+      case core::PairMode::kSic: return core::PairMode::kSicPowerControl;
+      case core::PairMode::kSicPowerControl: return core::PairMode::kSerial;
+      case core::PairMode::kSerial:
+      case core::PairMode::kSolo: break;
+    }
+    return mode;
+  }
+
+  /// Round boundary: every frame either confirmed, dropped, or waiting on
+  /// a fresh channel estimate. Re-measure, advance the channel, and
+  /// re-match the residual backlog.
+  void end_round() {
+    std::vector<int> residual;
+    for (std::size_t c = 0; c < pending_.size(); ++c) {
+      if (pending_[c] > 0) residual.push_back(static_cast<int>(c));
+    }
+    if (residual.empty()) return;  // all confirmed or dropped: drain
+    if (!config_->recovery.enabled ||
+        rounds_ >= config_->recovery.max_rematch_rounds) {
+      for (const int client : residual) {
+        const std::size_t c = static_cast<std::size_t>(client);
+        telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
+        pending_[c] = 0;
+        dropped_[c] = true;
+      }
+      return;
+    }
+    ++rounds_;
+    ++telemetry_.rematch_rounds;
+
+    // Fresh measurement of every client, then one AR(1) step so the
+    // re-matched slots fly through a channel that has again drifted.
+    if (faults_->config().channel_faults()) {
+      for (std::size_t c = 0; c < estimates_.size(); ++c) {
+        estimates_[c] = faults_->true_rss(clients_[c].rss, static_cast<int>(c));
+      }
+      faults_->advance_epoch();
+      for (std::size_t c = 0; c < estimates_.size(); ++c) {
+        medium_->set_gain(kApId, static_cast<int>(c) + 1,
+                          faults_->true_rss(clients_[c].rss,
+                                            static_cast<int>(c)));
+      }
+    }
+
+    std::vector<int> pairable;
+    std::vector<int> solo;
+    for (const int client : residual) {
+      const std::size_t c = static_cast<std::size_t>(client);
+      if (failures_[c] >= config_->recovery.demote_after_failures) {
+        if (!demoted_[c]) {
+          demoted_[c] = true;
+          ++telemetry_.client_demotions;
+        }
+        solo.push_back(client);
+      } else {
+        pairable.push_back(client);
+      }
+    }
+
+    round_slots_.clear();
+    if (pairable.size() >= 2) {
+      std::vector<channel::LinkBudget> budgets;
+      budgets.reserve(pairable.size());
+      for (const int client : pairable) {
+        budgets.push_back(channel::LinkBudget{
+            estimates_[static_cast<std::size_t>(client)], noise_});
+      }
+      core::SchedulerOptions options = config_->recovery.rematch_options;
+      options.packet_bits = config_->packet_bits;
+      const core::Schedule rematched =
+          core::schedule_upload(budgets, *adapter_, options);
+      margin_db_ = options.admission_margin_db.value();
+      for (const auto& s : rematched.slots) {
+        RunSlot rs;
+        rs.first = pairable[static_cast<std::size_t>(s.first)];
+        rs.second =
+            s.second >= 0 ? pairable[static_cast<std::size_t>(s.second)] : -1;
+        rs.mode = s.second < 0 ? core::PairMode::kSolo : s.plan.mode;
+        rs.planned_weaker_scale = s.plan.weaker_power_scale;
+        rs.use_planned_scale = true;
+        round_slots_.push_back(rs);
+      }
+    } else {
+      for (const int client : pairable) solo.push_back(client);
+    }
+    std::sort(solo.begin(), solo.end());
+    for (const int client : solo) {
+      RunSlot rs;
+      rs.first = client;
+      rs.mode = core::PairMode::kSolo;
+      round_slots_.push_back(rs);
+    }
+    run_slot(0);
   }
 
   EventQueue* queue_;
   Medium* medium_;
+  AccessPoint* ap_;
   std::span<const channel::LinkBudget> clients_;
   const phy::RateAdapter* adapter_;
-  const core::Schedule* schedule_;
-  double packet_bits_;
-  std::uint64_t next_id_ = 1;
+  const UploadSimConfig* config_;
+  FaultModel* faults_;
+  double margin_db_;
+  Milliwatts noise_;
+
+  std::vector<Milliwatts> estimates_;   ///< executor's channel knowledge
+  std::vector<int> pending_;            ///< unconfirmed frames per client
+  std::vector<int> attempts_;           ///< transmissions per client
+  std::vector<int> failures_;           ///< failed exchanges per client
+  std::vector<bool> dropped_;           ///< gave up on this client
+  std::vector<bool> demoted_;           ///< barred from pairing
+  std::vector<std::uint64_t> ap_seen_;  ///< AP receive counters last seen
+  std::vector<RunSlot> round_slots_;
+  int rounds_ = 0;
+  FailureTelemetry telemetry_;
 };
 
 }  // namespace
@@ -259,10 +529,27 @@ UploadSimResult run_scheduled_upload(
   EventQueue queue;
   auto medium = build_medium(queue, clients, adapter, config);
   AccessPoint ap{queue, *medium, kApId};
-  ScheduleRunner runner{queue,    *medium,  clients,
-                        adapter,  schedule, config.packet_bits};
+  FaultModel faults{config.faults, static_cast<int>(clients.size()),
+                    config.seed};
+  if (config.faults.channel_faults()) {
+    // The schedule was planned on the nominal (stale) RSS; the packets fly
+    // through the drifted channel.
+    for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
+      medium->set_gain(kApId, i + 1,
+                       faults.true_rss(
+                           clients[static_cast<std::size_t>(i)].rss, i));
+    }
+  }
+  if (config.faults.cancellation_failure_prob > 0.0) {
+    medium->set_decode_fault_hook([&faults](const Frame& f, bool sic_path) {
+      return faults.should_fail_decode(f, sic_path);
+    });
+  }
+  ClosedLoopRunner runner{queue,   *medium,  ap,     clients,
+                          adapter, schedule, config, faults};
   runner.start();
   queue.run_until(config.horizon);
+  runner.finalize();
 
   UploadSimResult result;
   std::uint64_t offered = 0;
@@ -273,6 +560,10 @@ UploadSimResult run_scheduled_upload(
   result.delivered = ap.stats().data_received;
   result.completion_s = to_seconds(queue.now());
   result.medium = medium->stats();
+  result.failures = runner.telemetry();
+  result.failures.duplicate_deliveries = ap.stats().duplicate_data;
+  result.retries = result.failures.retransmissions;
+  result.drops = result.failures.unrecovered;
   return result;
 }
 

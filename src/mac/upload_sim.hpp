@@ -13,6 +13,16 @@
 ///    receiver model, which makes this an executable proof of the
 ///    scheduler's feasibility conditions.
 ///
+/// The scheduled executor is *closed-loop*: it confirms every frame
+/// against the AP's receive counters and, under the injected faults of
+/// mac/fault_model.hpp (stale RSS, cancellation failures, ACK loss),
+/// recovers via bounded per-slot retries, graceful mode degradation
+/// (multirate -> SIC -> power control -> serial), demotion of
+/// chronically-failing clients to solo slots, and periodic re-estimation +
+/// re-matching of the residual backlog through core::schedule_upload.
+/// With every fault knob at zero the recovery layer never engages and the
+/// run is bit-identical to the open-loop executor it replaced.
+///
 /// Node ids: AP = 0, client k = k + 1.
 
 #include <cstdint>
@@ -21,10 +31,35 @@
 
 #include "channel/link.hpp"
 #include "core/scheduler.hpp"
+#include "mac/fault_model.hpp"
 #include "mac/medium.hpp"
 #include "phy/rate_adapter.hpp"
 
 namespace sic::mac {
+
+/// Recovery policy of the closed-loop scheduled executor.
+struct RecoveryConfig {
+  /// Master switch. Off = open-loop baseline: failures become silent
+  /// unrecovered drops, exactly the seed behavior under faults.
+  bool enabled = true;
+  /// Total transmissions allowed per frame before it is dropped as
+  /// unrecovered (1 = the original attempt, no retries).
+  int max_attempts_per_frame = 8;
+  /// A client whose frame failed this many times is demoted: it is no
+  /// longer offered for pairing at re-match time and drains solo.
+  int demote_after_failures = 2;
+  /// Extra dB shaved off a client's rate-selection SNR per prior failure —
+  /// classic rate fallback, which guarantees convergence once the backoff
+  /// overtakes the estimation error.
+  double retry_backoff_db = 3.0;
+  /// Upper bound on re-estimation + re-matching rounds after the planned
+  /// schedule; survivors past the last round are dropped as unrecovered.
+  int max_rematch_rounds = 32;
+  /// Scheduler options used when re-matching the residual backlog (packet
+  /// size is taken from the UploadSimConfig; set admission_margin_db here
+  /// to re-plan with headroom).
+  core::SchedulerOptions rematch_options{};
+};
 
 struct UploadSimConfig {
   double packet_bits = 12000.0;
@@ -45,8 +80,44 @@ struct UploadSimConfig {
   /// carrier-sense threshold = no hidden terminals (the default); below =
   /// everyone is hidden from everyone.
   Decibels client_mutual_snr{25.0};
+  /// Injected faults (scheduled executor only). All-zero = inert.
+  FaultConfig faults;
+  /// Closed-loop recovery policy (scheduled executor only).
+  RecoveryConfig recovery;
   std::uint64_t seed = 1;
   SimTime horizon = from_seconds(300.0);
+};
+
+/// Per-cause failure accounting of one scheduled-upload run. "Frame"
+/// here means a client's backlogged packet; "attempt" one transmission of
+/// it (so attempts - confirmations = failures of all causes).
+struct FailureTelemetry {
+  /// Decode failures with no injected cause: the planned rate missed the
+  /// realized SINR (stale estimate, insufficient margin).
+  std::uint64_t rate_misses = 0;
+  /// Decode failures injected by the fault model's cancellation path.
+  std::uint64_t cancellation_failures = 0;
+  /// Frames the AP decoded whose ACK was lost — the sender retries and the
+  /// AP sees a duplicate.
+  std::uint64_t ack_losses = 0;
+  /// Re-receptions of an already-delivered frame (from the AP's counters).
+  std::uint64_t duplicate_deliveries = 0;
+  /// Transmissions beyond each frame's first attempt.
+  std::uint64_t retransmissions = 0;
+  /// Retry slots that stepped down the degradation ladder
+  /// (multirate -> SIC -> power control -> serial/solo).
+  std::uint64_t mode_demotions = 0;
+  /// Clients barred from pairing after demote_after_failures failures.
+  std::uint64_t client_demotions = 0;
+  /// Re-estimation + re-matching passes over the residual backlog.
+  std::uint64_t rematch_rounds = 0;
+  /// Frames confirmed after at least one failure.
+  std::uint64_t recovered = 0;
+  /// Frames abandoned (attempt/round budget exhausted or horizon hit).
+  std::uint64_t unrecovered = 0;
+  /// retry_histogram[k] = frames confirmed after exactly k retries; the
+  /// last bucket absorbs the tail.
+  std::vector<std::uint64_t> retry_histogram;
 };
 
 struct UploadSimResult {
@@ -61,6 +132,8 @@ struct UploadSimResult {
   std::uint64_t retries = 0;
   std::uint64_t drops = 0;
   MediumStats medium;
+  /// Failure/recovery accounting (scheduled executor; empty for DCF runs).
+  FailureTelemetry failures;
 };
 
 [[nodiscard]] UploadSimResult run_dcf_upload(
@@ -72,6 +145,8 @@ struct UploadSimResult {
 /// style fragment bursts: the stronger packet's overlap fragment rides the
 /// collision at the interference-limited rate (no ACK), and its remainder
 /// is boosted to the clean rate after the weaker packet's ACK turnaround.
+/// \p clients are the *true* nominal channels; under config.faults the
+/// executor's knowledge of them is degraded as described above.
 [[nodiscard]] UploadSimResult run_scheduled_upload(
     std::span<const channel::LinkBudget> clients,
     const phy::RateAdapter& adapter, const core::Schedule& schedule,

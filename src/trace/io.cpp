@@ -4,9 +4,36 @@
 #include <fstream>
 #include <map>
 #include <sstream>
-#include <stdexcept>
+#include <string_view>
 
 namespace sic::trace {
+
+namespace {
+
+/// Strips a trailing CR (CRLF endings from Windows-authored traces) and
+/// trailing spaces/tabs.
+std::string rstrip(const std::string& s) {
+  std::string_view v{s};
+  while (!v.empty() &&
+         (v.back() == '\r' || v.back() == ' ' || v.back() == '\t')) {
+    v.remove_suffix(1);
+  }
+  return std::string{v};
+}
+
+bool is_blank(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return c == ' ' || c == '\t'; });
+}
+
+[[noreturn]] void malformed(int lineno, const std::string& line,
+                            const char* what) {
+  throw TraceFormatError("malformed trace CSV at line " +
+                         std::to_string(lineno) + " (" + what +
+                         "): " + line);
+}
+
+}  // namespace
 
 void write_csv(const RssiTrace& trace, std::ostream& os) {
   os << "timestamp_s,ap_id,client_id,rssi_dbm\n";
@@ -22,25 +49,26 @@ void write_csv(const RssiTrace& trace, std::ostream& os) {
 
 void write_csv_file(const RssiTrace& trace, const std::string& path) {
   std::ofstream os{path};
-  if (!os) throw std::runtime_error("cannot open trace file for write: " + path);
+  if (!os) throw TraceIoError("cannot open trace file for write: " + path);
   write_csv(trace, os);
 }
 
 RssiTrace read_csv(std::istream& is) {
-  std::string line;
-  if (!std::getline(is, line)) {
-    throw std::runtime_error("trace CSV is empty");
+  std::string raw;
+  if (!std::getline(is, raw)) {
+    throw TraceFormatError("trace CSV is empty");
   }
-  if (line != "timestamp_s,ap_id,client_id,rssi_dbm") {
-    throw std::runtime_error("unexpected trace CSV header: " + line);
+  if (rstrip(raw) != "timestamp_s,ap_id,client_id,rssi_dbm") {
+    throw TraceFormatError("unexpected trace CSV header: " + raw);
   }
   // timestamp -> ap -> observations
   std::map<std::int64_t, std::map<std::uint32_t, std::vector<ClientObservation>>>
       rows;
   int lineno = 1;
-  while (std::getline(is, line)) {
+  while (std::getline(is, raw)) {
     ++lineno;
-    if (line.empty()) continue;
+    const std::string line = rstrip(raw);
+    if (line.empty() || is_blank(line)) continue;
     std::istringstream ls{line};
     std::int64_t ts = 0;
     std::uint32_t ap = 0;
@@ -49,8 +77,11 @@ RssiTrace read_csv(std::istream& is) {
     char c1 = 0, c2 = 0, c3 = 0;
     if (!(ls >> ts >> c1 >> ap >> c2 >> client >> c3 >> rssi) || c1 != ',' ||
         c2 != ',' || c3 != ',') {
-      throw std::runtime_error("malformed trace CSV at line " +
-                               std::to_string(lineno) + ": " + line);
+      malformed(lineno, raw, "expected timestamp_s,ap_id,client_id,rssi_dbm");
+    }
+    std::string rest;
+    if (ls >> rest) {
+      malformed(lineno, raw, "trailing junk after rssi_dbm");
     }
     rows[ts][ap].push_back(ClientObservation{client, rssi});
   }
@@ -71,7 +102,7 @@ RssiTrace read_csv(std::istream& is) {
 
 RssiTrace read_csv_file(const std::string& path) {
   std::ifstream is{path};
-  if (!is) throw std::runtime_error("cannot open trace file for read: " + path);
+  if (!is) throw TraceIoError("cannot open trace file for read: " + path);
   return read_csv(is);
 }
 

@@ -15,7 +15,7 @@ double parse_double(const std::string& flag, const std::string& text) {
   char* end = nullptr;
   const double value = std::strtod(text.c_str(), &end);
   if (end == text.c_str() || *end != '\0') {
-    throw std::runtime_error("flag --" + flag + ": not a number: " + text);
+    throw UsageError("flag --" + flag + ": not a number: " + text);
   }
   return value;
 }
@@ -31,7 +31,7 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
   while (i < argc) {
     const std::string token = argv[i];
     if (!is_flag(token)) {
-      throw std::runtime_error("expected a --flag, got: " + token);
+      throw UsageError("expected a --flag, got: " + token);
     }
     Entry entry;
     entry.name = token.substr(2);

@@ -7,10 +7,19 @@
 /// optional leading positional (the subcommand).
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace sic {
+
+/// The command line itself is wrong (stray token, malformed number,
+/// missing required flag). Front ends map this to their usage exit code;
+/// it stays a std::runtime_error for legacy catch sites.
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class ArgParser {
  public:
@@ -25,7 +34,7 @@ class ArgParser {
   [[nodiscard]] std::optional<std::string> get(const std::string& flag) const;
   [[nodiscard]] std::string get_string(const std::string& flag,
                                        const std::string& fallback) const;
-  /// Throws std::runtime_error on malformed numbers.
+  /// Throws UsageError on malformed numbers.
   [[nodiscard]] double get_double(const std::string& flag,
                                   double fallback) const;
   [[nodiscard]] int get_int(const std::string& flag, int fallback) const;

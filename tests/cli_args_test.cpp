@@ -69,6 +69,17 @@ TEST(ArgParser, StrayPositionalRejected) {
                std::runtime_error);
 }
 
+TEST(ArgParser, UsageErrorsAreTyped) {
+  // The CLI maps UsageError to its usage exit code; both failure shapes
+  // must throw the typed error (still a runtime_error for legacy sites).
+  const auto p = parse({"x", "--snr", "abc"});
+  EXPECT_THROW((void)p.get_double("snr", 0.0), UsageError);
+  std::vector<const char*> argv{"sicmac", "cmd", "oops"};
+  EXPECT_THROW(ArgParser(static_cast<int>(argv.size()), argv.data()),
+               UsageError);
+  static_assert(std::is_base_of_v<std::runtime_error, UsageError>);
+}
+
 TEST(ArgParser, UnknownFlagDetection) {
   const auto p = parse({"x", "--used", "1", "--typo", "2"});
   (void)p.get_double("used", 0.0);

@@ -105,10 +105,18 @@ TEST(Consistency, ImperfectApLosesSicDecodesInSimulation) {
   ASSERT_GT(clean.medium.sic_decodes, 0u);
   mac::UploadSimConfig impaired = perfect;
   impaired.cancellation_residual = 0.1;
+  impaired.recovery.enabled = false;  // open loop: the loss stays a drop
   const auto degraded =
       mac::run_scheduled_upload(clients, kShannon, schedule, impaired);
   EXPECT_EQ(degraded.medium.sic_decodes, 0u);
   EXPECT_LT(degraded.delivered, degraded.offered);
+  // The closed-loop executor sees the same decode failure but recovers it
+  // through a solo retry (the clean path is immune to the residual).
+  impaired.recovery.enabled = true;
+  const auto recovered =
+      mac::run_scheduled_upload(clients, kShannon, schedule, impaired);
+  EXPECT_EQ(recovered.failures.unrecovered, 0u);
+  EXPECT_GT(recovered.failures.recovered, 0u);
 }
 
 TEST(Consistency, AdcLimitFlowsThroughSimulator) {
@@ -122,9 +130,17 @@ TEST(Consistency, AdcLimitFlowsThroughSimulator) {
       schedule.slots[0].plan.mode == core::PairMode::kSic) {
     mac::UploadSimConfig limited;
     limited.max_decodable_disparity = Decibels{20.0};
+    limited.recovery.enabled = false;  // open loop: the loss stays a drop
     const auto run =
         mac::run_scheduled_upload(clients, kShannon, schedule, limited);
     EXPECT_LT(run.delivered, run.offered);
+    // Closed loop: the weaker client's frame is retried solo (no disparity
+    // once it transmits alone) and everything lands.
+    limited.recovery.enabled = true;
+    const auto recovered =
+        mac::run_scheduled_upload(clients, kShannon, schedule, limited);
+    EXPECT_EQ(recovered.failures.unrecovered, 0u);
+    EXPECT_EQ(recovered.delivered, recovered.offered);
   }
 }
 

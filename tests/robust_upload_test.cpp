@@ -1,0 +1,196 @@
+/// Failure-path tests of the closed-loop scheduled executor: injected
+/// cancellation failures, ACK loss, stale-RSS re-matching, and the
+/// zero-fault bit-identity guarantee.
+
+#include "mac/upload_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <vector>
+
+#include "core/scheduler.hpp"
+
+namespace sic::mac {
+namespace {
+
+constexpr Milliwatts kN0{1.0};
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+std::vector<channel::LinkBudget> clients_db(
+    std::initializer_list<double> snrs) {
+  std::vector<channel::LinkBudget> out;
+  for (const double db : snrs) {
+    out.push_back(channel::LinkBudget{Milliwatts{Decibels{db}.linear()}, kN0});
+  }
+  return out;
+}
+
+TEST(RobustUpload, CancellationFailureFallsBackToSerialAndCompletes) {
+  // Every SIC-path decode is force-failed: the weaker frame of the pair
+  // can never ride the collision. The closed loop must recover it on a
+  // clean solo retry (immune to cancellation faults) and lose nothing.
+  const auto clients = clients_db({24.0, 12.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  ASSERT_EQ(schedule.slots.size(), 1u);
+  ASSERT_NE(schedule.slots[0].plan.mode, core::PairMode::kSerial);
+
+  UploadSimConfig config;
+  config.faults.cancellation_failure_prob = 1.0;
+  const auto result = run_scheduled_upload(clients, kShannon, schedule, config);
+  EXPECT_EQ(result.offered, 2u);
+  EXPECT_EQ(result.failures.unrecovered, 0u);
+  EXPECT_GE(result.failures.cancellation_failures, 1u);
+  EXPECT_GE(result.failures.recovered, 1u);
+  EXPECT_GE(result.failures.mode_demotions, 1u);
+  EXPECT_GE(result.retries, 1u);
+}
+
+TEST(RobustUpload, OpenLoopDropsWhatClosedLoopRecovers) {
+  const auto clients = clients_db({24.0, 12.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.cancellation_failure_prob = 1.0;
+  config.recovery.enabled = false;
+  const auto result = run_scheduled_upload(clients, kShannon, schedule, config);
+  EXPECT_GE(result.failures.unrecovered, 1u);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_LT(result.delivered, result.offered);
+}
+
+TEST(RobustUpload, CertainAckLossAccountsDuplicatesExactly) {
+  // p = 1: the station never hears an ACK, retransmits until its attempt
+  // budget runs out, and every retransmission is a duplicate at the AP.
+  const auto clients = clients_db({20.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.ack_loss_prob = 1.0;
+  const auto result = run_scheduled_upload(clients, kShannon, schedule, config);
+  const auto attempts =
+      static_cast<std::uint64_t>(config.recovery.max_attempts_per_frame);
+  EXPECT_EQ(result.offered, 1u);
+  EXPECT_EQ(result.delivered, attempts);  // AP decoded every transmission
+  EXPECT_EQ(result.failures.duplicate_deliveries, attempts - 1);
+  EXPECT_EQ(result.failures.ack_losses, attempts);
+  EXPECT_EQ(result.failures.unrecovered, 1u);  // never confirmed
+  EXPECT_EQ(result.failures.recovered, 0u);
+}
+
+TEST(RobustUpload, OccasionalAckLossRecoversViaDuplicate) {
+  const auto clients = clients_db({22.0, 18.0, 14.0, 10.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.ack_loss_prob = 0.5;
+  bool saw_duplicate = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = seed;
+    const auto result =
+        run_scheduled_upload(clients, kShannon, schedule, config);
+    EXPECT_EQ(result.failures.unrecovered, 0u) << "seed " << seed;
+    EXPECT_EQ(result.failures.duplicate_deliveries, result.failures.ack_losses)
+        << "seed " << seed;
+    saw_duplicate |= result.failures.duplicate_deliveries > 0;
+  }
+  EXPECT_TRUE(saw_duplicate);
+}
+
+TEST(RobustUpload, OddClientCountSurvivesRematching) {
+  // Five clients under heavy drift: re-matching repeatedly runs the
+  // blossom reduction on odd residual backlogs (dummy-vertex path) and
+  // must still confirm every frame.
+  const auto clients = clients_db({26.0, 21.0, 17.0, 12.0, 8.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.stale_rss_sigma_db = 6.0;
+  config.faults.stale_rss_rho = 0.9;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    config.seed = seed;
+    const auto result =
+        run_scheduled_upload(clients, kShannon, schedule, config);
+    EXPECT_EQ(result.failures.unrecovered, 0u) << "seed " << seed;
+  }
+}
+
+TEST(RobustUpload, AcceptanceCombinedFaultsClosedLoopLosesNothing) {
+  // The headline criterion: 1% cancellation failures + 4 dB stale RSS +
+  // 1% ACK loss. Closed loop: zero unrecovered drops on every seed.
+  // Open loop: losses on at least some seeds.
+  const auto clients =
+      clients_db({27.0, 24.0, 21.0, 18.0, 15.0, 12.0, 9.0, 6.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.stale_rss_sigma_db = 4.0;
+  config.faults.stale_rss_rho = 0.9;
+  config.faults.cancellation_failure_prob = 0.01;
+  config.faults.ack_loss_prob = 0.01;
+
+  std::uint64_t open_loop_drops = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    config.seed = seed;
+    config.recovery.enabled = true;
+    const auto closed =
+        run_scheduled_upload(clients, kShannon, schedule, config);
+    EXPECT_EQ(closed.failures.unrecovered, 0u) << "seed " << seed;
+    EXPECT_EQ(closed.drops, 0u) << "seed " << seed;
+    config.recovery.enabled = false;
+    const auto open = run_scheduled_upload(clients, kShannon, schedule, config);
+    open_loop_drops += open.failures.unrecovered;
+  }
+  EXPECT_GT(open_loop_drops, 0u);
+}
+
+TEST(RobustUpload, ZeroFaultsMatchesOpenLoopBitForBit) {
+  // With every fault knob at zero the recovery layer must never engage:
+  // identical results (including the event-driven completion time) with
+  // recovery on or off, and an all-zero telemetry block.
+  const auto clients = clients_db({30.0, 24.0, 15.0, 12.0, 20.0, 10.0});
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  const auto schedule = core::schedule_upload(clients, kShannon, options);
+
+  UploadSimConfig config;
+  config.recovery.enabled = true;
+  const auto closed = run_scheduled_upload(clients, kShannon, schedule, config);
+  config.recovery.enabled = false;
+  const auto open = run_scheduled_upload(clients, kShannon, schedule, config);
+
+  EXPECT_EQ(closed.completion_s, open.completion_s);  // exact, not near
+  EXPECT_EQ(closed.delivered, open.delivered);
+  EXPECT_EQ(closed.delivered, closed.offered);
+  EXPECT_EQ(closed.retries, 0u);
+  EXPECT_EQ(closed.drops, 0u);
+  EXPECT_EQ(closed.failures.rate_misses, 0u);
+  EXPECT_EQ(closed.failures.cancellation_failures, 0u);
+  EXPECT_EQ(closed.failures.ack_losses, 0u);
+  EXPECT_EQ(closed.failures.duplicate_deliveries, 0u);
+  EXPECT_EQ(closed.failures.mode_demotions, 0u);
+  EXPECT_EQ(closed.failures.client_demotions, 0u);
+  EXPECT_EQ(closed.failures.rematch_rounds, 0u);
+  EXPECT_EQ(closed.failures.recovered, 0u);
+  EXPECT_EQ(closed.failures.unrecovered, 0u);
+}
+
+TEST(RobustUpload, StaleRssDemotesChronicFailures) {
+  // A fully decorrelated channel (rho = 0) makes every re-estimate stale
+  // again by flight time, so some client fails repeatedly; after
+  // demote_after_failures it must drain solo and the run must still
+  // confirm everything.
+  const auto clients = clients_db({25.0, 23.0, 21.0, 19.0});
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  UploadSimConfig config;
+  config.faults.stale_rss_sigma_db = 8.0;
+  config.faults.stale_rss_rho = 0.0;
+  bool saw_demotion = false;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    config.seed = seed;
+    const auto result =
+        run_scheduled_upload(clients, kShannon, schedule, config);
+    EXPECT_EQ(result.failures.unrecovered, 0u) << "seed " << seed;
+    saw_demotion |= result.failures.client_demotions > 0;
+  }
+  EXPECT_TRUE(saw_demotion);
+}
+
+}  // namespace
+}  // namespace sic::mac

@@ -156,6 +156,66 @@ TEST(Scheduler, PairPlanMatchesTechniqueAirtimes) {
   EXPECT_NEAR(plan.airtime, expected, expected * 1e-12);
 }
 
+TEST(Scheduler, ZeroAdmissionMarginIsExactlyTheDefaultPlan) {
+  // The margin derate multiplier is exactly 1.0 at 0 dB, so the plan must
+  // be bit-identical to one computed without the option.
+  const auto a = client_db(24.0);
+  const auto b = client_db(12.0);
+  SchedulerOptions margined;
+  margined.admission_margin_db = Decibels{0.0};
+  const auto base = best_pair_plan(a, b, kShannon, SchedulerOptions{});
+  const auto with = best_pair_plan(a, b, kShannon, margined);
+  EXPECT_EQ(base.mode, with.mode);
+  EXPECT_EQ(base.airtime, with.airtime);  // exact, not near
+}
+
+TEST(Scheduler, AdmissionMarginDeratesConcurrentNotSerial) {
+  // A margined concurrent plan is costed on the derated channel, so its
+  // airtime can only grow with the margin; the serial baseline is
+  // unmargined and caps the damage.
+  const auto a = client_db(24.0);
+  const auto b = client_db(12.0);
+  SchedulerOptions options;
+  const auto base = best_pair_plan(a, b, kShannon, options);
+  ASSERT_EQ(base.mode, PairMode::kSic);
+  options.admission_margin_db = Decibels{3.0};
+  const auto margined = best_pair_plan(a, b, kShannon, options);
+  EXPECT_GE(margined.airtime, base.airtime);
+  const double serial = solo_airtime(a, kShannon, 12000.0) +
+                        solo_airtime(b, kShannon, 12000.0);
+  EXPECT_LE(margined.airtime, serial * (1.0 + 1e-12));
+}
+
+TEST(Scheduler, LargeAdmissionMarginFallsBackToSerial) {
+  // A pair that wins under SIC at 0 dB margin stops being admitted as
+  // concurrent once the required headroom is big enough.
+  const auto a = client_db(24.0);
+  const auto b = client_db(12.0);
+  SchedulerOptions options;
+  ASSERT_EQ(best_pair_plan(a, b, kShannon, options).mode, PairMode::kSic);
+  options.admission_margin_db = Decibels{20.0};
+  EXPECT_EQ(best_pair_plan(a, b, kShannon, options).mode, PairMode::kSerial);
+}
+
+TEST(Scheduler, AdmissionMarginRecordedOnSchedule) {
+  const std::vector<channel::LinkBudget> clients{client_db(24.0),
+                                                 client_db(12.0)};
+  SchedulerOptions options;
+  options.admission_margin_db = Decibels{3.0};
+  const auto schedule = schedule_upload(clients, kShannon, options);
+  EXPECT_EQ(schedule.admission_margin_db.value(), 3.0);
+  EXPECT_EQ(schedule_upload({}, kShannon, options).admission_margin_db.value(),
+            3.0);
+}
+
+TEST(Scheduler, NegativeAdmissionMarginRejected) {
+  SchedulerOptions options;
+  options.admission_margin_db = Decibels{-1.0};
+  EXPECT_THROW(
+      (void)best_pair_plan(client_db(24.0), client_db(12.0), kShannon, options),
+      std::logic_error);
+}
+
 TEST(Scheduler, MismatchedNoiseFloorsRejected) {
   const channel::LinkBudget a{Milliwatts{10.0}, Milliwatts{1.0}};
   const channel::LinkBudget b{Milliwatts{10.0}, Milliwatts{2.0}};

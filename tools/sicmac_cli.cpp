@@ -10,11 +10,16 @@
 ///   sicmac trace-eval --in trace.csv
 ///   sicmac mesh --long 40 --short 10 [--exponent 4]
 ///   sicmac capacity --s1 20 --s2 12
+///   sicmac simulate --clients 24,18,12,9 [--stale-sigma dB] [--cancel-prob p]
 ///   sicmac report [--trials N] [--seed S]      # markdown repro summary
 ///
 /// All SNRs in dB over a unit noise floor; rates on a 20 MHz channel.
+///
+/// Exit codes: 0 success; 1 internal error; 2 usage error; 3 file I/O
+/// error; 4 trace format error.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +46,7 @@ std::unique_ptr<phy::RateAdapter> make_adapter(const std::string& name) {
   if (name == "11n") {
     return std::make_unique<phy::DiscreteRateAdapter>(phy::RateTable::dot11n());
   }
-  throw std::runtime_error("unknown --table (use shannon|11b|11g|11n): " +
-                           name);
+  throw UsageError("unknown --table (use shannon|11b|11g|11n): " + name);
 }
 
 Milliwatts from_db(double snr_db) {
@@ -126,7 +130,7 @@ int cmd_schedule(const ArgParser& args) {
   const auto adapter = make_adapter(args.get_string("table", "shannon"));
   const auto snrs = args.get_double_list("clients");
   if (snrs.empty()) {
-    throw std::runtime_error("schedule needs --clients s1,s2,... (dB)");
+    throw UsageError("schedule needs --clients s1,s2,... (dB)");
   }
   std::vector<channel::LinkBudget> clients;
   for (const double db : snrs) {
@@ -159,7 +163,7 @@ int cmd_backlog(const ArgParser& args) {
   const auto snrs = args.get_double_list("clients");
   const auto queues = args.get_double_list("queues");
   if (snrs.empty() || queues.size() != snrs.size()) {
-    throw std::runtime_error(
+    throw UsageError(
         "backlog needs --clients s1,s2,... and matching --queues n1,n2,...");
   }
   std::vector<core::BacklogClient> clients;
@@ -222,20 +226,25 @@ int cmd_montecarlo(const ArgParser& args) {
     report("+power control", s.power_control);
     report("+packing", s.packing);
   } else {
-    throw std::runtime_error("unknown --scenario (upload|crosslink): " +
-                             scenario);
+    throw UsageError("unknown --scenario (upload|crosslink): " + scenario);
   }
   return 0;
 }
 
 int cmd_trace_gen(const ArgParser& args) {
   const std::string out = args.get_string("out", "");
-  if (out.empty()) throw std::runtime_error("trace-gen needs --out <file>");
+  if (out.empty()) throw UsageError("trace-gen needs --out <file>");
+  // Open the output before the (potentially minutes-long) generation so an
+  // unwritable path fails in milliseconds, not after the work is done.
+  std::ofstream os{out};
+  if (!os) {
+    throw trace::TraceIoError("cannot open trace file for write: " + out);
+  }
   trace::BuildingConfig config;
   config.duration_s = static_cast<int>(args.get_double("days", 14.0) * 86400);
   const auto trace =
       trace::generate_building_trace(config, args.get_u64("seed", 1));
-  trace::write_csv_file(trace, out);
+  trace::write_csv(trace, os);
   std::printf("wrote %zu snapshots / %zu observations to %s\n",
               trace.snapshots.size(), trace.total_observations(), out.c_str());
   return 0;
@@ -243,7 +252,7 @@ int cmd_trace_gen(const ArgParser& args) {
 
 int cmd_trace_eval(const ArgParser& args) {
   const std::string in = args.get_string("in", "");
-  if (in.empty()) throw std::runtime_error("trace-eval needs --in <file>");
+  if (in.empty()) throw UsageError("trace-eval needs --in <file>");
   const auto adapter = make_adapter(args.get_string("table", "shannon"));
   const auto trace = trace::read_csv_file(in);
   const auto gains = analysis::evaluate_upload_trace(trace, *adapter);
@@ -279,6 +288,77 @@ int cmd_mesh(const ArgParser& args) {
               report.serial_throughput_bps / 1e6);
   std::printf("  pipelined throughput    : %.1f Mbps (gain %.3fx)\n",
               report.pipelined_throughput_bps / 1e6, report.gain);
+  return 0;
+}
+
+double require_range(const ArgParser& args, const std::string& flag,
+                     double fallback, double lo, double hi) {
+  const double v = args.get_double(flag, fallback);
+  if (v < lo || v > hi) {
+    throw UsageError("flag --" + flag + ": " + std::to_string(v) +
+                     " out of range [" + std::to_string(lo) + ", " +
+                     std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  // End-to-end scheduled upload on the discrete-event simulator, with the
+  // closed-loop executor's fault knobs and failure telemetry exposed.
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const auto snrs = args.get_double_list("clients");
+  if (snrs.empty()) {
+    throw UsageError("simulate needs --clients s1,s2,... (dB)");
+  }
+  std::vector<channel::LinkBudget> clients;
+  for (const double db : snrs) {
+    clients.push_back(channel::LinkBudget{from_db(db), Milliwatts{1.0}});
+  }
+  core::SchedulerOptions options;
+  options.enable_power_control = args.has("power-control");
+  options.enable_multirate = args.has("multirate");
+  options.admission_margin_db =
+      Decibels{require_range(args, "margin", 0.0, 0.0, 60.0)};
+  const auto schedule = core::schedule_upload(clients, *adapter, options);
+
+  mac::UploadSimConfig config;
+  config.faults.stale_rss_sigma_db =
+      require_range(args, "stale-sigma", 0.0, 0.0, 60.0);
+  config.faults.stale_rss_rho = require_range(args, "stale-rho", 0.9, 0.0, 1.0);
+  config.faults.cancellation_failure_prob =
+      require_range(args, "cancel-prob", 0.0, 0.0, 1.0);
+  config.faults.ack_loss_prob = require_range(args, "ack-loss", 0.0, 0.0, 1.0);
+  config.recovery.enabled = !args.has("open-loop");
+  config.recovery.rematch_options = options;
+  config.seed = args.get_u64("seed", 1);
+  const auto r = mac::run_scheduled_upload(clients, *adapter, schedule, config);
+
+  std::printf("scheduled upload (%zu clients, %s, %s):\n", clients.size(),
+              adapter->name().c_str(),
+              config.recovery.enabled ? "closed-loop" : "open-loop");
+  std::printf("  offered / confirmed : %llu / %llu\n",
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.offered -
+                                              r.failures.unrecovered));
+  std::printf("  completion          : %.3f ms\n", 1e3 * r.completion_s);
+  std::printf("  retransmissions     : %llu\n",
+              static_cast<unsigned long long>(r.failures.retransmissions));
+  std::printf("  unrecovered drops   : %llu\n",
+              static_cast<unsigned long long>(r.failures.unrecovered));
+  std::printf("  failure causes      : rate-miss %llu, cancellation %llu, "
+              "ack-loss %llu\n",
+              static_cast<unsigned long long>(r.failures.rate_misses),
+              static_cast<unsigned long long>(r.failures.cancellation_failures),
+              static_cast<unsigned long long>(r.failures.ack_losses));
+  std::printf("  duplicates at AP    : %llu\n",
+              static_cast<unsigned long long>(r.failures.duplicate_deliveries));
+  std::printf("  demotions           : mode %llu, client %llu\n",
+              static_cast<unsigned long long>(r.failures.mode_demotions),
+              static_cast<unsigned long long>(r.failures.client_demotions));
+  std::printf("  re-match rounds     : %llu\n",
+              static_cast<unsigned long long>(r.failures.rematch_rounds));
+  std::printf("  recovered frames    : %llu\n",
+              static_cast<unsigned long long>(r.failures.recovered));
   return 0;
 }
 
@@ -370,7 +450,11 @@ int usage() {
       "  trace-gen   --out file.csv [--days D] [--seed S]\n"
       "  trace-eval  --in file.csv [--table ...]\n"
       "  mesh        --long m --short m [--exponent a]\n"
-      "  report      [--trials N] [--seed S]\n");
+      "  simulate    --clients dB,... [--stale-sigma dB] [--stale-rho r]\n"
+      "              [--cancel-prob p] [--ack-loss p] [--margin dB]\n"
+      "              [--open-loop] [--seed S]\n"
+      "  report      [--trials N] [--seed S]\n"
+      "exit codes: 0 ok, 1 internal, 2 usage, 3 file I/O, 4 trace format\n");
   return 2;
 }
 
@@ -399,6 +483,8 @@ int main(int argc, char** argv) {
       rc = cmd_trace_eval(args);
     } else if (cmd == "mesh") {
       rc = cmd_mesh(args);
+    } else if (cmd == "simulate") {
+      rc = cmd_simulate(args);
     } else if (cmd == "report") {
       rc = cmd_report(args);
     } else {
@@ -408,6 +494,15 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
     }
     return rc;
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  } catch (const trace::TraceIoError& e) {
+    std::fprintf(stderr, "io error: %s\n", e.what());
+    return 3;
+  } catch (const trace::TraceFormatError& e) {
+    std::fprintf(stderr, "trace format error: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
