@@ -49,6 +49,7 @@ struct Row {
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   const auto csv = bench::csv_prefix(argc, argv);
   bench::header(
       "Ablation — closed-loop robust scheduling under injected faults",
@@ -154,7 +155,12 @@ int main(int argc, char** argv) {
       "closed loop needs.)\n",
       kSeeds);
   if (csv) {
-    bench::write_text_file(*csv + "robust_scheduler.csv", csv_rows.str());
+    // 5 scenarios x 3 variants x kSeeds simulated runs went into the file.
+    bench::write_text_file(
+        *csv + "robust_scheduler.csv",
+        bench::manifest(/*seed=*/1, timer,
+                        static_cast<std::uint64_t>(5 * 3 * kSeeds)) +
+            csv_rows.str());
   }
   return 0;
 }

@@ -7,7 +7,11 @@
 /// the paper reports (as aligned text tables the EXPERIMENTS.md rows are
 /// copied from), and the deterministic seed it ran with.
 
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <span>
@@ -16,24 +20,61 @@
 #include <string>
 
 #include "analysis/stats.hpp"
+#include "obs/build_info.hpp"
+#include "util/cli_args.hpp"
 
 namespace sic::bench {
 
 /// Parses `--csv <prefix>` from argv: when present, figure benches also
 /// write machine-readable CSVs as <prefix><series>.csv for plotting.
 inline std::optional<std::string> csv_prefix(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--csv") return std::string(argv[i + 1]);
-  }
-  return std::nullopt;
+  return ArgParser{argc, argv}.get("csv");
 }
 
 inline void write_text_file(const std::string& path,
                             const std::string& content) {
+  errno = 0;
   std::ofstream os{path};
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  if (!os) {
+    throw std::runtime_error("cannot open for write: " + path + ": " +
+                             std::strerror(errno));
+  }
   os << content;
   std::printf("wrote %s\n", path.c_str());
+}
+
+/// Wall clock for the run manifest; construct at the top of main().
+class RunTimer {
+ public:
+  RunTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Reproducibility manifest stamped as comment lines at the top of every
+/// CSV a figure bench writes: the seed and build that produced the file,
+/// how long the run took, and (when a sample count is given) its rate.
+inline std::string manifest(std::uint64_t seed, const RunTimer& timer,
+                            std::uint64_t samples = 0) {
+  const double elapsed_s = timer.elapsed_s();
+  std::ostringstream os;
+  os << "# sicmac " << obs::git_describe() << " seed=" << seed;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, " elapsed_s=%.3f", elapsed_s);
+  os << buf;
+  if (samples > 0 && elapsed_s > 0.0) {
+    std::snprintf(buf, sizeof buf, " samples_per_sec=%.0f",
+                  static_cast<double>(samples) / elapsed_s);
+    os << buf;
+  }
+  os << '\n';
+  return os.str();
 }
 
 /// Full empirical CDF as "value,cumulative_probability" rows.

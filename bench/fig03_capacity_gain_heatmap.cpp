@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 3 — capacity gain heatmap",
                 "gain in (1,2); peaks where RSSs are small and similar");
 
@@ -36,7 +37,9 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
-    bench::write_text_file(*prefix + "fig03_gain_grid.csv", grid.to_csv());
+    bench::write_text_file(
+        *prefix + "fig03_gain_grid.csv",
+        bench::manifest(/*seed=*/0, timer, 41 * 41) + grid.to_csv());
   }
   return 0;
 }

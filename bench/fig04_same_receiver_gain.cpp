@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 4 — same-receiver completion-time gain heatmap",
                 "gain ridge follows SNR1 = 2*SNR2 (dB); peak gain ~2x");
 
@@ -44,7 +45,9 @@ int main(int argc, char** argv) {
                 best_gain);
   }
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
-    bench::write_text_file(*prefix + "fig04_gain_grid.csv", grid.to_csv());
+    bench::write_text_file(
+        *prefix + "fig04_gain_grid.csv",
+        bench::manifest(/*seed=*/0, timer, 41 * 41) + grid.to_csv());
   }
   return 0;
 }

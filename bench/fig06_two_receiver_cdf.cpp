@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 6 — two transmitters to different receivers",
                 "no gain from SIC in ~90% of random topologies, all ranges");
 
@@ -29,7 +30,9 @@ int main(int argc, char** argv) {
     bench::print_cdf(label, cdf);
     if (const auto prefix = bench::csv_prefix(argc, argv)) {
       std::snprintf(label, sizeof(label), "fig06_range%.0f.csv", range);
-      bench::write_text_file(*prefix + label, bench::cdf_csv(cdf));
+      bench::write_text_file(*prefix + label,
+                             bench::manifest(kSeed, timer, kTrials) +
+                                 bench::cdf_csv(cdf));
     }
   }
   std::printf("\nlower path-loss exponent (paper: 'gains from lower pathloss"

@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 8 — two APs to one client (download)",
                 "modest gain only where one RSS ~ square of the other; "
                 "overall gains quite limited");
@@ -45,7 +46,9 @@ int main(int argc, char** argv) {
   }
   std::printf("%.1f%%\n", 100.0 * over / total);
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
-    bench::write_text_file(*prefix + "fig08_download_grid.csv", grid.to_csv());
+    bench::write_text_file(
+        *prefix + "fig08_download_grid.csv",
+        bench::manifest(/*seed=*/0, timer, 41 * 41) + grid.to_csv());
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   const phy::ShannonRateAdapter shannon{megahertz(20.0)};
   constexpr int kTrials = 10000;
   constexpr std::uint64_t kSeed = 42;
@@ -50,16 +51,21 @@ int main(int argc, char** argv) {
   bench::print_cdf("SIC + packing", b_pk);
   std::printf("(multirate is not applicable with two receivers, Sec. 5.5)\n");
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
-    bench::write_text_file(*prefix + "fig11a_sic.csv", bench::cdf_csv(a_sic));
-    bench::write_text_file(*prefix + "fig11a_power.csv", bench::cdf_csv(a_pc));
+    const std::string man = bench::manifest(kSeed, timer, 2 * kTrials);
+    bench::write_text_file(*prefix + "fig11a_sic.csv",
+                           man + bench::cdf_csv(a_sic));
+    bench::write_text_file(*prefix + "fig11a_power.csv",
+                           man + bench::cdf_csv(a_pc));
     bench::write_text_file(*prefix + "fig11a_multirate.csv",
-                           bench::cdf_csv(a_mr));
+                           man + bench::cdf_csv(a_mr));
     bench::write_text_file(*prefix + "fig11a_packing.csv",
-                           bench::cdf_csv(a_pk));
-    bench::write_text_file(*prefix + "fig11b_sic.csv", bench::cdf_csv(b_sic));
-    bench::write_text_file(*prefix + "fig11b_power.csv", bench::cdf_csv(b_pc));
+                           man + bench::cdf_csv(a_pk));
+    bench::write_text_file(*prefix + "fig11b_sic.csv",
+                           man + bench::cdf_csv(b_sic));
+    bench::write_text_file(*prefix + "fig11b_power.csv",
+                           man + bench::cdf_csv(b_pc));
     bench::write_text_file(*prefix + "fig11b_packing.csv",
-                           bench::cdf_csv(b_pk));
+                           man + bench::cdf_csv(b_pk));
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 13 — trace-driven upload pairing",
                 "pairing gains real; power control / multirate enhance them; "
                 "ordering mirrors Fig. 11a");
@@ -45,13 +46,16 @@ int main(int argc, char** argv) {
   bench::print_cdf("pairing + multirate", mr);
   bench::print_cdf("greedy pairing", greedy);
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
+    const std::string man = bench::manifest(
+        kSeed, timer, static_cast<std::uint64_t>(gains.cells_evaluated));
     bench::write_text_file(*prefix + "fig13_pairing.csv",
-                           bench::cdf_csv(pairing));
-    bench::write_text_file(*prefix + "fig13_power.csv", bench::cdf_csv(pc));
+                           man + bench::cdf_csv(pairing));
+    bench::write_text_file(*prefix + "fig13_power.csv",
+                           man + bench::cdf_csv(pc));
     bench::write_text_file(*prefix + "fig13_multirate.csv",
-                           bench::cdf_csv(mr));
+                           man + bench::cdf_csv(mr));
     bench::write_text_file(*prefix + "fig13_greedy.csv",
-                           bench::cdf_csv(greedy));
+                           man + bench::cdf_csv(greedy));
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace sic;
+  const bench::RunTimer timer;
   bench::header("Fig. 14 — trace-driven download link pairs",
                 "(a) arbitrary bitrates: limited gains; (b) discrete "
                 "802.11g bitrates: SIC improves, packing unlocks more");
@@ -54,14 +55,16 @@ int main(int argc, char** argv) {
   std::printf("  discrete  + packing : %.1f%%   (paper: ~40%%)\n",
               100.0 * disc_pack.fraction_above(1.2));
   if (const auto prefix = bench::csv_prefix(argc, argv)) {
+    const std::string man = bench::manifest(
+        kSeed, timer, 2 * static_cast<std::uint64_t>(eval.pair_samples));
     bench::write_text_file(*prefix + "fig14a_sic.csv",
-                           bench::cdf_csv(arb_plain));
+                           man + bench::cdf_csv(arb_plain));
     bench::write_text_file(*prefix + "fig14a_packing.csv",
-                           bench::cdf_csv(arb_pack));
+                           man + bench::cdf_csv(arb_pack));
     bench::write_text_file(*prefix + "fig14b_sic.csv",
-                           bench::cdf_csv(disc_plain));
+                           man + bench::cdf_csv(disc_plain));
     bench::write_text_file(*prefix + "fig14b_packing.csv",
-                           bench::cdf_csv(disc_pack));
+                           man + bench::cdf_csv(disc_pack));
   }
   return 0;
 }

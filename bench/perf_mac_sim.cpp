@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mac/upload_sim.hpp"
+#include "perf_util.hpp"
 #include "topology/samplers.hpp"
 #include "util/rng.hpp"
 
@@ -111,4 +112,4 @@ BENCHMARK(BM_EventQueueThroughput);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SIC_PERF_MAIN("perf_mac_sim")

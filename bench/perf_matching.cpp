@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "perf_util.hpp"
+
 #include "matching/blossom.hpp"
 #include "matching/greedy.hpp"
 #include "matching/oracle.hpp"
@@ -79,4 +81,4 @@ BENCHMARK(BM_GreedyQualityGap)->Arg(16)->Arg(64);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SIC_PERF_MAIN("perf_matching")

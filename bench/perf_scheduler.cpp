@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "perf_util.hpp"
+
 #include <vector>
 
 #include "core/scheduler.hpp"
@@ -84,4 +86,4 @@ BENCHMARK(BM_PairPlan);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SIC_PERF_MAIN("perf_scheduler")

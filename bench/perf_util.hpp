@@ -1,0 +1,41 @@
+#ifndef SICMAC_BENCH_PERF_UTIL_HPP
+#define SICMAC_BENCH_PERF_UTIL_HPP
+
+/// \file perf_util.hpp
+/// Shared main() for the google-benchmark perf binaries. Runs the
+/// registered benchmarks as BENCHMARK_MAIN() would, then emits a one-line
+/// JSON summary ({"bench":...,"wall_ms":...,"throughput":...}, throughput
+/// in benchmarks completed per second) so CI can trend the total perf cost
+/// of a binary without parsing the full benchmark table.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace sic::bench {
+
+inline int run_perf_main(const char* name, int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n_run = benchmark::RunSpecifiedBenchmarks();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  const double throughput =
+      wall_ms > 0.0 ? 1e3 * static_cast<double>(n_run) / wall_ms : 0.0;
+  std::printf("{\"bench\":\"%s\",\"wall_ms\":%.1f,\"throughput\":%.3f}\n",
+              name, wall_ms, throughput);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sic::bench
+
+#define SIC_PERF_MAIN(name)                               \
+  int main(int argc, char** argv) {                       \
+    return ::sic::bench::run_perf_main(name, argc, argv); \
+  }
+
+#endif  // SICMAC_BENCH_PERF_UTIL_HPP

@@ -1,15 +1,66 @@
 #include "analysis/montecarlo.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "core/cross_link.hpp"
 #include "core/multirate.hpp"
 #include "core/packing.hpp"
 #include "core/power_control.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
 
 namespace sic::analysis {
+
+namespace {
+
+/// Batch boundary for one Monte-Carlo sweep: on destruction, wall time and
+/// samples/sec go into the registry and one progress line is logged at
+/// info level. The clock is only read when someone is listening (registry
+/// attached or info logging on) — the sweep loops themselves stay clean.
+class SweepTimer {
+ public:
+  SweepTimer(const char* sweep, int trials)
+      : sweep_(sweep),
+        trials_(trials),
+        active_(obs::metrics() != nullptr ||
+                obs::log_enabled(obs::LogLevel::kInfo)) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+
+  SweepTimer(const SweepTimer&) = delete;
+  SweepTimer& operator=(const SweepTimer&) = delete;
+
+  ~SweepTimer() {
+    if (!active_) return;
+    const double elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const double rate = elapsed_s > 0.0 ? trials_ / elapsed_s : 0.0;
+    if (obs::MetricsRegistry* reg = obs::metrics()) {
+      const std::string prefix = std::string("analysis.montecarlo.") + sweep_;
+      reg->counter(prefix + ".trials")
+          .inc(static_cast<std::uint64_t>(trials_));
+      reg->histogram(prefix + ".wall_s").observe(elapsed_s);
+      reg->gauge(prefix + ".samples_per_sec").set(rate);
+    }
+    SIC_LOG_INFO("montecarlo %s: %d trials in %.3f s (%.0f samples/sec)",
+                 sweep_, trials_, elapsed_s, rate);
+  }
+
+ private:
+  const char* sweep_;
+  int trials_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace
 
 TechniqueGains evaluate_upload_pair_techniques(
     const core::UploadPairContext& ctx) {
@@ -33,6 +84,8 @@ std::vector<double> run_two_link_gains(const topology::SamplerConfig& config,
                                        int trials, std::uint64_t seed,
                                        double packet_bits) {
   SIC_CHECK(trials > 0);
+  SweepTimer sweep{"two_link_gains", trials};
+  SIC_SPAN("montecarlo.two_link_gains");
   Rng rng{seed};
   std::vector<double> gains;
   gains.reserve(static_cast<std::size_t>(trials));
@@ -48,6 +101,8 @@ TechniqueSamples run_two_to_one_techniques(
     const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
     int trials, std::uint64_t seed, double packet_bits) {
   SIC_CHECK(trials > 0);
+  SweepTimer sweep{"two_to_one_techniques", trials};
+  SIC_SPAN("montecarlo.two_to_one_techniques");
   Rng rng{seed};
   TechniqueSamples out;
   out.sic.reserve(static_cast<std::size_t>(trials));
@@ -108,6 +163,8 @@ TechniqueSamples run_two_link_techniques(const topology::SamplerConfig& config,
                                          int trials, std::uint64_t seed,
                                          double packet_bits) {
   SIC_CHECK(trials > 0);
+  SweepTimer sweep{"two_link_techniques", trials};
+  SIC_SPAN("montecarlo.two_link_techniques");
   Rng rng{seed};
   TechniqueSamples out;
   out.sic.reserve(static_cast<std::size_t>(trials));

@@ -4,6 +4,9 @@
 #include <cmath>
 
 #include "core/cross_link.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -13,6 +16,11 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
                                        const phy::RateAdapter& adapter,
                                        const UploadTraceEvalConfig& config) {
   SIC_CHECK(config.min_clients >= 2);
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("analysis.trace_eval.upload_wall_s")
+                     : nullptr};
+  SIC_SPAN("trace_eval.upload");
   const Milliwatts noise = Dbm{config.noise_floor_dbm}.to_milliwatts();
   UploadTraceGains out;
 
@@ -57,6 +65,14 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
       ++out.cells_evaluated;
     }
   }
+  if (reg != nullptr) {
+    reg->counter("analysis.trace_eval.upload_cells").inc(out.cells_evaluated);
+    reg->counter("analysis.trace_eval.upload_snapshots")
+        .inc(trace.snapshots.size());
+  }
+  SIC_LOG_INFO("trace eval upload: %llu cells across %zu snapshots",
+               static_cast<unsigned long long>(out.cells_evaluated),
+               trace.snapshots.size());
   return out;
 }
 
@@ -65,10 +81,16 @@ DownloadTraceGains evaluate_download_trace(
     const DownloadTraceEvalConfig& config) {
   SIC_CHECK(config.pair_samples > 0);
   SIC_CHECK(trace.n_aps() >= 2 && trace.n_locations() >= 2);
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("analysis.trace_eval.download_wall_s")
+                     : nullptr};
+  SIC_SPAN("trace_eval.download");
   Rng rng{config.seed};
   DownloadTraceGains out;
   out.plain.reserve(static_cast<std::size_t>(config.pair_samples));
   const Decibels floor{config.min_link_snr_db};
+  std::uint64_t rejected = 0;
   for (int i = 0; i < config.pair_samples; ++i) {
     // Draw a scenario of two AP→client links with distinct APs and
     // clients; reject scenarios whose serving links are below the
@@ -84,7 +106,10 @@ DownloadTraceGains evaluate_download_trace(
       if (loc2 >= loc1) ++loc2;
       viable = trace.snr(ap1, loc1) >= floor && trace.snr(ap2, loc2) >= floor;
     }
-    if (!viable) continue;  // degenerate campaign
+    if (!viable) {
+      ++rejected;
+      continue;  // degenerate campaign
+    }
     const auto rss = trace.two_link_rss(ap1, loc1, ap2, loc2);
     // The measured campaign counts any concurrency the SIC-capable MAC can
     // schedule, including capture-mode concurrency in the Fig. 5a case.
@@ -95,6 +120,13 @@ DownloadTraceGains evaluate_download_trace(
     out.packing.push_back(
         core::cross_link_packing_gain(rss, adapter, options));
   }
+  if (reg != nullptr) {
+    reg->counter("analysis.trace_eval.download_pairs").inc(out.plain.size());
+    reg->counter("analysis.trace_eval.download_rejected").inc(rejected);
+  }
+  SIC_LOG_INFO(
+      "trace eval download: %zu viable pair scenarios, %llu rejected",
+      out.plain.size(), static_cast<unsigned long long>(rejected));
   return out;
 }
 

@@ -1,9 +1,9 @@
 #include "mac/medium.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <cstdlib>
 
+#include "obs/logger.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/check.hpp"
 
 namespace sic::mac {
@@ -109,6 +109,29 @@ enum class DecodeVerdict {
   kFailNoDestination,
 };
 
+const char* to_string(DecodeVerdict v) {
+  switch (v) {
+    case DecodeVerdict::kCleanOk: return "clean";
+    case DecodeVerdict::kCaptureOk: return "capture";
+    case DecodeVerdict::kSicOk: return "sic";
+    case DecodeVerdict::kFailClean: return "fail_clean";
+    case DecodeVerdict::kFailCollision: return "fail_collision";
+    case DecodeVerdict::kFailHalfDuplex: return "fail_half_duplex";
+    case DecodeVerdict::kFailNoDestination: return "no_destination";
+  }
+  return "?";
+}
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "data";
+    case FrameType::kAck: return "ack";
+    case FrameType::kRts: return "rts";
+    case FrameType::kCts: return "cts";
+  }
+  return "?";
+}
+
 }  // namespace
 
 void Medium::finish(std::uint64_t key) {
@@ -196,20 +219,28 @@ void Medium::finish(std::uint64_t key) {
   }
 
   const bool decoded = is_success(verdict);
-  // Set SICMAC_MEDIUM_LOG=1 to trace every frame's fate (debugging aid).
-  static const bool log_frames = std::getenv("SICMAC_MEDIUM_LOG") != nullptr;
-  if (log_frames) {
-    std::fprintf(stderr,
-                 "[medium %9.1fus] %s src=%d dst=%d bits=%.0f rate=%.2fMbps "
-                 "start=%.1fus verdict=%d interferers=%zu\n",
-                 to_seconds(queue_->now()) * 1e6,
-                 done.frame.type == FrameType::kData  ? "DATA"
-                 : done.frame.type == FrameType::kAck ? "ACK "
-                 : done.frame.type == FrameType::kRts ? "RTS "
-                                                      : "CTS ",
-                 done.frame.src, done.frame.dst, done.frame.payload_bits,
-                 done.rate.megabits(), to_seconds(done.start) * 1e6,
-                 static_cast<int>(verdict), done.interferers.size());
+  // Frame-fate diagnostics, formerly the SICMAC_MEDIUM_LOG env toggle:
+  // now --log-level debug / SICMAC_LOG_LEVEL=debug.
+  SIC_LOG_DEBUG(
+      "medium %9.1fus %-4s src=%d dst=%d bits=%.0f rate=%.2fMbps "
+      "start=%.1fus verdict=%s interferers=%zu",
+      to_seconds(queue_->now()) * 1e6, frame_type_name(done.frame.type),
+      done.frame.src, done.frame.dst, done.frame.payload_bits,
+      done.rate.megabits(), to_seconds(done.start) * 1e6, to_string(verdict),
+      done.interferers.size());
+  // Every transmission becomes a span on its sender's track, its decode
+  // verdict an annotation — this is what makes a faulty round visible on
+  // the Perfetto timeline.
+  if (obs::TraceSink* sink = obs::trace()) {
+    const double start_us = to_seconds(done.start) * 1e6;
+    const double dur_us = to_seconds(done.end - done.start) * 1e6;
+    sink->complete(frame_type_name(done.frame.type), start_us, dur_us,
+                   done.frame.src,
+                   obs::TraceSink::Args{
+                       {"dst", std::to_string(done.frame.dst)},
+                       {"verdict", to_string(verdict)},
+                       {"interferers", std::to_string(done.interferers.size())},
+                   });
   }
   switch (verdict) {
     case DecodeVerdict::kCleanOk: ++stats_.delivered; break;

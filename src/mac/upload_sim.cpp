@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <memory>
 
+#include <string>
+
 #include "core/multirate.hpp"
 #include "core/power_control.hpp"
 #include "mac/access_point.hpp"
 #include "mac/station.hpp"
+#include "obs/logger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -15,6 +20,53 @@ namespace sic::mac {
 namespace {
 
 constexpr MacNodeId kApId = 0;
+
+/// Folds one run's medium counters into the attached registry (no-op when
+/// detached). Called once per run — the hot path never touches obs.
+void publish_medium_stats(obs::MetricsRegistry& reg, const MediumStats& s) {
+  reg.counter("mac.medium.transmissions").inc(s.transmissions);
+  reg.counter("mac.medium.delivered").inc(s.delivered);
+  reg.counter("mac.medium.failed_clean").inc(s.failed_clean);
+  reg.counter("mac.medium.failed_collision").inc(s.failed_collision);
+  reg.counter("mac.medium.sic_decodes").inc(s.sic_decodes);
+  reg.counter("mac.medium.capture_decodes").inc(s.capture_decodes);
+  reg.counter("mac.medium.injected_failures").inc(s.injected_failures);
+}
+
+/// The FailureTelemetry struct stays the per-run snapshot view (PR 1's
+/// tests read it); the registry carries the same counters accumulated
+/// across runs, under mac.upload.*.
+void publish_failure_telemetry(obs::MetricsRegistry& reg,
+                               const FailureTelemetry& t) {
+  reg.counter("mac.upload.rate_misses").inc(t.rate_misses);
+  reg.counter("mac.upload.cancellation_failures").inc(t.cancellation_failures);
+  reg.counter("mac.upload.ack_losses").inc(t.ack_losses);
+  reg.counter("mac.upload.duplicate_deliveries").inc(t.duplicate_deliveries);
+  reg.counter("mac.upload.retransmissions").inc(t.retransmissions);
+  reg.counter("mac.upload.mode_demotions").inc(t.mode_demotions);
+  reg.counter("mac.upload.client_demotions").inc(t.client_demotions);
+  reg.counter("mac.upload.rematch_rounds").inc(t.rematch_rounds);
+  reg.counter("mac.upload.recovered").inc(t.recovered);
+  reg.counter("mac.upload.unrecovered").inc(t.unrecovered);
+  auto& retries = reg.histogram("mac.upload.retries_to_confirm", 1.0, 16);
+  for (std::size_t k = 0; k < t.retry_histogram.size(); ++k) {
+    for (std::uint64_t i = 0; i < t.retry_histogram[k]; ++i) {
+      retries.observe(static_cast<double>(k));
+    }
+  }
+}
+
+/// Labels the per-node trace tracks once per run so the Perfetto timeline
+/// reads "client 3", not "tid 4". \p executor_tid hosts round/slot spans.
+void name_trace_tracks(obs::TraceSink& sink, std::size_t n_clients,
+                       int executor_tid) {
+  sink.name_track(kApId, "AP");
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    sink.name_track(static_cast<int>(i) + 1,
+                    "client " + std::to_string(i));
+  }
+  if (executor_tid >= 0) sink.name_track(executor_tid, "executor");
+}
 
 /// Builds the medium for one AP + n clients from their AP-side budgets.
 /// Client-to-client gains come from the configured mutual SNR.
@@ -55,6 +107,9 @@ UploadSimResult run_dcf_upload(std::span<const channel::LinkBudget> clients,
   auto medium = build_medium(queue, clients, adapter, config);
   AccessPoint ap{queue, *medium, kApId};
   Rng rng{config.seed};
+  if (obs::TraceSink* sink = obs::trace()) {
+    name_trace_tracks(*sink, clients.size(), /*executor_tid=*/-1);
+  }
 
   std::vector<std::unique_ptr<DcfStation>> stations;
   for (int i = 0; i < static_cast<int>(clients.size()); ++i) {
@@ -84,6 +139,20 @@ UploadSimResult run_dcf_upload(std::span<const channel::LinkBudget> clients,
   }
   result.completion_s = to_seconds(completion);
   result.medium = medium->stats();
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("mac.dcf.runs").inc();
+    reg->counter("mac.dcf.offered").inc(result.offered);
+    reg->counter("mac.dcf.delivered").inc(result.delivered);
+    reg->counter("mac.dcf.retries").inc(result.retries);
+    reg->counter("mac.dcf.drops").inc(result.drops);
+    reg->histogram("mac.dcf.completion_s").observe(result.completion_s);
+    publish_medium_stats(*reg, result.medium);
+  }
+  SIC_LOG_INFO("dcf upload: %zu clients, %llu/%llu delivered in %.3f s",
+               clients.size(),
+               static_cast<unsigned long long>(result.delivered),
+               static_cast<unsigned long long>(result.offered),
+               result.completion_s);
   return result;
 }
 
@@ -111,7 +180,9 @@ class ClosedLoopRunner {
         config_(&config),
         faults_(&faults),
         margin_db_(schedule.admission_margin_db.value()),
-        noise_(clients.front().noise) {
+        noise_(clients.front().noise),
+        sink_(obs::trace()),
+        executor_tid_(static_cast<int>(clients.size()) + 1) {
     const std::size_t n = clients.size();
     estimates_.reserve(n);
     for (const auto& c : clients_) estimates_.push_back(c.rss);
@@ -137,10 +208,15 @@ class ClosedLoopRunner {
     }
   }
 
-  void start() { run_slot(0); }
+  void start() {
+    round_open_ = true;
+    round_start_us_ = now_us();
+    run_slot(0);
+  }
 
   /// Accounts frames still pending when the horizon cut the run short.
   void finalize() {
+    close_round_span("horizon");
     for (std::size_t c = 0; c < pending_.size(); ++c) {
       if (pending_[c] > 0 && !dropped_[c]) {
         telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
@@ -219,6 +295,7 @@ class ClosedLoopRunner {
       end_round();
       return;
     }
+    slot_start_us_ = now_us();
     // Copy: retry slots appended below may reallocate round_slots_.
     const RunSlot slot = round_slots_[index];
     const PhyParams& phy = medium_->phy();
@@ -328,6 +405,20 @@ class ClosedLoopRunner {
     const CheckOutcome second =
         slot.second >= 0 ? check_client(slot.second) : CheckOutcome::kConfirmed;
     faults_->clear_injections();
+    if (sink_ != nullptr) {
+      obs::TraceSink::Args args{
+          {"mode", core::to_string(slot.mode)},
+          {"first", std::to_string(slot.first)},
+          {"first_ok", first == CheckOutcome::kConfirmed ? "1" : "0"},
+      };
+      if (slot.second >= 0) {
+        args.emplace_back("second", std::to_string(slot.second));
+        args.emplace_back("second_ok",
+                          second == CheckOutcome::kConfirmed ? "1" : "0");
+      }
+      sink_->complete("slot", slot_start_us_, now_us() - slot_start_us_,
+                      executor_tid_, args);
+    }
 
     if (config_->recovery.enabled) {
       const bool concurrent = slot.mode == core::PairMode::kSic ||
@@ -341,6 +432,11 @@ class ClosedLoopRunner {
         retry.second = slot.second;
         retry.mode = degrade(slot.mode);
         ++telemetry_.mode_demotions;
+        if (sink_ != nullptr) {
+          sink_->instant("mode_demotion", now_us(), executor_tid_,
+                         {{"from", core::to_string(slot.mode)},
+                          {"to", core::to_string(retry.mode)}});
+        }
         round_slots_.push_back(retry);
       } else if (concurrent) {
         // One lost (typically the weaker to a cancellation failure):
@@ -352,6 +448,12 @@ class ClosedLoopRunner {
           retry.first = client;
           retry.mode = core::PairMode::kSolo;
           ++telemetry_.mode_demotions;
+          if (sink_ != nullptr) {
+            sink_->instant("mode_demotion", now_us(), executor_tid_,
+                           {{"from", core::to_string(slot.mode)},
+                            {"to", "solo"},
+                            {"client", std::to_string(client)}});
+          }
           round_slots_.push_back(retry);
         }
       }
@@ -373,6 +475,9 @@ class ClosedLoopRunner {
         // The AP has the frame; the station never hears so and will
         // retransmit — the duplicate-delivery path.
         ++telemetry_.ack_losses;
+        if (sink_ != nullptr) {
+          sink_->instant("ack_loss", now_us(), client + 1);
+        }
       } else {
         --pending_[c];
         const std::size_t bucket =
@@ -386,8 +491,14 @@ class ClosedLoopRunner {
       }
     } else if (faults_->was_injected(frame_id(client))) {
       ++telemetry_.cancellation_failures;
+      if (sink_ != nullptr) {
+        sink_->instant("cancellation_failure", now_us(), client + 1);
+      }
     } else {
       ++telemetry_.rate_misses;
+      if (sink_ != nullptr) {
+        sink_->instant("rate_miss", now_us(), client + 1);
+      }
     }
     ++failures_[c];
     if (!config_->recovery.enabled ||
@@ -395,6 +506,12 @@ class ClosedLoopRunner {
       telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
       pending_[c] = 0;
       dropped_[c] = true;
+      SIC_LOG_WARN("client %d dropped after %d attempts", client,
+                   attempts_[c]);
+      if (sink_ != nullptr) {
+        sink_->instant("drop", now_us(), client + 1,
+                       {{"attempts", std::to_string(attempts_[c])}});
+      }
       return CheckOutcome::kDropped;
     }
     return CheckOutcome::kFailed;
@@ -419,7 +536,10 @@ class ClosedLoopRunner {
     for (std::size_t c = 0; c < pending_.size(); ++c) {
       if (pending_[c] > 0) residual.push_back(static_cast<int>(c));
     }
+    close_round_span(residual.empty() ? "drained" : "residual");
     if (residual.empty()) return;  // all confirmed or dropped: drain
+    SIC_LOG_DEBUG("round %d ends with %zu residual clients", rounds_,
+                  residual.size());
     if (!config_->recovery.enabled ||
         rounds_ >= config_->recovery.max_rematch_rounds) {
       for (const int client : residual) {
@@ -432,6 +552,11 @@ class ClosedLoopRunner {
     }
     ++rounds_;
     ++telemetry_.rematch_rounds;
+    if (sink_ != nullptr) {
+      sink_->instant("rematch", now_us(), executor_tid_,
+                     {{"round", std::to_string(rounds_)},
+                      {"residual", std::to_string(residual.size())}});
+    }
 
     // Fresh measurement of every client, then one AR(1) step so the
     // re-matched slots fly through a channel that has again drifted.
@@ -455,6 +580,10 @@ class ClosedLoopRunner {
         if (!demoted_[c]) {
           demoted_[c] = true;
           ++telemetry_.client_demotions;
+          if (sink_ != nullptr) {
+            sink_->instant("client_demotion", now_us(), client + 1,
+                           {{"failures", std::to_string(failures_[c])}});
+          }
         }
         solo.push_back(client);
       } else {
@@ -495,7 +624,26 @@ class ClosedLoopRunner {
       rs.mode = core::PairMode::kSolo;
       round_slots_.push_back(rs);
     }
+    round_open_ = true;
+    round_start_us_ = now_us();
     run_slot(0);
+  }
+
+  [[nodiscard]] double now_us() const {
+    return to_seconds(queue_->now()) * 1e6;
+  }
+
+  /// Emits the span of the round in flight (planned round 0 or a re-match
+  /// round) onto the executor track; safe to call when no round is open.
+  void close_round_span(const char* outcome) {
+    if (!round_open_) return;
+    round_open_ = false;
+    if (sink_ != nullptr) {
+      sink_->complete("round", round_start_us_,
+                      now_us() - round_start_us_, executor_tid_,
+                      {{"round", std::to_string(rounds_)},
+                       {"outcome", outcome}});
+    }
   }
 
   EventQueue* queue_;
@@ -518,6 +666,13 @@ class ClosedLoopRunner {
   std::vector<RunSlot> round_slots_;
   int rounds_ = 0;
   FailureTelemetry telemetry_;
+
+  /// Pure observers — write-only from the simulation's point of view.
+  obs::TraceSink* sink_;
+  int executor_tid_;
+  bool round_open_ = false;
+  double round_start_us_ = 0.0;
+  double slot_start_us_ = 0.0;
 };
 
 }  // namespace
@@ -545,6 +700,10 @@ UploadSimResult run_scheduled_upload(
       return faults.should_fail_decode(f, sic_path);
     });
   }
+  if (obs::TraceSink* sink = obs::trace()) {
+    name_trace_tracks(*sink, clients.size(),
+                      static_cast<int>(clients.size()) + 1);
+  }
   ClosedLoopRunner runner{queue,   *medium,  ap,     clients,
                           adapter, schedule, config, faults};
   runner.start();
@@ -564,6 +723,22 @@ UploadSimResult run_scheduled_upload(
   result.failures.duplicate_deliveries = ap.stats().duplicate_data;
   result.retries = result.failures.retransmissions;
   result.drops = result.failures.unrecovered;
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("mac.upload.runs").inc();
+    reg->counter("mac.upload.offered").inc(result.offered);
+    reg->counter("mac.upload.delivered").inc(result.delivered);
+    reg->histogram("mac.upload.completion_s").observe(result.completion_s);
+    publish_failure_telemetry(*reg, result.failures);
+    publish_medium_stats(*reg, result.medium);
+  }
+  SIC_LOG_INFO(
+      "scheduled upload: %zu clients, %llu/%llu delivered, "
+      "%llu retransmissions, %llu unrecovered, %.3f s",
+      clients.size(), static_cast<unsigned long long>(result.delivered),
+      static_cast<unsigned long long>(result.offered),
+      static_cast<unsigned long long>(result.failures.retransmissions),
+      static_cast<unsigned long long>(result.failures.unrecovered),
+      result.completion_s);
   return result;
 }
 

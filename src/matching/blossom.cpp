@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
 
 namespace sic::matching {
@@ -20,6 +22,15 @@ class BlossomMatcher {
     int i;
     int j;
     std::int64_t w;
+  };
+
+  /// Work counters accumulated as plain integers on the hot path and
+  /// published in one batch by max_weight_matching (obs batch idiom).
+  struct SolveStats {
+    std::uint64_t stages = 0;
+    std::uint64_t augmentations = 0;
+    std::uint64_t edge_visits = 0;
+    std::uint64_t blossoms_formed = 0;
   };
 
   BlossomMatcher(int nvertex, std::vector<Edge> edges, bool max_cardinality)
@@ -60,9 +71,12 @@ class BlossomMatcher {
     allowedge_.assign(ne, false);
   }
 
+  [[nodiscard]] const SolveStats& stats() const { return stats_; }
+
   std::vector<int> solve() {
     if (nv_ == 0) return {};
     for (int stage = 0; stage < nv_; ++stage) {
+      ++stats_.stages;
       std::fill(label_.begin(), label_.end(), 0);
       std::fill(bestedge_.begin(), bestedge_.end(), -1);
       for (int b = nv_; b < 2 * nv_; ++b) {
@@ -83,6 +97,7 @@ class BlossomMatcher {
           queue_.pop_back();
           SIC_DCHECK(label_[inblossom_[v]] == 1);
           for (const int p : neighbend_[v]) {
+            ++stats_.edge_visits;
             const int k = p / 2;
             const int w = endpoint_[p];
             if (inblossom_[v] == inblossom_[w]) continue;
@@ -296,6 +311,7 @@ class BlossomMatcher {
     int bv = inblossom_[v];
     int bw = inblossom_[w];
     SIC_CHECK_MSG(!unusedblossoms_.empty(), "blossom ids exhausted");
+    ++stats_.blossoms_formed;
     const int b = unusedblossoms_.back();
     unusedblossoms_.pop_back();
     blossombase_[b] = base;
@@ -522,6 +538,7 @@ class BlossomMatcher {
 
   /// Augments the matching along the path through edge k.
   void augment_matching(int k) {
+    ++stats_.augmentations;
     const int kv = edges_[k].i;
     const int kw = edges_[k].j;
     const std::pair<int, int> starts[2] = {{kv, 2 * k + 1}, {kw, 2 * k}};
@@ -570,6 +587,7 @@ class BlossomMatcher {
   std::vector<std::int64_t> dualvar_;
   std::vector<char> allowedge_;
   std::vector<int> queue_;
+  SolveStats stats_;
 };
 
 /// Quantizes double weights onto an even-integer grid (exact dual
@@ -595,9 +613,22 @@ std::vector<int> max_weight_matching(int n,
                                      std::span<const WeightedEdge> edges,
                                      bool max_cardinality) {
   SIC_CHECK(n >= 0);
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("matching.blossom.wall_s") : nullptr,
+      reg != nullptr ? &reg->counter("matching.blossom.calls") : nullptr};
   BlossomMatcher matcher{n, quantize(edges), max_cardinality};
   auto mate = matcher.solve();
   SIC_CHECK(is_valid_mate_vector(mate));
+  if (reg != nullptr) {
+    const auto& st = matcher.stats();
+    reg->counter("matching.blossom.stages").inc(st.stages);
+    reg->counter("matching.blossom.augmentations").inc(st.augmentations);
+    reg->counter("matching.blossom.edge_visits").inc(st.edge_visits);
+    reg->counter("matching.blossom.blossoms_formed").inc(st.blossoms_formed);
+    reg->counter("matching.blossom.vertices").inc(
+        static_cast<std::uint64_t>(n));
+  }
   return mate;
 }
 

@@ -1,7 +1,10 @@
 #include "matching/greedy.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
 
 namespace sic::matching {
@@ -9,6 +12,10 @@ namespace sic::matching {
 Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
   const int n = costs.size();
   SIC_CHECK_MSG(n % 2 == 0, "perfect matching requires an even vertex count");
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("matching.greedy.wall_s") : nullptr,
+      reg != nullptr ? &reg->counter("matching.greedy.calls") : nullptr};
   auto edges = costs.edges();
   std::sort(edges.begin(), edges.end(),
             [](const WeightedEdge& a, const WeightedEdge& b) {
@@ -16,13 +23,20 @@ Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
             });
   std::vector<bool> used(static_cast<std::size_t>(n), false);
   Matching out;
+  std::uint64_t edge_visits = 0;
   for (const auto& e : edges) {
+    ++edge_visits;
     if (used[e.u] || used[e.v]) continue;
     used[e.u] = used[e.v] = true;
     out.pairs.emplace_back(e.u, e.v);
     out.total_cost += e.weight;
   }
   SIC_CHECK(static_cast<int>(out.pairs.size()) * 2 == n);
+  if (reg != nullptr) {
+    reg->counter("matching.greedy.edge_visits").inc(edge_visits);
+    reg->counter("matching.greedy.vertices").inc(
+        static_cast<std::uint64_t>(n));
+  }
   return out;
 }
 

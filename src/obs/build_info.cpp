@@ -1,0 +1,11 @@
+#include "obs/build_info.hpp"
+
+#ifndef SICMAC_GIT_DESCRIBE
+#define SICMAC_GIT_DESCRIBE "unknown"
+#endif
+
+namespace sic::obs {
+
+const char* git_describe() { return SICMAC_GIT_DESCRIBE; }
+
+}  // namespace sic::obs

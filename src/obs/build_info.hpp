@@ -1,0 +1,15 @@
+#ifndef SICMAC_OBS_BUILD_INFO_HPP
+#define SICMAC_OBS_BUILD_INFO_HPP
+
+/// \file build_info.hpp
+/// Build provenance for run manifests: the `git describe` of the tree the
+/// binary was built from (baked in at configure time; "unknown" when the
+/// build happened outside a git checkout).
+
+namespace sic::obs {
+
+[[nodiscard]] const char* git_describe();
+
+}  // namespace sic::obs
+
+#endif  // SICMAC_OBS_BUILD_INFO_HPP

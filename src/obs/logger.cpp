@@ -1,0 +1,76 @@
+#include "obs/logger.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace sic::obs {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("SICMAC_LOG_LEVEL");
+  if (env != nullptr) {
+    if (const auto parsed = parse_log_level(env)) return *parsed;
+    std::fprintf(stderr, "[sic warn] SICMAC_LOG_LEVEL=%s not recognized "
+                         "(use off|error|warn|info|debug)\n", env);
+  }
+  return LogLevel::kOff;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = initial_level();
+  return level;
+}
+
+std::ostream* g_sink = nullptr;
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "off") return LogLevel::kOff;
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char body[1024];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, ap);
+  va_end(ap);
+  if (g_sink != nullptr) {
+    *g_sink << "[sic " << to_string(level) << "] " << body << '\n';
+  } else {
+    std::fprintf(stderr, "[sic %s] %s\n", to_string(level), body);
+  }
+}
+
+std::ostream* set_log_sink(std::ostream* sink) {
+  std::ostream* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
+}  // namespace sic::obs

@@ -1,0 +1,63 @@
+#ifndef SICMAC_OBS_LOGGER_HPP
+#define SICMAC_OBS_LOGGER_HPP
+
+/// \file logger.hpp
+/// Leveled diagnostic logging, off by default. Replaces the ad-hoc
+/// `fprintf(stderr, ...)` debugging paths (e.g. the old SICMAC_MEDIUM_LOG
+/// env toggle, which now maps to debug level).
+///
+/// The SIC_LOG_* macros check the level *before* evaluating their
+/// arguments, so a disabled log line costs one global load and a compare —
+/// cheap enough for per-frame call sites.
+///
+///   obs::set_log_level(obs::LogLevel::kInfo);
+///   SIC_LOG_INFO("sweep %d/%d (%.0f samples/s)", done, total, rate);
+///
+/// The initial level comes from the SICMAC_LOG_LEVEL environment variable
+/// (off|error|warn|info|debug); the CLI's --log-level overrides it.
+
+#include <optional>
+#include <ostream>
+#include <string_view>
+
+namespace sic::obs {
+
+enum class LogLevel { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// "off"|"error"|"warn"|"info"|"debug" -> level; nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+[[nodiscard]] const char* to_string(LogLevel level);
+
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// printf-style; prepends "[sic level] " and appends a newline. Writes to
+/// the sink installed by set_log_sink (stderr by default).
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void logf(LogLevel level, const char* fmt, ...);
+
+/// Redirects log output, for tests; pass nullptr to restore stderr.
+/// Returns the previous sink.
+std::ostream* set_log_sink(std::ostream* sink);
+
+}  // namespace sic::obs
+
+#define SIC_LOG_AT(level_, ...)                           \
+  do {                                                    \
+    if (::sic::obs::log_enabled(level_)) {                \
+      ::sic::obs::logf(level_, __VA_ARGS__);              \
+    }                                                     \
+  } while (false)
+
+#define SIC_LOG_ERROR(...) SIC_LOG_AT(::sic::obs::LogLevel::kError, __VA_ARGS__)
+#define SIC_LOG_WARN(...) SIC_LOG_AT(::sic::obs::LogLevel::kWarn, __VA_ARGS__)
+#define SIC_LOG_INFO(...) SIC_LOG_AT(::sic::obs::LogLevel::kInfo, __VA_ARGS__)
+#define SIC_LOG_DEBUG(...) SIC_LOG_AT(::sic::obs::LogLevel::kDebug, __VA_ARGS__)
+
+#endif  // SICMAC_OBS_LOGGER_HPP

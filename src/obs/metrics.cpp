@@ -1,0 +1,194 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sic::obs {
+
+namespace {
+
+MetricsRegistry* g_metrics = nullptr;
+
+/// Shortest round-trip double representation — deterministic for a given
+/// value, locale-independent (printf "C" numeric formatting of %.17g is
+/// stable for the values we emit; we normalize -0 and non-finites).
+std::string format_double(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  if (v == 0.0) return "0";
+  char buf[32];
+  // Try increasing precision until the value round-trips.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void append_json_key(std::ostringstream& os, const std::string& name) {
+  // Instrument names are our own dotted identifiers; escape the JSON
+  // specials anyway so a stray name cannot corrupt the document.
+  os << '"';
+  for (const char c : name) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(double min_value, int n_buckets) : min_value_(min_value) {
+  SIC_CHECK(min_value > 0.0 && n_buckets >= 1);
+  buckets_.assign(static_cast<std::size_t>(n_buckets), 0);
+}
+
+int Histogram::bucket_index(double value) const {
+  if (!(value > min_value_)) return 0;
+  const int k = static_cast<int>(std::floor(std::log2(value / min_value_)));
+  // log2 rounding can land one bucket off right at a boundary; nudge so
+  // bucket_lower_bound(k) <= value < bucket_lower_bound(k+1) holds exactly.
+  int idx = std::max(0, k);
+  if (value < bucket_lower_bound(idx)) --idx;
+  if (idx + 1 < n_buckets() && value >= bucket_lower_bound(idx + 1)) ++idx;
+  return std::min(idx, n_buckets() - 1);
+}
+
+double Histogram::bucket_lower_bound(int k) const {
+  return min_value_ * std::exp2(static_cast<double>(k));
+}
+
+void Histogram::observe(double value) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target sample, 1-based, ceil(q * count) with q=0 -> 1.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int k = 0; k < n_buckets(); ++k) {
+    seen += buckets_[static_cast<std::size_t>(k)];
+    if (seen >= rank) return bucket_lower_bound(k);
+  }
+  return bucket_lower_bound(n_buckets() - 1);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double min_value,
+                                      int n_buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_
+      .emplace(std::string{name}, Histogram{min_value, n_buckets})
+      .first->second;
+}
+
+std::string MetricsRegistry::text_snapshot() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-44s %20llu\n", name.c_str(),
+                  static_cast<unsigned long long>(c.value()));
+    os << buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name;
+    for (std::size_t i = name.size(); i < 44; ++i) os << ' ';
+    os << ' ' << format_double(g.value()) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << "  count=" << h.count() << " sum=" << format_double(h.sum())
+       << " min=" << format_double(h.min())
+       << " p50=" << format_double(h.quantile(0.5))
+       << " p99=" << format_double(h.quantile(0.99))
+       << " max=" << format_double(h.max()) << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_key(os, name);
+    os << ':' << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_key(os, name);
+    os << ':' << format_double(g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    append_json_key(os, name);
+    os << ":{\"count\":" << h.count() << ",\"sum\":" << format_double(h.sum())
+       << ",\"min\":" << format_double(h.min())
+       << ",\"max\":" << format_double(h.max())
+       << ",\"p50\":" << format_double(h.quantile(0.5))
+       << ",\"p90\":" << format_double(h.quantile(0.9))
+       << ",\"p99\":" << format_double(h.quantile(0.99)) << ",\"buckets\":{";
+    bool bfirst = true;
+    for (int k = 0; k < h.n_buckets(); ++k) {
+      if (h.bucket_count(k) == 0) continue;
+      if (!bfirst) os << ',';
+      bfirst = false;
+      os << '"' << k << "\":" << h.bucket_count(k);
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsRegistry* metrics() { return g_metrics; }
+
+MetricsRegistry* set_metrics(MetricsRegistry* registry) {
+  MetricsRegistry* previous = g_metrics;
+  g_metrics = registry;
+  return previous;
+}
+
+}  // namespace sic::obs

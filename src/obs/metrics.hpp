@@ -1,0 +1,127 @@
+#ifndef SICMAC_OBS_METRICS_HPP
+#define SICMAC_OBS_METRICS_HPP
+
+/// \file metrics.hpp
+/// The metrics half of the sic::obs observability layer: a registry of
+/// named counters, gauges, and log-bucketed histograms with deterministic
+/// text and JSON snapshot emitters.
+///
+/// Contract (see DESIGN.md "Observability layer"):
+///  - *Zero-cost when detached.* Nothing in the library holds a registry;
+///    instrumented code accumulates plain local integers on its hot path
+///    and publishes them in one batch at a natural boundary (end of a
+///    matching call, end of a simulated run) only if `obs::metrics()` is
+///    non-null. A detached build pays one pointer load per boundary.
+///  - *Observers are pure.* A registry only ever receives values; no
+///    simulation decision may read one back. tests/consistency_test.cpp
+///    asserts bit-identical results with and without a registry attached.
+///  - *Deterministic snapshots.* Iteration is name-ordered and numbers are
+///    printed with fixed formats, so two identical runs emit byte-identical
+///    JSON (tested in tests/obs_metrics_test.cpp).
+///
+/// Single-threaded by design, like the rest of the simulator.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sic::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (e.g. samples/sec of a sweep).
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram over positive doubles. Bucket k covers
+/// [min_value * 2^k, min_value * 2^(k+1)); values below min_value land in
+/// bucket 0, values at or above the top boundary in the last bucket. The
+/// default (1e-9, 64 buckets) spans 1 ns .. ~18 s when observations are
+/// seconds — wide enough for every timer in the simulator.
+class Histogram {
+ public:
+  explicit Histogram(double min_value = 1e-9, int n_buckets = 64);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return min_; }  ///< 0 when empty
+  [[nodiscard]] double max() const { return max_; }  ///< 0 when empty
+
+  /// Bucket index that observe(value) would increment.
+  [[nodiscard]] int bucket_index(double value) const;
+  /// Inclusive lower bound of bucket k (min_value * 2^k).
+  [[nodiscard]] double bucket_lower_bound(int k) const;
+  [[nodiscard]] int n_buckets() const {
+    return static_cast<int>(buckets_.size());
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int k) const {
+    return buckets_[static_cast<std::size_t>(k)];
+  }
+
+  /// Quantile estimate: the lower bound of the bucket holding the q-th
+  /// sample (0 <= q <= 1), i.e. accurate to one bucket width (a factor of
+  /// 2). Returns 0 when empty. Exact min/max are tracked separately.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double min_value_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name -> instrument map. Instruments are created on first use and have
+/// stable addresses for the registry's lifetime (node-based storage), so
+/// call sites may cache the returned references.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, double min_value = 1e-9,
+                       int n_buckets = 64);
+
+  /// Human-oriented aligned text dump, name-sorted.
+  [[nodiscard]] std::string text_snapshot() const;
+
+  /// Machine-oriented snapshot:
+  ///   {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// Keys sorted, numbers in fixed formats — byte-identical across
+  /// identical runs.
+  [[nodiscard]] std::string json_snapshot() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Process-wide attach point. Null (the default) means observability is
+/// off; instrumented code must treat null as "skip publishing".
+[[nodiscard]] MetricsRegistry* metrics();
+/// Installs \p registry as the global target and returns the previous one
+/// (so scoped attachment can restore it). Pass nullptr to detach.
+MetricsRegistry* set_metrics(MetricsRegistry* registry);
+
+}  // namespace sic::obs
+
+#endif  // SICMAC_OBS_METRICS_HPP

@@ -1,0 +1,99 @@
+#ifndef SICMAC_OBS_SCOPED_TIMER_HPP
+#define SICMAC_OBS_SCOPED_TIMER_HPP
+
+/// \file scoped_timer.hpp
+/// Wall-clock RAII instrumentation:
+///
+///  - ScopedTimer records its lifetime (in seconds) into a Histogram and
+///    optionally bumps a call counter. Constructed with nullptr it never
+///    touches the clock — the zero-cost-when-detached idiom is
+///    `ScopedTimer t{obs::metrics() ? &reg->histogram("x.wall_s") : nullptr}`.
+///  - SIC_SPAN(name) emits a complete-event span to the global TraceSink
+///    (no-op when detached), timestamped in microseconds since the first
+///    span of the process so wall-clock traces start near zero.
+///
+/// Both are pure observers: they read the clock and write to obs sinks,
+/// never into simulation state.
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace sic::obs {
+
+/// Microseconds since the first call (process-wide wall-clock timebase for
+/// SIC_SPAN events).
+[[nodiscard]] inline double wall_epoch_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - epoch)
+      .count();
+}
+
+class ScopedTimer {
+ public:
+  /// \p histogram null disables the timer entirely (no clock read).
+  /// \p calls, when given with a live histogram, is incremented once on
+  /// destruction.
+  explicit ScopedTimer(Histogram* histogram, Counter* calls = nullptr)
+      : histogram_(histogram), calls_(calls) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->observe(elapsed_s());
+    if (calls_ != nullptr) calls_->inc();
+  }
+
+  [[nodiscard]] double elapsed_s() const {
+    if (histogram_ == nullptr) return 0.0;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram* histogram_;
+  Counter* calls_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// RAII wall-clock span against the *global* trace sink. Captures the sink
+/// at construction so an attach/detach mid-span cannot tear the event.
+class WallSpan {
+ public:
+  explicit WallSpan(const char* name, int tid = 0)
+      : sink_(trace()), name_(name), tid_(tid) {
+    if (sink_ != nullptr) start_us_ = wall_epoch_us();
+  }
+
+  WallSpan(const WallSpan&) = delete;
+  WallSpan& operator=(const WallSpan&) = delete;
+
+  ~WallSpan() {
+    if (sink_ != nullptr) {
+      sink_->complete(name_, start_us_, wall_epoch_us() - start_us_, tid_);
+    }
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  int tid_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace sic::obs
+
+#define SIC_OBS_CONCAT_INNER(a, b) a##b
+#define SIC_OBS_CONCAT(a, b) SIC_OBS_CONCAT_INNER(a, b)
+/// Spans the enclosing scope on the global trace sink's wall clock.
+#define SIC_SPAN(name) \
+  ::sic::obs::WallSpan SIC_OBS_CONCAT(sic_span_, __LINE__) { name }
+
+#endif  // SICMAC_OBS_SCOPED_TIMER_HPP

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
 #include "analysis/montecarlo.hpp"
@@ -12,6 +13,7 @@
 #include "core/scheduler.hpp"
 #include "core/upload_pair.hpp"
 #include "mac/upload_sim.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace sic {
@@ -117,6 +119,68 @@ TEST(Consistency, ImperfectApLosesSicDecodesInSimulation) {
       mac::run_scheduled_upload(clients, kShannon, schedule, impaired);
   EXPECT_EQ(recovered.failures.unrecovered, 0u);
   EXPECT_GT(recovered.failures.recovered, 0u);
+}
+
+TEST(Consistency, ObserversNeverPerturbTheSimulation) {
+  // The sic::obs contract: a MetricsRegistry or TraceSink is a pure
+  // observer. Attaching both must leave every simulation result
+  // bit-for-bit identical to a detached run, even on the fault-heavy
+  // closed-loop path where the instrumentation is densest.
+  Rng rng{23};
+  const auto clients = random_clients(rng, 6);
+  const auto schedule = core::schedule_upload(clients, kShannon, {});
+  mac::UploadSimConfig config;
+  config.frames_per_client = 3;
+  config.faults.stale_rss_sigma_db = 3.0;
+  config.faults.cancellation_failure_prob = 0.2;
+  config.faults.ack_loss_prob = 0.05;
+
+  const auto detached =
+      mac::run_scheduled_upload(clients, kShannon, schedule, config);
+
+  obs::MetricsRegistry registry;
+  std::ostringstream trace_os;
+  obs::TraceSink sink{trace_os};
+  ASSERT_EQ(obs::set_metrics(&registry), nullptr);
+  ASSERT_EQ(obs::set_trace(&sink), nullptr);
+  const auto observed =
+      mac::run_scheduled_upload(clients, kShannon, schedule, config);
+  obs::set_metrics(nullptr);
+  obs::set_trace(nullptr);
+
+  // Observers saw the run...
+  EXPECT_GT(registry.counter("mac.upload.runs").value(), 0u);
+  EXPECT_GT(sink.events_written(), 0u);
+
+  // ...without changing a single bit of it. EXPECT_EQ on the doubles is
+  // deliberate: bit-identity, not tolerance.
+  EXPECT_EQ(observed.completion_s, detached.completion_s);
+  EXPECT_EQ(observed.offered, detached.offered);
+  EXPECT_EQ(observed.delivered, detached.delivered);
+  EXPECT_EQ(observed.retries, detached.retries);
+  EXPECT_EQ(observed.drops, detached.drops);
+  EXPECT_EQ(observed.medium.transmissions, detached.medium.transmissions);
+  EXPECT_EQ(observed.medium.delivered, detached.medium.delivered);
+  EXPECT_EQ(observed.medium.failed_clean, detached.medium.failed_clean);
+  EXPECT_EQ(observed.medium.failed_collision,
+            detached.medium.failed_collision);
+  EXPECT_EQ(observed.medium.sic_decodes, detached.medium.sic_decodes);
+  EXPECT_EQ(observed.medium.capture_decodes, detached.medium.capture_decodes);
+  EXPECT_EQ(observed.failures.rate_misses, detached.failures.rate_misses);
+  EXPECT_EQ(observed.failures.cancellation_failures,
+            detached.failures.cancellation_failures);
+  EXPECT_EQ(observed.failures.ack_losses, detached.failures.ack_losses);
+  EXPECT_EQ(observed.failures.duplicate_deliveries,
+            detached.failures.duplicate_deliveries);
+  EXPECT_EQ(observed.failures.retransmissions,
+            detached.failures.retransmissions);
+  EXPECT_EQ(observed.failures.mode_demotions, detached.failures.mode_demotions);
+  EXPECT_EQ(observed.failures.client_demotions,
+            detached.failures.client_demotions);
+  EXPECT_EQ(observed.failures.rematch_rounds, detached.failures.rematch_rounds);
+  EXPECT_EQ(observed.failures.recovered, detached.failures.recovered);
+  EXPECT_EQ(observed.failures.unrecovered, detached.failures.unrecovered);
+  EXPECT_EQ(observed.failures.retry_histogram, detached.failures.retry_histogram);
 }
 
 TEST(Consistency, AdcLimitFlowsThroughSimulator) {

@@ -1,0 +1,95 @@
+// Leveled-logger tests: off by default, level filtering, cheap disabled
+// call sites (arguments not evaluated), and level-name parsing.
+
+#include "obs/logger.hpp"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sic::obs {
+namespace {
+
+// The logger is process-global state; every test restores it on exit.
+class ObsLogger : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_level_ = log_level();
+    prev_sink_ = set_log_sink(&captured_);
+  }
+  void TearDown() override {
+    set_log_level(prev_level_);
+    set_log_sink(prev_sink_);
+  }
+
+  std::ostringstream captured_;
+
+ private:
+  LogLevel prev_level_ = LogLevel::kOff;
+  std::ostream* prev_sink_ = nullptr;
+};
+
+TEST_F(ObsLogger, OffByDefaultSwallowsEverything) {
+  set_log_level(LogLevel::kOff);
+  SIC_LOG_ERROR("boom %d", 1);
+  SIC_LOG_DEBUG("detail");
+  EXPECT_TRUE(captured_.str().empty());
+}
+
+TEST_F(ObsLogger, LevelFiltersMoreVerboseMessages) {
+  set_log_level(LogLevel::kWarn);
+  SIC_LOG_ERROR("e");
+  SIC_LOG_WARN("w");
+  SIC_LOG_INFO("i");
+  SIC_LOG_DEBUG("d");
+  const std::string out = captured_.str();
+  EXPECT_NE(out.find("[sic error] e"), std::string::npos) << out;
+  EXPECT_NE(out.find("[sic warn] w"), std::string::npos) << out;
+  EXPECT_EQ(out.find(" i"), std::string::npos) << out;
+  EXPECT_EQ(out.find(" d"), std::string::npos) << out;
+}
+
+TEST_F(ObsLogger, FormatsPrintfStyleWithNewline) {
+  set_log_level(LogLevel::kInfo);
+  SIC_LOG_INFO("sweep %d/%d (%.1f samples/s)", 3, 10, 250.0);
+  EXPECT_EQ(captured_.str(), "[sic info] sweep 3/10 (250.0 samples/s)\n");
+}
+
+TEST_F(ObsLogger, DisabledCallSiteDoesNotEvaluateArguments) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  SIC_LOG_DEBUG("%d", ++evaluations);
+  EXPECT_EQ(evaluations, 0);
+  SIC_LOG_ERROR("%d", ++evaluations);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(ObsLogger, LogEnabledMatchesLevelOrdering) {
+  set_log_level(LogLevel::kInfo);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST(ObsLoggerNames, ParseAcceptsExactlyTheDocumentedNames) {
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("INFO").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(ObsLoggerNames, ToStringRoundTrips) {
+  for (const LogLevel level : {LogLevel::kOff, LogLevel::kError,
+                               LogLevel::kWarn, LogLevel::kInfo,
+                               LogLevel::kDebug}) {
+    EXPECT_EQ(parse_log_level(to_string(level)), level);
+  }
+}
+
+}  // namespace
+}  // namespace sic::obs

@@ -1,0 +1,142 @@
+// Unit tests for the sic::obs metrics registry: log-bucketed histogram
+// boundaries and quantiles, and the deterministic-snapshot contract (two
+// identical runs must emit byte-identical JSON).
+
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sic::obs {
+namespace {
+
+TEST(Counter, AccumulatesDeltas) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(g.value(), -2.0);
+}
+
+TEST(Histogram, BucketBoundariesArePowersOfTwo) {
+  const Histogram h{1.0, 8};
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lower_bound(3), 8.0);
+
+  // Bucket k covers [2^k, 2^(k+1)): exact boundaries land in the upper
+  // bucket, values just below stay in the lower one.
+  EXPECT_EQ(h.bucket_index(1.0), 0);
+  EXPECT_EQ(h.bucket_index(1.999), 0);
+  EXPECT_EQ(h.bucket_index(2.0), 1);
+  EXPECT_EQ(h.bucket_index(3.999), 1);
+  EXPECT_EQ(h.bucket_index(4.0), 2);
+
+  // Below-range and above-range values clamp to the edge buckets.
+  EXPECT_EQ(h.bucket_index(0.25), 0);
+  EXPECT_EQ(h.bucket_index(0.0), 0);
+  EXPECT_EQ(h.bucket_index(1e9), 7);
+}
+
+TEST(Histogram, BoundaryExactAcrossManyBuckets) {
+  const Histogram h{1e-9, 64};
+  for (int k = 0; k < 64; ++k) {
+    EXPECT_EQ(h.bucket_index(h.bucket_lower_bound(k)), k) << "bucket " << k;
+  }
+}
+
+TEST(Histogram, CountSumMinMax) {
+  Histogram h{1.0, 8};
+  h.observe(1.0);
+  h.observe(4.0);
+  h.observe(16.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(4), 1u);
+}
+
+TEST(Histogram, QuantileReturnsBucketLowerBound) {
+  Histogram h{1.0, 10};
+  // 90 samples in bucket 0 ([1,2)), 10 in bucket 4 ([16,32)).
+  for (int i = 0; i < 90; ++i) h.observe(1.5);
+  for (int i = 0; i < 10; ++i) h.observe(20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 16.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 16.0);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  const Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, InstrumentsHaveStableAddresses) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a");
+  // Creating many more instruments must not move the first.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &reg.counter("a"));
+}
+
+std::string snapshot_of_identical_run() {
+  MetricsRegistry reg;
+  reg.counter("z.last").inc(3);
+  reg.counter("a.first").inc(1);
+  reg.gauge("rate").set(123.456);
+  reg.gauge("oddball").set(0.1 + 0.2);  // exercises round-trip formatting
+  Histogram& h = reg.histogram("lat", 1e-9, 64);
+  h.observe(1e-3);
+  h.observe(2.5e-3);
+  h.observe(0.5);
+  return reg.json_snapshot();
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsDeterministic) {
+  const std::string a = snapshot_of_identical_run();
+  const std::string b = snapshot_of_identical_run();
+  EXPECT_EQ(a, b);
+  // Name-ordered: "a.first" must appear before "z.last".
+  EXPECT_LT(a.find("a.first"), a.find("z.last"));
+  EXPECT_NE(a.find("\"counters\""), std::string::npos);
+  EXPECT_NE(a.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(a.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, TextSnapshotMentionsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("runs").inc();
+  reg.gauge("speed").set(2.0);
+  reg.histogram("wall_s").observe(0.25);
+  const std::string text = reg.text_snapshot();
+  EXPECT_NE(text.find("runs"), std::string::npos);
+  EXPECT_NE(text.find("speed"), std::string::npos);
+  EXPECT_NE(text.find("wall_s"), std::string::npos);
+}
+
+TEST(GlobalAttachPoint, SetReturnsPrevious) {
+  ASSERT_EQ(metrics(), nullptr);
+  MetricsRegistry reg;
+  EXPECT_EQ(set_metrics(&reg), nullptr);
+  EXPECT_EQ(metrics(), &reg);
+  EXPECT_EQ(set_metrics(nullptr), &reg);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace sic::obs

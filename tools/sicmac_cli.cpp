@@ -15,6 +15,11 @@
 ///
 /// All SNRs in dB over a unit noise floor; rates on a 20 MHz channel.
 ///
+/// Global observability flags (every command):
+///   --metrics-out <file>   JSON metrics snapshot of the run
+///   --trace-out <file>     Chrome-trace JSONL (open in ui.perfetto.dev)
+///   --log-level <level>    off|error|warn|info|debug (default off)
+///
 /// Exit codes: 0 success; 1 internal error; 2 usage error; 3 file I/O
 /// error; 4 trace format error.
 
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sicmac.hpp"
 #include "util/cli_args.hpp"
 
@@ -440,6 +446,8 @@ int cmd_report(const ArgParser& args) {
 int usage() {
   std::printf(
       "sicmac — SIC MAC-layer analysis toolkit\n"
+      "global flags: [--metrics-out m.json] [--trace-out t.jsonl]\n"
+      "              [--log-level off|error|warn|info|debug]\n"
       "commands:\n"
       "  pair        --s1 dB --s2 dB [--table shannon|11b|11g|11n]\n"
       "  capacity    --s1 dB --s2 dB\n"
@@ -464,6 +472,34 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args{argc, argv};
     const std::string& cmd = args.command();
+
+    // Global observability flags — parsed before dispatch so every command
+    // runs instrumented the same way.
+    const std::string log_level = args.get_string("log-level", "");
+    if (!log_level.empty()) {
+      const auto parsed = obs::parse_log_level(log_level);
+      if (!parsed) {
+        throw UsageError("unknown --log-level (off|error|warn|info|debug): " +
+                         log_level);
+      }
+      obs::set_log_level(*parsed);
+    }
+    const std::string metrics_out = args.get_string("metrics-out", "");
+    const std::string trace_out = args.get_string("trace-out", "");
+    obs::MetricsRegistry registry;
+    if (!metrics_out.empty()) obs::set_metrics(&registry);
+    std::ofstream trace_os;
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!trace_out.empty()) {
+      trace_os.open(trace_out);
+      if (!trace_os) {
+        throw trace::TraceIoError("cannot open trace file for write: " +
+                                  trace_out);
+      }
+      sink = std::make_unique<obs::TraceSink>(trace_os);
+      obs::set_trace(sink.get());
+    }
+
     int rc = 0;
     if (cmd == "pair") {
       rc = cmd_pair(args);
@@ -489,6 +525,24 @@ int main(int argc, char** argv) {
       rc = cmd_report(args);
     } else {
       return usage();
+    }
+    if (sink) {
+      obs::set_trace(nullptr);
+      sink->flush();
+      std::fprintf(stderr, "wrote %llu trace events to %s\n",
+                   static_cast<unsigned long long>(sink->events_written()),
+                   trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::set_metrics(nullptr);
+      std::ofstream ms{metrics_out};
+      if (!ms) {
+        throw trace::TraceIoError("cannot open metrics file for write: " +
+                                  metrics_out);
+      }
+      ms << registry.json_snapshot() << '\n';
+      std::fprintf(stderr, "wrote metrics snapshot to %s\n",
+                   metrics_out.c_str());
     }
     for (const auto& flag : args.unknown_flags()) {
       std::fprintf(stderr, "warning: unused flag --%s\n", flag.c_str());
