@@ -31,6 +31,13 @@ inline std::optional<std::string> csv_prefix(int argc, char** argv) {
   return ArgParser{argc, argv}.get("csv");
 }
 
+/// Parses the global `--threads` flag (0 = all hardware threads, default 1)
+/// shared with the sicmac CLI. Figure output is bit-identical for any
+/// value; the flag only changes wall-clock time.
+inline int threads(int argc, char** argv) {
+  return ArgParser{argc, argv}.get_threads();
+}
+
 inline void write_text_file(const std::string& path,
                             const std::string& content) {
   errno = 0;

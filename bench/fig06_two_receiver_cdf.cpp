@@ -16,13 +16,15 @@ int main(int argc, char** argv) {
   const phy::ShannonRateAdapter shannon{megahertz(20.0)};
   constexpr int kTrials = 10000;
   constexpr std::uint64_t kSeed = 1234;
-  std::printf("trials=%d seed=%llu alpha=4\n\n", kTrials,
-              static_cast<unsigned long long>(kSeed));
+  constexpr double kBits = 12000.0;
+  const int threads = bench::threads(argc, argv);
+  std::printf("trials=%d seed=%llu alpha=4 threads=%d\n\n", kTrials,
+              static_cast<unsigned long long>(kSeed), threads);
   for (const double range : {30.0, 40.0, 50.0}) {
     topology::SamplerConfig config;
     config.range_m = range;
-    const auto gains =
-        analysis::run_two_link_gains(config, shannon, kTrials, kSeed);
+    const auto gains = analysis::run_two_link_gains(config, shannon, kTrials,
+                                                    kSeed, kBits, threads);
     const analysis::EmpiricalCdf cdf{gains};
     char label[64];
     std::snprintf(label, sizeof(label), "range %.0f m", range);
@@ -40,8 +42,8 @@ int main(int argc, char** argv) {
   for (const double alpha : {3.0, 4.0}) {
     topology::SamplerConfig config;
     config.pathloss_exponent = alpha;
-    const auto gains =
-        analysis::run_two_link_gains(config, shannon, kTrials, kSeed);
+    const auto gains = analysis::run_two_link_gains(config, shannon, kTrials,
+                                                    kSeed, kBits, threads);
     const analysis::EmpiricalCdf cdf{gains};
     char label[64];
     std::snprintf(label, sizeof(label), "alpha %.1f", alpha);

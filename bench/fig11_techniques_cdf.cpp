@@ -15,13 +15,15 @@ int main(int argc, char** argv) {
   const phy::ShannonRateAdapter shannon{megahertz(20.0)};
   constexpr int kTrials = 10000;
   constexpr std::uint64_t kSeed = 42;
+  constexpr double kBits = 12000.0;
+  const int threads = bench::threads(argc, argv);
   topology::SamplerConfig config;
 
   bench::header("Fig. 11a — two transmitters, one receiver",
                 "SIC alone: >20% gain in ~20% of cases; with power control "
                 "or multirate: >20% gain in ~40%");
   const auto a = analysis::run_two_to_one_techniques(config, shannon, kTrials,
-                                                     kSeed);
+                                                     kSeed, kBits, threads);
   const analysis::EmpiricalCdf a_sic{a.sic};
   const analysis::EmpiricalCdf a_pc{a.power_control};
   const analysis::EmpiricalCdf a_mr{a.multirate};
@@ -39,7 +41,7 @@ int main(int argc, char** argv) {
                 "SIC alone has almost no gain, and very little even with "
                 "the optimizations");
   const auto bb = analysis::run_two_link_techniques(config, shannon, kTrials,
-                                                    kSeed);
+                                                    kSeed, kBits, threads);
   const analysis::EmpiricalCdf b_sic{bb.sic};
   const analysis::EmpiricalCdf b_pc{bb.power_control};
   const analysis::EmpiricalCdf b_pk{bb.packing};

@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(kSeed));
 
   const phy::ShannonRateAdapter shannon{megahertz(20.0)};
-  const auto gains = analysis::evaluate_upload_trace(trace, shannon);
+  analysis::UploadTraceEvalConfig eval;
+  eval.threads = bench::threads(argc, argv);
+  const auto gains = analysis::evaluate_upload_trace(trace, shannon, eval);
   std::printf("(snapshot, AP) cells with >= 2 backlogged clients: %d\n\n",
               gains.cells_evaluated);
 

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   const auto link_trace = generate_link_trace(config, kSeed);
   analysis::DownloadTraceEvalConfig eval;
   eval.pair_samples = 10000;
+  eval.threads = bench::threads(argc, argv);
   std::printf("campaign: %d APs, %d client locations, %d link-pair "
               "scenarios, seed=%llu\n\n",
               link_trace.n_aps(), link_trace.n_locations(), eval.pair_samples,

@@ -1,0 +1,110 @@
+/// Throughput of the deterministic parallel Monte Carlo engine. Runs each
+/// ported sweep at every thread count in --threads-list (default 1,2,4)
+/// and prints one JSON line per (sweep, threads):
+///
+///   {"bench":"perf_montecarlo","sweep":"two_link_gains","threads":4,
+///    "trials":20000,"wall_ms":412.0,"samples_per_sec":48543.7,
+///    "speedup_vs_1":3.41,"identical_to_1_thread":true}
+///
+/// so CI can assert both the speedup and the bit-identity of the samples
+/// across thread counts. Flags: --trials N, --threads-list a,b,c.
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/montecarlo.hpp"
+#include "analysis/trace_eval.hpp"
+#include "bench_util.hpp"
+#include "trace/link_trace.hpp"
+
+namespace {
+
+using namespace sic;
+
+struct Sweep {
+  const char* name;
+  std::int64_t samples;  ///< samples produced per run (for the rate)
+  std::function<std::vector<double>(int threads)> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args{argc, argv};
+  const int trials = args.get_int("trials", 20000);
+  std::vector<int> thread_counts;
+  for (const double t : args.get_double_list("threads-list")) {
+    thread_counts.push_back(static_cast<int>(t));
+  }
+  if (thread_counts.empty()) thread_counts = {1, 2, 4};
+
+  const phy::ShannonRateAdapter shannon{megahertz(20.0)};
+  const topology::SamplerConfig config;
+  constexpr double kBits = 12000.0;
+  constexpr std::uint64_t kSeed = 42;
+
+  trace::LinkTraceConfig campaign;
+  const auto link_trace = generate_link_trace(campaign, 777);
+
+  const std::vector<Sweep> sweeps{
+      {"two_link_gains", trials,
+       [&](int threads) {
+         return analysis::run_two_link_gains(config, shannon, trials, kSeed,
+                                             kBits, threads);
+       }},
+      {"two_to_one_techniques", trials,
+       [&](int threads) {
+         return analysis::run_two_to_one_techniques(config, shannon, trials,
+                                                    kSeed, kBits, threads)
+             .sic;
+       }},
+      {"upload_deployment_gains", trials / 20,
+       [&](int threads) {
+         return analysis::run_upload_deployment_gains(
+             config, shannon, trials / 20, 8, kSeed, kBits, threads);
+       }},
+      {"download_trace", trials / 4,
+       [&](int threads) {
+         analysis::DownloadTraceEvalConfig eval;
+         eval.pair_samples = trials / 4;
+         eval.threads = threads;
+         return analysis::evaluate_download_trace(link_trace, shannon, eval)
+             .plain;
+       }},
+  };
+
+  for (const auto& sweep : sweeps) {
+    std::vector<double> baseline;
+    double baseline_rate = 0.0;
+    for (const int threads : thread_counts) {
+      const bench::RunTimer timer;
+      const auto samples = sweep.run(threads);
+      const double wall_ms = 1e3 * timer.elapsed_s();
+      const double rate =
+          wall_ms > 0.0 ? 1e3 * static_cast<double>(sweep.samples) / wall_ms
+                        : 0.0;
+      bool identical = true;
+      if (baseline.empty()) {
+        baseline = samples;
+        baseline_rate = rate;
+      } else {
+        identical = samples.size() == baseline.size();
+        for (std::size_t i = 0; identical && i < samples.size(); ++i) {
+          identical = samples[i] == baseline[i];
+        }
+      }
+      const double speedup = baseline_rate > 0.0 ? rate / baseline_rate : 0.0;
+      std::printf(
+          "{\"bench\":\"perf_montecarlo\",\"sweep\":\"%s\",\"threads\":%d,"
+          "\"trials\":%lld,\"wall_ms\":%.1f,\"samples_per_sec\":%.1f,"
+          "\"speedup_vs_%d\":%.2f,\"identical_to_first\":%s}\n",
+          sweep.name, threads, static_cast<long long>(sweep.samples), wall_ms,
+          rate, thread_counts.front(), speedup, identical ? "true" : "false");
+      if (!identical) return 1;  // determinism contract broken
+    }
+  }
+  return 0;
+}

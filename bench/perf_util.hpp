@@ -12,10 +12,25 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 namespace sic::bench {
 
 inline int run_perf_main(const char* name, int argc, char** argv) {
+  // Accept (and drop) the repo-wide `--threads N` flag so perf binaries can
+  // be invoked uniformly with the figure benches; google-benchmark would
+  // otherwise reject it as unrecognized. The google-benchmark perf loops
+  // are single-threaded microbenches — thread scaling is perf_montecarlo's
+  // job.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 < argc && argv[i + 1][0] != '-') ++i;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   const auto start = std::chrono::steady_clock::now();

@@ -1,14 +1,32 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UndefinedBehaviorSanitizer (the
-# "sanitize" CMake preset) and runs the tier-1 ctest suite under it. Any
-# heap error, leak, or UB aborts the run (-fno-sanitize-recover=all).
+# Builds the tree under a sanitizer preset and runs tier-1 tests under it.
+# Any heap error, leak, UB, or data race aborts (-fno-sanitize-recover=all).
 #
-#   scripts/sanitize.sh [extra ctest args...]
+#   scripts/sanitize.sh [asan|tsan] [extra ctest args...]
+#
+# asan (default): ASan + UBSan over the full ctest suite.
+# tsan: ThreadSanitizer over the concurrency surface — the thread pool and
+#       the parallel sweep engine (everything else is single-threaded and
+#       already covered by the asan run).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake --preset sanitize
-cmake --build --preset sanitize -j "$(nproc)"
-ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
-UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
-  ctest --preset sanitize -j "$(nproc)" "$@"
+mode="asan"
+if [[ $# -gt 0 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  mode="$1"
+  shift
+fi
+
+if [[ "$mode" == "tsan" ]]; then
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --preset tsan -j "$(nproc)" \
+      -R 'ThreadPool|ParallelSweep' "$@"
+else
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j "$(nproc)"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+    ctest --preset sanitize -j "$(nproc)" "$@"
+fi

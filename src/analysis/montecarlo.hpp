@@ -12,6 +12,14 @@
 ///  - Fig. 11b: same techniques in the two-receiver geometry (SIC, power
 ///             control and packing; multirate is not applicable there —
 ///             Section 5.5).
+///  - Random-deployment scheduler sweep: whole-cell gain of the SIC-aware
+///             upload schedule over random client placements.
+///
+/// Every sweep runs on the deterministic parallel engine
+/// (analysis/parallel.hpp): trial t draws from the counter-based substream
+/// `Rng::at(seed, t)`, so for a fixed (trials, seed) the returned samples
+/// are bit-identical for any thread count or chunk schedule. Thread count
+/// 1 is the default; 0 means all hardware threads.
 
 #include <cstdint>
 #include <vector>
@@ -36,27 +44,46 @@ struct TechniqueGains {
 /// Fig. 6: realized SIC gains over random two-link topologies.
 [[nodiscard]] std::vector<double> run_two_link_gains(
     const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
-    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+    int trials, std::uint64_t seed, double packet_bits = 12000.0,
+    int threads = 1);
 
 /// Per-technique gain samples (one entry per trial in each vector).
 struct TechniqueSamples {
   std::vector<double> sic;
   std::vector<double> power_control;
-  std::vector<double> multirate;  ///< empty for the two-receiver experiment
+  /// Per-trial multirate gains in the one-receiver experiment. In the
+  /// two-receiver experiment (run_two_link_techniques) multirate is not
+  /// applicable (Section 5.5) and this vector is *intentionally empty* —
+  /// not reserved, not populated — so consumers can distinguish "no gain"
+  /// from "not applicable".
+  std::vector<double> multirate;
   std::vector<double> packing;
 };
 
 /// Fig. 11a: two transmitters → one receiver.
 [[nodiscard]] TechniqueSamples run_two_to_one_techniques(
     const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
-    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+    int trials, std::uint64_t seed, double packet_bits = 12000.0,
+    int threads = 1);
 
 /// Fig. 11b: two transmitters → two receivers. Power control here scales a
 /// whole transmitter (affecting its RSS at both receivers) and searches
 /// both choices of transmitter.
 [[nodiscard]] TechniqueSamples run_two_link_techniques(
     const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
-    int trials, std::uint64_t seed, double packet_bits = 12000.0);
+    int trials, std::uint64_t seed, double packet_bits = 12000.0,
+    int threads = 1);
+
+/// Random-deployment scheduler sweep: each trial places \p n_clients
+/// uniformly in one AP's cell, runs the full SIC-aware upload scheduler
+/// (blossom pairing + optional techniques via core::SchedulerOptions
+/// defaults), and reports serial/scheduled airtime as a whole-cell gain
+/// sample. Exercises the matching + scheduler stack per trial, unlike the
+/// closed-form pair sweeps above.
+[[nodiscard]] std::vector<double> run_upload_deployment_gains(
+    const topology::SamplerConfig& config, const phy::RateAdapter& adapter,
+    int trials, int n_clients, std::uint64_t seed,
+    double packet_bits = 12000.0, int threads = 1);
 
 }  // namespace sic::analysis
 

@@ -29,6 +29,17 @@ Summary summarize(std::span<const double> samples) {
   return s;
 }
 
+double quantile_sorted(std::span<const double> sorted, double p) {
+  SIC_CHECK(!sorted.empty());
+  SIC_CHECK(p >= 0.0 && p <= 1.0);
+  const std::size_t n = sorted.size();
+  const double rank = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= n) return sorted[n - 1];
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
 EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
     : sorted_(std::move(samples)) {
   SIC_CHECK_MSG(!sorted_.empty(), "CDF over an empty sample set");
@@ -55,6 +66,13 @@ std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(int points) const {
   out.reserve(static_cast<std::size_t>(points));
   const double lo = sorted_.front();
   const double hi = sorted_.back();
+  if (lo == hi) {
+    // Degenerate sample set (all values equal): the evenly-spaced grid
+    // collapses to a single x, so return the step function explicitly
+    // rather than `points` copies of the same coordinate.
+    out.push_back(Point{lo, at(lo)});
+    return out;
+  }
   for (int i = 0; i < points; ++i) {
     const double x = lo + (hi - lo) * i / (points - 1);
     out.push_back(Point{x, at(x)});
@@ -92,14 +110,8 @@ ConfidenceInterval bootstrap_fraction_above(std::span<const double> samples,
   }
   std::sort(stats.begin(), stats.end());
   const double alpha = (1.0 - confidence) / 2.0;
-  const auto at = [&](double p) {
-    const auto idx = static_cast<std::size_t>(
-        std::clamp(p * (resamples - 1), 0.0,
-                   static_cast<double>(resamples - 1)));
-    return stats[idx];
-  };
-  ci.lo = at(alpha);
-  ci.hi = at(1.0 - alpha);
+  ci.lo = quantile_sorted(stats, alpha);
+  ci.hi = quantile_sorted(stats, 1.0 - alpha);
   return ci;
 }
 

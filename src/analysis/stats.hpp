@@ -21,6 +21,13 @@ struct Summary {
 
 [[nodiscard]] Summary summarize(std::span<const double> samples);
 
+/// Quantile of an ascending-sorted sample set with linear interpolation
+/// between order statistics (the "R-7" / numpy default): p in [0, 1] maps
+/// to rank p*(n-1), fractional ranks interpolate between the two
+/// neighbouring samples. Used by the bootstrap CI below; exposed for
+/// direct regression testing against known quantiles.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double p);
+
 /// Empirical CDF over a fixed sample set.
 class EmpiricalCdf {
  public:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/parallel.hpp"
 #include "core/cross_link.hpp"
 #include "obs/logger.hpp"
 #include "obs/metrics.hpp"
@@ -11,6 +12,28 @@
 #include "util/rng.hpp"
 
 namespace sic::analysis {
+
+namespace {
+
+/// Gains of one (snapshot, AP) cell under the four scheduler variants, or
+/// valid == false when the cell has no finite serial baseline.
+struct CellGains {
+  double pairing = 1.0;
+  double power_control = 1.0;
+  double multirate = 1.0;
+  double greedy_pairing = 1.0;
+  bool valid = false;
+};
+
+/// One download link-pair scenario; valid == false when no viable pair was
+/// found within the rejection budget.
+struct PairGains {
+  double plain = 1.0;
+  double packing = 1.0;
+  bool valid = false;
+};
+
+}  // namespace
 
 UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
                                        const phy::RateAdapter& adapter,
@@ -22,16 +45,12 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
                      : nullptr};
   SIC_SPAN("trace_eval.upload");
   const Milliwatts noise = Dbm{config.noise_floor_dbm}.to_milliwatts();
-  UploadTraceGains out;
 
-  const auto gain_for = [&](std::span<const channel::LinkBudget> budgets,
-                            const core::SchedulerOptions& options,
-                            double serial) {
-    const auto schedule = core::schedule_upload(budgets, adapter, options);
-    return schedule.total_airtime > 0.0 ? serial / schedule.total_airtime
-                                        : 1.0;
-  };
-
+  // Materialize the (snapshot, AP) cross product first: collecting link
+  // budgets is cheap and sequential, the O(n²)–O(n³) schedule evaluation
+  // per cell is what the parallel engine fans out, index-addressed so the
+  // per-cell sample order matches the sequential sweep exactly.
+  std::vector<std::vector<channel::LinkBudget>> cells;
   for (const auto& snap : trace.snapshots) {
     for (const auto& ap : snap.aps) {
       const int n = static_cast<int>(ap.clients.size());
@@ -42,28 +61,56 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
         budgets.push_back(channel::LinkBudget{
             Dbm{obs.rssi_dbm}.to_milliwatts(), noise});
       }
-      const double serial =
-          core::serial_upload_airtime(budgets, adapter, config.packet_bits);
-      if (!std::isfinite(serial) || serial <= 0.0) continue;
-
-      core::SchedulerOptions base;
-      base.packet_bits = config.packet_bits;
-      out.pairing.push_back(gain_for(budgets, base, serial));
-
-      core::SchedulerOptions pc = base;
-      pc.enable_power_control = true;
-      out.power_control.push_back(gain_for(budgets, pc, serial));
-
-      core::SchedulerOptions mr = base;
-      mr.enable_multirate = true;
-      out.multirate.push_back(gain_for(budgets, mr, serial));
-
-      core::SchedulerOptions greedy = base;
-      greedy.pairing = core::SchedulerOptions::Pairing::kGreedy;
-      out.greedy_pairing.push_back(gain_for(budgets, greedy, serial));
-
-      ++out.cells_evaluated;
+      cells.push_back(std::move(budgets));
     }
+  }
+
+  ParallelRunner runner{{.threads = config.threads}};
+  const auto per_cell = runner.map_indices<CellGains>(
+      static_cast<std::int64_t>(cells.size()), [&](std::int64_t i) {
+        const auto& budgets = cells[static_cast<std::size_t>(i)];
+        CellGains out;
+        const double serial = core::serial_upload_airtime(
+            budgets, adapter, config.packet_bits);
+        if (!std::isfinite(serial) || serial <= 0.0) return out;
+        out.valid = true;
+        const auto gain_for = [&](const core::SchedulerOptions& options) {
+          const auto schedule =
+              core::schedule_upload(budgets, adapter, options);
+          return schedule.total_airtime > 0.0
+                     ? serial / schedule.total_airtime
+                     : 1.0;
+        };
+        core::SchedulerOptions base;
+        base.packet_bits = config.packet_bits;
+        out.pairing = gain_for(base);
+
+        core::SchedulerOptions pc = base;
+        pc.enable_power_control = true;
+        out.power_control = gain_for(pc);
+
+        core::SchedulerOptions mr = base;
+        mr.enable_multirate = true;
+        out.multirate = gain_for(mr);
+
+        core::SchedulerOptions greedy = base;
+        greedy.pairing = core::SchedulerOptions::Pairing::kGreedy;
+        out.greedy_pairing = gain_for(greedy);
+        return out;
+      });
+
+  UploadTraceGains out;
+  out.pairing.reserve(per_cell.size());
+  out.power_control.reserve(per_cell.size());
+  out.multirate.reserve(per_cell.size());
+  out.greedy_pairing.reserve(per_cell.size());
+  for (const auto& cell : per_cell) {
+    if (!cell.valid) continue;
+    out.pairing.push_back(cell.pairing);
+    out.power_control.push_back(cell.power_control);
+    out.multirate.push_back(cell.multirate);
+    out.greedy_pairing.push_back(cell.greedy_pairing);
+    ++out.cells_evaluated;
   }
   if (reg != nullptr) {
     reg->counter("analysis.trace_eval.upload_cells").inc(out.cells_evaluated);
@@ -86,39 +133,52 @@ DownloadTraceGains evaluate_download_trace(
       reg != nullptr ? &reg->histogram("analysis.trace_eval.download_wall_s")
                      : nullptr};
   SIC_SPAN("trace_eval.download");
-  Rng rng{config.seed};
-  DownloadTraceGains out;
-  out.plain.reserve(static_cast<std::size_t>(config.pair_samples));
   const Decibels floor{config.min_link_snr_db};
+
+  ParallelRunner runner{{.threads = config.threads}};
+  const auto scenarios = runner.map_trials<PairGains>(
+      config.pair_samples, config.seed, [&](Rng& rng, std::int64_t) {
+        // Draw a scenario of two AP→client links with distinct APs and
+        // clients; reject scenarios whose serving links are below the
+        // measurement floor (no 90 %-delivery rate exists for them).
+        PairGains out;
+        int ap1 = 0, ap2 = 0, loc1 = 0, loc2 = 0;
+        bool viable = false;
+        for (int attempt = 0; attempt < 256 && !viable; ++attempt) {
+          ap1 = rng.uniform_int(0, trace.n_aps() - 1);
+          ap2 = rng.uniform_int(0, trace.n_aps() - 2);
+          if (ap2 >= ap1) ++ap2;
+          loc1 = rng.uniform_int(0, trace.n_locations() - 1);
+          loc2 = rng.uniform_int(0, trace.n_locations() - 2);
+          if (loc2 >= loc1) ++loc2;
+          viable =
+              trace.snr(ap1, loc1) >= floor && trace.snr(ap2, loc2) >= floor;
+        }
+        if (!viable) return out;  // degenerate campaign
+        const auto rss = trace.two_link_rss(ap1, loc1, ap2, loc2);
+        // The measured campaign counts any concurrency the SIC-capable MAC
+        // can schedule, including capture-mode concurrency in the Fig. 5a
+        // case.
+        core::CrossLinkOptions options;
+        options.packet_bits = config.packet_bits;
+        options.include_capture_concurrency = true;
+        out.plain = core::evaluate_cross_link(rss, adapter, options).gain;
+        out.packing = core::cross_link_packing_gain(rss, adapter, options);
+        out.valid = true;
+        return out;
+      });
+
+  DownloadTraceGains out;
+  out.plain.reserve(scenarios.size());
+  out.packing.reserve(scenarios.size());
   std::uint64_t rejected = 0;
-  for (int i = 0; i < config.pair_samples; ++i) {
-    // Draw a scenario of two AP→client links with distinct APs and
-    // clients; reject scenarios whose serving links are below the
-    // measurement floor (no 90 %-delivery rate exists for them).
-    int ap1 = 0, ap2 = 0, loc1 = 0, loc2 = 0;
-    bool viable = false;
-    for (int attempt = 0; attempt < 256 && !viable; ++attempt) {
-      ap1 = rng.uniform_int(0, trace.n_aps() - 1);
-      ap2 = rng.uniform_int(0, trace.n_aps() - 2);
-      if (ap2 >= ap1) ++ap2;
-      loc1 = rng.uniform_int(0, trace.n_locations() - 1);
-      loc2 = rng.uniform_int(0, trace.n_locations() - 2);
-      if (loc2 >= loc1) ++loc2;
-      viable = trace.snr(ap1, loc1) >= floor && trace.snr(ap2, loc2) >= floor;
-    }
-    if (!viable) {
+  for (const auto& s : scenarios) {
+    if (!s.valid) {
       ++rejected;
-      continue;  // degenerate campaign
+      continue;
     }
-    const auto rss = trace.two_link_rss(ap1, loc1, ap2, loc2);
-    // The measured campaign counts any concurrency the SIC-capable MAC can
-    // schedule, including capture-mode concurrency in the Fig. 5a case.
-    core::CrossLinkOptions options;
-    options.packet_bits = config.packet_bits;
-    options.include_capture_concurrency = true;
-    out.plain.push_back(core::evaluate_cross_link(rss, adapter, options).gain);
-    out.packing.push_back(
-        core::cross_link_packing_gain(rss, adapter, options));
+    out.plain.push_back(s.plain);
+    out.packing.push_back(s.packing);
   }
   if (reg != nullptr) {
     reg->counter("analysis.trace_eval.download_pairs").inc(out.plain.size());

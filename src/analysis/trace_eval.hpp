@@ -37,6 +37,10 @@ struct UploadTraceEvalConfig {
   double noise_floor_dbm = -94.0;
   int min_clients = 2;
   int max_clients = 30;  ///< safety cap per cell (O(n²) pair costs)
+  /// Worker threads for the (snapshot, AP) cell cross product (0 = all
+  /// hardware threads). Results are bit-identical for any value — cells
+  /// are evaluated index-addressed on the parallel engine.
+  int threads = 1;
 };
 
 [[nodiscard]] UploadTraceGains evaluate_upload_trace(
@@ -62,6 +66,10 @@ struct DownloadTraceEvalConfig {
   /// floor (just above 802.11g's 6 Mbps threshold) encodes that.
   double min_link_snr_db = 6.5;
   std::uint64_t seed = 7;
+  /// Worker threads for the scenario sweep (0 = all hardware threads).
+  /// Each scenario draws from the counter-based substream
+  /// Rng::at(seed, scenario), so results are bit-identical for any value.
+  int threads = 1;
 };
 
 [[nodiscard]] DownloadTraceGains evaluate_download_trace(

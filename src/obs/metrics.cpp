@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -11,7 +12,7 @@ namespace sic::obs {
 
 namespace {
 
-MetricsRegistry* g_metrics = nullptr;
+thread_local MetricsRegistry* g_metrics = nullptr;
 
 /// Shortest round-trip double representation — deterministic for a given
 /// value, locale-independent (printf "C" numeric formatting of %.17g is
@@ -181,6 +182,45 @@ std::string MetricsRegistry::json_snapshot() const {
   }
   os << "}}";
   return os.str();
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  SIC_CHECK_MSG(min_value_ == other.min_value_ &&
+                    buckets_.size() == other.buckets_.size(),
+                "histogram merge requires identical bucket layouts");
+  if (other.count_ == 0) return;
+  for (std::size_t k = 0; k < buckets_.size(); ++k) {
+    buckets_[k] += other.buckets_[k];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.bucket_lower_bound(0), h.n_buckets()).merge_from(h);
+  }
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c.value());
+  return out;
 }
 
 MetricsRegistry* metrics() { return g_metrics; }

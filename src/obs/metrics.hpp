@@ -19,12 +19,18 @@
 ///    printed with fixed formats, so two identical runs emit byte-identical
 ///    JSON (tested in tests/obs_metrics_test.cpp).
 ///
-/// Single-threaded by design, like the rest of the simulator.
+/// Threading model: a registry itself is single-threaded, and the attach
+/// point below is *thread-local*, so a worker thread never observes (or
+/// races on) the registry a caller attached. The parallel sweep engine
+/// (analysis/parallel.hpp) gives each chunk its own scratch registry on the
+/// worker thread and folds them back with merge_from() — counter merges are
+/// additive and therefore deterministic regardless of chunk schedule.
 
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace sic::obs {
@@ -81,6 +87,12 @@ class Histogram {
   /// 2). Returns 0 when empty. Exact min/max are tracked separately.
   [[nodiscard]] double quantile(double q) const;
 
+  /// Folds \p other into this histogram (bucket-wise addition; min/max and
+  /// count merge exactly). Both histograms must share min_value and bucket
+  /// count. The floating-point `sum` is added in call order, so merge in a
+  /// fixed order when byte-identical snapshots matter.
+  void merge_from(const Histogram& other);
+
  private:
   double min_value_;
   std::vector<std::uint64_t> buckets_;
@@ -109,17 +121,32 @@ class MetricsRegistry {
   /// identical runs.
   [[nodiscard]] std::string json_snapshot() const;
 
+  /// Folds \p other into this registry: counters add, histograms merge
+  /// bucket-wise, gauges take the merged-in value (last write wins).
+  /// Counter results are schedule-independent; histogram sums and gauges
+  /// inherit whatever nondeterminism the observed values carry.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Name-sorted (name, value) view of every counter — the deterministic
+  /// slice of a snapshot, used by the thread-count-invariance tests.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_values() const;
+
  private:
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
 
-/// Process-wide attach point. Null (the default) means observability is
-/// off; instrumented code must treat null as "skip publishing".
+/// Thread-local attach point. Null (the default on every thread) means
+/// observability is off; instrumented code must treat null as "skip
+/// publishing". Being thread-local, a registry attached on the main thread
+/// is invisible to pool workers — they run fully detached unless the
+/// parallel sweep engine attaches a per-chunk scratch registry for them.
 [[nodiscard]] MetricsRegistry* metrics();
-/// Installs \p registry as the global target and returns the previous one
-/// (so scoped attachment can restore it). Pass nullptr to detach.
+/// Installs \p registry as the calling thread's target and returns the
+/// previous one (so scoped attachment can restore it). Pass nullptr to
+/// detach.
 MetricsRegistry* set_metrics(MetricsRegistry* registry);
 
 }  // namespace sic::obs

@@ -7,7 +7,7 @@ namespace sic::obs {
 
 namespace {
 
-TraceSink* g_trace = nullptr;
+thread_local TraceSink* g_trace = nullptr;
 
 void append_escaped(std::string& out, std::string_view text) {
   out += '"';

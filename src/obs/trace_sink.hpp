@@ -72,7 +72,10 @@ class TraceSink {
   std::uint64_t events_ = 0;
 };
 
-/// Process-wide attach point, same contract as obs::metrics().
+/// Thread-local attach point, same contract as obs::metrics(): a sink
+/// attached on one thread is invisible to others, so pool workers never
+/// race on it (their spans are simply dropped — see DESIGN.md "Parallel
+/// sweeps").
 [[nodiscard]] TraceSink* trace();
 TraceSink* set_trace(TraceSink* sink);
 

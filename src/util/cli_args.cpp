@@ -105,6 +105,14 @@ std::vector<double> ArgParser::get_double_list(const std::string& flag) const {
   return out;
 }
 
+int ArgParser::get_threads(int fallback) const {
+  const int threads = get_int("threads", fallback);
+  if (threads < 0) {
+    throw UsageError("flag --threads: must be >= 0 (0 = all hardware threads)");
+  }
+  return threads;
+}
+
 std::vector<std::string> ArgParser::unknown_flags() const {
   std::vector<std::string> out;
   for (const auto& e : entries_) {

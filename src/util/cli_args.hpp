@@ -44,6 +44,12 @@ class ArgParser {
   [[nodiscard]] std::vector<double> get_double_list(
       const std::string& flag) const;
 
+  /// The global `--threads` convention shared by the CLI and the bench
+  /// binaries: 0 means "all hardware threads", otherwise the total worker
+  /// count including the calling thread. Throws UsageError on negative
+  /// values. Parallel sweeps are bit-identical for any setting.
+  [[nodiscard]] int get_threads(int fallback = 1) const;
+
   /// Flags present on the command line but never queried — typo detection.
   [[nodiscard]] std::vector<std::string> unknown_flags() const;
 

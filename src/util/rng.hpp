@@ -63,7 +63,25 @@ class Rng {
 
   /// Derives an independent child generator; successive calls yield
   /// distinct streams.
+  ///
+  /// \warning The child seed is drawn from this engine, so which stream a
+  /// fork yields depends on how many draws preceded it. That is fine for
+  /// the sequential MAC simulator (a fixed fork order per run) but breaks
+  /// reproducibility once work is scheduled out of order — parallel sweeps
+  /// must use the counter-based at() instead.
   [[nodiscard]] Rng fork() { return Rng{engine_()}; }
+
+  /// Counter-based substream derivation: the generator for \p index under
+  /// \p seed, independent of any other stream and of evaluation order.
+  /// `at(seed, i)` always yields the same stream no matter how many draws
+  /// happened elsewhere or which thread asks — the foundation of the
+  /// deterministic parallel Monte Carlo engine (one substream per trial
+  /// index; see analysis/parallel.hpp). Derivation is SplitMix64 over
+  /// `seed ^ index`: for a fixed seed, distinct indices give distinct,
+  /// well-scattered engine seeds.
+  [[nodiscard]] static Rng at(std::uint64_t seed, std::uint64_t index) {
+    return Rng{SplitMix64{seed ^ index}.next()};
+  }
 
   /// Exposes the underlying engine for use with std:: algorithms
   /// (e.g. std::shuffle).

@@ -84,6 +84,53 @@ TEST(Rng, ForkProducesIndependentStream) {
   }
 }
 
+TEST(Rng, ForkDependsOnDrawOrder) {
+  // Documented hazard: fork() advances the parent engine, so the child
+  // stream depends on how many draws preceded it. This is why parallel
+  // sweeps must use Rng::at() instead.
+  Rng parent1{99};
+  Rng child1 = parent1.fork();
+  Rng parent2{99};
+  (void)parent2.uniform(0.0, 1.0);
+  Rng child2 = parent2.fork();
+  EXPECT_NE(child1.uniform(0.0, 1.0), child2.uniform(0.0, 1.0));
+}
+
+TEST(Rng, AtIsDeterministicPerIndex) {
+  for (const std::uint64_t index : {0ull, 1ull, 17ull, 1'000'000ull}) {
+    Rng a = Rng::at(42, index);
+    Rng b = Rng::at(42, index);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+  }
+}
+
+TEST(Rng, AtIsIndependentOfConstructionOrder) {
+  // Unlike fork(), at() is a pure function of (seed, index): deriving
+  // substreams in any order, from any thread, yields the same streams.
+  Rng forward_first = Rng::at(7, 3);
+  Rng backward_second = Rng::at(7, 9);
+  Rng backward_first = Rng::at(7, 9);
+  Rng forward_second = Rng::at(7, 3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(forward_first.uniform(0.0, 1.0),
+                     forward_second.uniform(0.0, 1.0));
+    EXPECT_DOUBLE_EQ(backward_first.uniform(0.0, 1.0),
+                     backward_second.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, AtDistinctIndicesDiffer) {
+  Rng a = Rng::at(5, 0);
+  Rng b = Rng::at(5, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
 TEST(SplitMix64, KnownSequenceIsStable) {
   SplitMix64 sm{0};
   const std::uint64_t a = sm.next();

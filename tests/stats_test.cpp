@@ -106,6 +106,51 @@ TEST(Bootstrap, DeterministicPerSeed) {
   EXPECT_DOUBLE_EQ(a.hi, b.hi);
 }
 
+TEST(QuantileSorted, KnownQuantilesInterpolate) {
+  // 1..5: rank p*(n-1) with linear interpolation (R-7). p=0.25 lands at
+  // rank 1.0 exactly; p=0.1 at rank 0.4 between the first two samples.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.1), 1.4);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.75), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.9), 4.6);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 5.0);
+}
+
+TEST(QuantileSorted, TwoPointInterpolation) {
+  const std::vector<double> xs{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.975), 19.75);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 20.0);
+}
+
+TEST(Bootstrap, CiBoundsUseInterpolatedQuantiles) {
+  // Regression for the truncation bug: the old percentile helper
+  // truncated p*(resamples-1) toward zero, so BOTH bounds were pulled
+  // toward lower order statistics — the upper bound in particular sat one
+  // order statistic low whenever the rank was fractional. With a
+  // half-above/half-below sample and a tiny resample count the CI must at
+  // least stay centred: lo and hi symmetric around the point estimate.
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(i < 500 ? 0.0 : 2.0);
+  const auto ci = bootstrap_fraction_above(xs, 1.0, 0.95, 2000, 3);
+  EXPECT_NEAR(ci.point, 0.5, 1e-12);
+  EXPECT_NEAR((ci.lo + ci.hi) / 2.0, 0.5, 0.005);
+  // ~95% CI for a fraction with n=1000 is roughly ±1.96*sqrt(.25/1000).
+  EXPECT_NEAR(ci.hi - ci.lo, 2 * 1.96 * std::sqrt(0.25 / 1000.0), 0.01);
+}
+
+TEST(Cdf, CurveDegenerateAllEqual) {
+  const EmpiricalCdf cdf{{2.5, 2.5, 2.5}};
+  const auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.front().x, 2.5);
+  EXPECT_DOUBLE_EQ(curve.front().f, 1.0);
+}
+
 TEST(Cdf, QuantileOutOfRangeRejected) {
   const EmpiricalCdf cdf{{1.0}};
   EXPECT_THROW((void)cdf.quantile(1.5), std::logic_error);

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sic {
+namespace {
+
+TEST(ThreadPool, ResolveMapsZeroToHardwareConcurrency) {
+  EXPECT_GE(ThreadPool::resolve(0), 1);
+  EXPECT_EQ(ThreadPool::resolve(1), 1);
+  EXPECT_EQ(ThreadPool::resolve(4), 4);
+  EXPECT_EQ(ThreadPool::resolve(-3), 1);  // clamped
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, 7, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      ++hits[static_cast<std::size_t>(i)];
+    }
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EveryIndexProcessedExactlyOnce) {
+  for (const int threads : {2, 4, 7}) {
+    ThreadPool pool{threads};
+    EXPECT_EQ(pool.threads(), threads);
+    constexpr std::int64_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallel_for(kN, 13, [&](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+      }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsNoOp) {
+  ThreadPool pool{3};
+  int calls = 0;
+  pool.parallel_for(0, 8, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool{3};
+  for (int job = 0; job < 20; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(100, 9, [&](std::int64_t begin, std::int64_t end) {
+      std::int64_t local = 0;
+      for (std::int64_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 100 * 99 / 2);
+  }
+}
+
+TEST(ThreadPool, FirstChunkExceptionPropagates) {
+  ThreadPool pool{4};
+  EXPECT_THROW(
+      pool.parallel_for(1000, 5,
+                        [&](std::int64_t begin, std::int64_t) {
+                          if (begin >= 500) {
+                            throw std::runtime_error{"chunk failed"};
+                          }
+                        }),
+      std::runtime_error);
+  // The pool survives a failed job and accepts the next one.
+  std::atomic<int> ran{0};
+  pool.parallel_for(10, 1, [&](std::int64_t, std::int64_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, OversizedChunkCoversRangeInOneClaim) {
+  ThreadPool pool{2};
+  std::atomic<int> chunks{0};
+  std::atomic<std::int64_t> covered{0};
+  pool.parallel_for(37, 1000, [&](std::int64_t begin, std::int64_t end) {
+    chunks.fetch_add(1, std::memory_order_relaxed);
+    covered.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), 37);
+}
+
+}  // namespace
+}  // namespace sic

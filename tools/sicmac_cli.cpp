@@ -5,7 +5,7 @@
 ///   sicmac crosslink --s11 30 --s12 10 --s21 45 --s22 25
 ///   sicmac schedule --clients 24,18,12,9 [--power-control] [--multirate]
 ///   sicmac backlog --clients 24,18,12 --queues 4,2,8 [--no-packing]
-///   sicmac montecarlo --scenario upload|crosslink [--trials N] [--seed S]
+///   sicmac montecarlo --scenario upload|crosslink|deployment [--trials N]
 ///   sicmac trace-gen --out trace.csv [--days 14] [--seed S]
 ///   sicmac trace-eval --in trace.csv
 ///   sicmac mesh --long 40 --short 10 [--exponent 4]
@@ -19,6 +19,11 @@
 ///   --metrics-out <file>   JSON metrics snapshot of the run
 ///   --trace-out <file>     Chrome-trace JSONL (open in ui.perfetto.dev)
 ///   --log-level <level>    off|error|warn|info|debug (default off)
+///
+/// Global performance flag (montecarlo, trace-eval, report):
+///   --threads <n>          sweep worker threads; 0 = all hardware threads
+///                          (default 1). Results are bit-identical for any
+///                          value — see DESIGN.md "Parallel sweeps".
 ///
 /// Exit codes: 0 success; 1 internal error; 2 usage error; 3 file I/O
 /// error; 4 trace format error.
@@ -206,6 +211,7 @@ int cmd_montecarlo(const ArgParser& args) {
   const std::string scenario = args.get_string("scenario", "upload");
   const int trials = args.get_int("trials", 10000);
   const std::uint64_t seed = args.get_u64("seed", 42);
+  const int threads = args.get_threads();
   topology::SamplerConfig config;
   config.range_m = args.get_double("range", config.range_m);
   const auto report = [](const char* name, const std::vector<double>& xs) {
@@ -216,7 +222,8 @@ int cmd_montecarlo(const ArgParser& args) {
   };
   if (scenario == "upload") {
     const auto s = analysis::run_two_to_one_techniques(config, *adapter,
-                                                       trials, seed);
+                                                       trials, seed, kBits,
+                                                       threads);
     std::printf("upload (two clients -> one AP), %d trials, seed %llu:\n",
                 trials, static_cast<unsigned long long>(seed));
     report("SIC", s.sic);
@@ -224,15 +231,25 @@ int cmd_montecarlo(const ArgParser& args) {
     report("+multirate", s.multirate);
     report("+packing", s.packing);
   } else if (scenario == "crosslink") {
-    const auto s =
-        analysis::run_two_link_techniques(config, *adapter, trials, seed);
+    const auto s = analysis::run_two_link_techniques(config, *adapter, trials,
+                                                     seed, kBits, threads);
     std::printf("cross-link (two tx -> two rx), %d trials, seed %llu:\n",
                 trials, static_cast<unsigned long long>(seed));
     report("SIC", s.sic);
     report("+power control", s.power_control);
     report("+packing", s.packing);
+  } else if (scenario == "deployment") {
+    const int clients = args.get_int("clients-per-cell", 8);
+    const auto gains = analysis::run_upload_deployment_gains(
+        config, *adapter, trials, clients, seed, kBits, threads);
+    std::printf(
+        "deployment (%d clients -> one AP, blossom schedule), %d trials, "
+        "seed %llu:\n",
+        clients, trials, static_cast<unsigned long long>(seed));
+    report("SIC schedule", gains);
   } else {
-    throw UsageError("unknown --scenario (upload|crosslink): " + scenario);
+    throw UsageError("unknown --scenario (upload|crosslink|deployment): " +
+                     scenario);
   }
   return 0;
 }
@@ -261,7 +278,9 @@ int cmd_trace_eval(const ArgParser& args) {
   if (in.empty()) throw UsageError("trace-eval needs --in <file>");
   const auto adapter = make_adapter(args.get_string("table", "shannon"));
   const auto trace = trace::read_csv_file(in);
-  const auto gains = analysis::evaluate_upload_trace(trace, *adapter);
+  analysis::UploadTraceEvalConfig eval;
+  eval.threads = args.get_threads();
+  const auto gains = analysis::evaluate_upload_trace(trace, *adapter, eval);
   std::printf("%s: %zu snapshots, %d cells with >= 2 clients\n", in.c_str(),
               trace.snapshots.size(), gains.cells_evaluated);
   const auto report = [](const char* name, const std::vector<double>& xs) {
@@ -373,6 +392,7 @@ int cmd_report(const ArgParser& args) {
   // on every headline fraction — the quick-look version of EXPERIMENTS.md.
   const int trials = args.get_int("trials", 4000);
   const std::uint64_t seed = args.get_u64("seed", 42);
+  const int threads = args.get_threads();
   const phy::ShannonRateAdapter shannon{megahertz(20.0)};
   topology::SamplerConfig config;
 
@@ -394,8 +414,8 @@ int cmd_report(const ArgParser& args) {
 
   std::printf("## Fig. 11a — upload pair techniques\n\n");
   table_header();
-  const auto up =
-      analysis::run_two_to_one_techniques(config, shannon, trials, seed);
+  const auto up = analysis::run_two_to_one_techniques(config, shannon, trials,
+                                                      seed, kBits, threads);
   row("SIC alone", up.sic, "~20%");
   row("SIC + power control", up.power_control, "~40%");
   row("SIC + multirate", up.multirate, "~40%");
@@ -403,14 +423,14 @@ int cmd_report(const ArgParser& args) {
 
   std::printf("\n## Fig. 6 / 11b — two receivers\n\n");
   table_header();
-  const auto cross =
-      analysis::run_two_link_techniques(config, shannon, trials, seed);
+  const auto cross = analysis::run_two_link_techniques(config, shannon, trials,
+                                                       seed, kBits, threads);
   row("SIC alone", cross.sic, "~0 (90% no gain)");
   row("SIC + power control", cross.power_control, "very little");
   row("SIC + packing", cross.packing, "very little");
   {
-    const auto gains =
-        analysis::run_two_link_gains(config, shannon, trials, seed);
+    const auto gains = analysis::run_two_link_gains(config, shannon, trials,
+                                                    seed, kBits, threads);
     const analysis::EmpiricalCdf cdf{gains};
     std::printf("\nno-gain fraction (Fig. 6): %.1f%%  (paper: ~90%%)\n",
                 100.0 * cdf.at(1.0 + 1e-9));
@@ -420,7 +440,10 @@ int cmd_report(const ArgParser& args) {
   trace::BuildingConfig building;
   building.duration_s = 24 * 3600;
   const auto building_trace = trace::generate_building_trace(building, seed);
-  const auto tgains = analysis::evaluate_upload_trace(building_trace, shannon);
+  analysis::UploadTraceEvalConfig upload_eval;
+  upload_eval.threads = threads;
+  const auto tgains =
+      analysis::evaluate_upload_trace(building_trace, shannon, upload_eval);
   table_header();
   row("pairing (blossom)", tgains.pairing, "prospective");
   row("pairing + power ctl", tgains.power_control, "enhanced");
@@ -432,6 +455,7 @@ int cmd_report(const ArgParser& args) {
   const auto link_trace = trace::generate_link_trace(campaign, seed);
   analysis::DownloadTraceEvalConfig eval;
   eval.pair_samples = trials;
+  eval.threads = threads;
   const phy::DiscreteRateAdapter g11{phy::RateTable::dot11g()};
   const auto arb = analysis::evaluate_download_trace(link_trace, shannon, eval);
   const auto disc = analysis::evaluate_download_trace(link_trace, g11, eval);
@@ -448,13 +472,16 @@ int usage() {
       "sicmac — SIC MAC-layer analysis toolkit\n"
       "global flags: [--metrics-out m.json] [--trace-out t.jsonl]\n"
       "              [--log-level off|error|warn|info|debug]\n"
+      "              [--threads N]  (sweeps; 0 = all cores, results\n"
+      "                              identical for any thread count)\n"
       "commands:\n"
       "  pair        --s1 dB --s2 dB [--table shannon|11b|11g|11n]\n"
       "  capacity    --s1 dB --s2 dB\n"
       "  crosslink   --s11 dB --s12 dB --s21 dB --s22 dB [--table ...]\n"
       "  schedule    --clients dB,dB,... [--power-control] [--multirate]\n"
       "  backlog     --clients dB,... --queues n,... [--no-packing]\n"
-      "  montecarlo  --scenario upload|crosslink [--trials N] [--seed S]\n"
+      "  montecarlo  --scenario upload|crosslink|deployment [--trials N]\n"
+      "              [--seed S] [--clients-per-cell K]\n"
       "  trace-gen   --out file.csv [--days D] [--seed S]\n"
       "  trace-eval  --in file.csv [--table ...]\n"
       "  mesh        --long m --short m [--exponent a]\n"
