@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "core/pair_cost_engine.hpp"
 #include "core/scheduler.hpp"
 #include "topology/samplers.hpp"
 #include "util/rng.hpp"
@@ -70,6 +71,88 @@ void BM_ScheduleUploadWithTechniques(benchmark::State& state) {
   state.counters["gain_vs_serial"] = gain;
 }
 BENCHMARK(BM_ScheduleUploadWithTechniques)->RangeMultiplier(2)->Range(4, 64);
+
+// The discrete-rate scheduler with both techniques on — the configuration
+// whose pair kernel is dominated by the power-control grid search.
+void BM_ScheduleUploadDiscretePc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto clients = random_clients(n, 7);
+  const phy::DiscreteRateAdapter adapter{phy::RateTable::dot11g()};
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  double gain = 0.0;
+  for (auto _ : state) {
+    const auto schedule = core::schedule_upload(clients, adapter, options);
+    gain = core::serial_upload_airtime(clients, adapter,
+                                       options.packet_bits) /
+           schedule.total_airtime;
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+  state.counters["gain_vs_serial"] = gain;
+}
+BENCHMARK(BM_ScheduleUploadDiscretePc)->RangeMultiplier(2)->Range(16, 64);
+
+// Cold build: every pair dirty, the historical from-scratch cost.
+void BM_EngineColdBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto clients = random_clients(n, 7);
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  std::uint64_t evals = 0;
+  for (auto _ : state) {
+    core::PairCostEngine engine{kShannon, options};
+    engine.set_clients(clients);
+    const auto schedule = engine.schedule();
+    evals = engine.stats().pair_evals;
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+  state.counters["pair_evals_cold"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_EngineColdBuild)->RangeMultiplier(4)->Range(16, 256);
+
+// Warm rebuild after `drift` clients move: the round-boundary re-matching
+// cost the closed-loop executor pays. drift = 1 models a single stale
+// estimate; drift = n/4 a windy round.
+void BM_EngineWarmRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int drift = static_cast<int>(state.range(1));
+  const auto clients = random_clients(n, 7);
+  core::SchedulerOptions options;
+  options.enable_power_control = true;
+  options.enable_multirate = true;
+  core::PairCostEngine engine{kShannon, options};
+  engine.set_clients(clients);
+  benchmark::DoNotOptimize(engine.schedule().total_airtime);
+  Rng rng{23};
+  std::uint64_t warm_evals = 0;
+  std::uint64_t builds = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = engine.stats().pair_evals;
+    for (int d = 0; d < drift; ++d) {
+      const int c = rng.uniform_int(0, n - 1);
+      const double jitter = rng.uniform(0.9, 1.1);
+      engine.update_client(
+          c, clients[static_cast<std::size_t>(c)].rss * jitter);
+    }
+    const auto schedule = engine.schedule();
+    warm_evals += engine.stats().pair_evals - before;
+    ++builds;
+    benchmark::DoNotOptimize(schedule.total_airtime);
+  }
+  state.counters["pair_evals_warm"] =
+      builds > 0 ? static_cast<double>(warm_evals) /
+                       static_cast<double>(builds)
+                 : 0.0;
+  state.counters["pair_evals_cold"] =
+      static_cast<double>(n) * (n - 1) / 2.0;
+}
+BENCHMARK(BM_EngineWarmRebuild)
+    ->ArgsProduct({{16, 64, 256}, {1}})
+    ->Args({16, 4})
+    ->Args({64, 16})
+    ->Args({256, 64});
 
 void BM_PairPlan(benchmark::State& state) {
   const auto clients = random_clients(2, 11);

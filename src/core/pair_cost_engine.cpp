@@ -1,0 +1,209 @@
+#include "core/pair_cost_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "util/check.hpp"
+
+namespace sic::core {
+
+PairCostEngine::PairCostEngine(const phy::RateAdapter& adapter,
+                               SchedulerOptions options,
+                               Decibels invalidation_epsilon)
+    : adapter_(&adapter),
+      options_(options),
+      derate_(Decibels{-options.admission_margin_db.value()}.linear()),
+      epsilon_db_(invalidation_epsilon.value()) {
+  SIC_CHECK_MSG(epsilon_db_ >= 0.0, "invalidation epsilon must be >= 0 dB");
+}
+
+void PairCostEngine::refresh_derived(int client) {
+  const std::size_t c = static_cast<std::size_t>(client);
+  derated_rss_[c] = rss_[c] * derate_;
+  solo_airtime_[c] = solo_airtime(channel::LinkBudget{rss_[c], noise_},
+                                  *adapter_, options_.packet_bits);
+}
+
+void PairCostEngine::set_clients(
+    std::span<const channel::LinkBudget> clients) {
+  n_ = static_cast<int>(clients.size());
+  const std::size_t n = clients.size();
+  noise_ = clients.empty() ? Milliwatts{0.0} : clients.front().noise;
+  if (n_ >= 2) {
+    SIC_CHECK_MSG(options_.admission_margin_db.value() >= 0.0,
+                  "admission margin must be >= 0 dB");
+    for (const auto& c : clients) {
+      SIC_CHECK_MSG(c.noise == noise_,
+                    "pair plan assumes a common receiver noise floor");
+    }
+  }
+  rss_.resize(n);
+  derated_rss_.resize(n);
+  solo_airtime_.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    rss_[c] = clients[c].rss;
+    refresh_derived(static_cast<int>(c));
+  }
+  plans_.assign(n * n, PairPlan{});
+  valid_.assign(n * n, 0);
+  all_indices_.resize(n);
+  std::iota(all_indices_.begin(), all_indices_.end(), 0);
+}
+
+void PairCostEngine::update_client(int client, Milliwatts rss) {
+  SIC_CHECK(client >= 0 && client < n_);
+  const std::size_t c = static_cast<std::size_t>(client);
+  const double old_mw = rss_[c].value();
+  const double new_mw = rss.value();
+  if (new_mw == old_mw) return;
+  if (epsilon_db_ > 0.0 && old_mw > 0.0 && new_mw > 0.0) {
+    const double drift_db = std::abs(10.0 * std::log10(new_mw / old_mw));
+    // Within tolerance: the row keeps serving plans of the fingerprinted
+    // estimate, so the fingerprint itself must not move either.
+    if (drift_db <= epsilon_db_) return;
+  }
+  rss_[c] = rss;
+  refresh_derived(client);
+  invalidate_row(client);
+  ++stats_.row_invalidations;
+}
+
+void PairCostEngine::invalidate_row(int client) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t c = static_cast<std::size_t>(client);
+  for (std::size_t j = 0; j < n; ++j) {
+    valid_[c * n + j] = 0;
+    valid_[j * n + c] = 0;
+  }
+}
+
+PairPlan PairCostEngine::compute_pair(int i, int j) const {
+  const std::size_t a = static_cast<std::size_t>(i);
+  const std::size_t b = static_cast<std::size_t>(j);
+  const auto ctx =
+      UploadPairContext::make(derated_rss_[a], derated_rss_[b], noise_,
+                              *adapter_, options_.packet_bits);
+  return best_pair_plan_from_context(
+      ctx, solo_airtime_[a] + solo_airtime_[b], options_);
+}
+
+const PairPlan& PairCostEngine::pair_plan(int i, int j) {
+  const std::size_t n = static_cast<std::size_t>(n_);
+  const std::size_t a = static_cast<std::size_t>(std::min(i, j));
+  const std::size_t b = static_cast<std::size_t>(std::max(i, j));
+  const std::size_t at = a * n + b;
+  if (valid_[at] != 0) {
+    ++stats_.pair_cache_hits;
+    return plans_[at];
+  }
+  const PairPlan plan = compute_pair(static_cast<int>(a), static_cast<int>(b));
+  plans_[at] = plan;
+  plans_[b * n + a] = plan;
+  valid_[at] = 1;
+  valid_[b * n + a] = 1;
+  ++stats_.pair_evals;
+  return plans_[at];
+}
+
+Schedule PairCostEngine::schedule() { return schedule_indices(all_indices_); }
+
+Schedule PairCostEngine::schedule_subset(std::span<const int> clients) {
+  for (const int c : clients) SIC_CHECK(c >= 0 && c < n_);
+  return schedule_indices(clients);
+}
+
+Schedule PairCostEngine::schedule_indices(std::span<const int> idx) {
+  Schedule schedule;
+  schedule.admission_margin_db = options_.admission_margin_db;
+  const int k = static_cast<int>(idx.size());
+  if (k == 0) return schedule;
+  ++stats_.builds;
+  if (k == 1) {
+    const double t = solo_airtime_[static_cast<std::size_t>(idx[0])];
+    schedule.slots.push_back(
+        ScheduledSlot{0, -1, PairPlan{PairMode::kSolo, t, 1.0}});
+    schedule.total_airtime = t;
+    publish_stats();
+    return schedule;
+  }
+
+  // Fig. 12 reduction: complete graph over the (sub)set, dummy vertex for
+  // odd counts. Only dirty pairs reach the kernel; everything else is a
+  // cache read.
+  const bool odd = (k % 2) != 0;
+  const int m = odd ? k + 1 : k;
+  const int dummy = odd ? k : -1;
+  obs::MetricsRegistry* reg = obs::metrics();
+  costs_.reset(m);
+  {
+    obs::ScopedTimer kernel_timer{
+        reg != nullptr
+            ? &reg->histogram("scheduler.pair_engine.kernel_wall_s")
+            : nullptr};
+    for (int u = 0; u < k; ++u) {
+      const int gi = idx[static_cast<std::size_t>(u)];
+      for (int v = u + 1; v < k; ++v) {
+        costs_.set(u, v, pair_plan(gi, idx[static_cast<std::size_t>(v)]).airtime);
+      }
+      if (odd) {
+        costs_.set(u, dummy, solo_airtime_[static_cast<std::size_t>(gi)]);
+      }
+    }
+  }
+
+  const matching::Matching matching =
+      options_.pairing == SchedulerOptions::Pairing::kBlossom
+          ? matching::min_weight_perfect_matching(costs_)
+          : matching::greedy_min_weight_perfect_matching(costs_);
+
+  const std::size_t n = static_cast<std::size_t>(n_);
+  for (const auto& [a, b] : matching.pairs) {
+    const int u = std::min(a, b);
+    const int v = std::max(a, b);
+    ScheduledSlot slot;
+    slot.first = u;
+    slot.second = (v == dummy) ? -1 : v;
+    if (v == dummy) {
+      const std::size_t gu = static_cast<std::size_t>(idx[static_cast<std::size_t>(u)]);
+      slot.plan = PairPlan{PairMode::kSolo, solo_airtime_[gu], 1.0};
+    } else {
+      const std::size_t gu = static_cast<std::size_t>(idx[static_cast<std::size_t>(u)]);
+      const std::size_t gv = static_cast<std::size_t>(idx[static_cast<std::size_t>(v)]);
+      slot.plan = plans_[gu * n + gv];
+    }
+    schedule.slots.push_back(slot);
+    schedule.total_airtime += slot.plan.airtime;
+  }
+  // Deterministic presentation: longest slot first (the AP may use any
+  // order; tests rely on a stable one).
+  std::sort(schedule.slots.begin(), schedule.slots.end(),
+            [](const ScheduledSlot& a, const ScheduledSlot& b) {
+              if (a.plan.airtime != b.plan.airtime) {
+                return a.plan.airtime > b.plan.airtime;
+              }
+              return a.first < b.first;
+            });
+  publish_stats();
+  return schedule;
+}
+
+void PairCostEngine::publish_stats() {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg == nullptr) return;
+  reg->counter("scheduler.pair_engine.builds")
+      .inc(stats_.builds - published_.builds);
+  reg->counter("scheduler.pair_engine.row_invalidations")
+      .inc(stats_.row_invalidations - published_.row_invalidations);
+  reg->counter("scheduler.pair_engine.pair_evals")
+      .inc(stats_.pair_evals - published_.pair_evals);
+  reg->counter("scheduler.pair_engine.cache_hits")
+      .inc(stats_.pair_cache_hits - published_.pair_cache_hits);
+  published_ = stats_;
+}
+
+}  // namespace sic::core

@@ -17,7 +17,11 @@
 /// For non-Shannon (discrete) policies, the same objective is minimized by
 /// a dB-domain grid search with local refinement — the objective is the max
 /// of a non-increasing and a non-decreasing step function of β, so a fine
-/// grid finds the optimum basin exactly.
+/// grid finds the optimum basin exactly. The implementation walks the grid
+/// by rate plateaus (bisecting for the indices where either SIC rate steps,
+/// i.e. the rate table's SINR thresholds) over scales precomputed once per
+/// process, which returns bit-identical results to the exhaustive scan at a
+/// fraction of its cost — the scan paid 282 std::pow calls per pair.
 
 #include "core/upload_pair.hpp"
 

@@ -5,9 +5,8 @@
 #include <limits>
 
 #include "core/multirate.hpp"
+#include "core/pair_cost_engine.hpp"
 #include "core/power_control.hpp"
-#include "matching/blossom.hpp"
-#include "matching/greedy.hpp"
 #include "util/check.hpp"
 
 namespace sic::core {
@@ -17,27 +16,12 @@ double solo_airtime(const channel::LinkBudget& client,
   return airtime_seconds(packet_bits, adapter.rate(client.snr()));
 }
 
-PairPlan best_pair_plan(const channel::LinkBudget& a,
-                        const channel::LinkBudget& b,
-                        const phy::RateAdapter& adapter,
-                        const SchedulerOptions& options) {
-  SIC_CHECK_MSG(a.noise == b.noise,
-                "pair plan assumes a common receiver noise floor");
-  SIC_CHECK_MSG(options.admission_margin_db.value() >= 0.0,
-                "admission margin must be >= 0 dB");
-  // Concurrent candidates are evaluated on a derated view of the channel
-  // (both RSS backed off by the admission margin); the serial baseline
-  // keeps the clean rates. A margined pair is therefore only admitted when
-  // it beats serial *with headroom to spare*, and its recorded airtime is
-  // the conservative one the executor realizes.
-  const double derate = Decibels{-options.admission_margin_db.value()}.linear();
-  const auto ctx = UploadPairContext::make(a.rss * derate, b.rss * derate,
-                                           a.noise, adapter,
-                                           options.packet_bits);
+PairPlan best_pair_plan_from_context(const UploadPairContext& ctx,
+                                     double serial_airtime,
+                                     const SchedulerOptions& options) {
   PairPlan best;
   best.mode = PairMode::kSerial;
-  best.airtime = solo_airtime(a, adapter, options.packet_bits) +
-                 solo_airtime(b, adapter, options.packet_bits);
+  best.airtime = serial_airtime;
 
   const double t_sic = sic_airtime(ctx);
   if (t_sic < best.airtime) {
@@ -58,6 +42,30 @@ PairPlan best_pair_plan(const channel::LinkBudget& a,
   return best;
 }
 
+PairPlan best_pair_plan(const channel::LinkBudget& a,
+                        const channel::LinkBudget& b,
+                        const phy::RateAdapter& adapter,
+                        const SchedulerOptions& options) {
+  SIC_CHECK_MSG(a.noise == b.noise,
+                "pair plan assumes a common receiver noise floor");
+  SIC_CHECK_MSG(options.admission_margin_db.value() >= 0.0,
+                "admission margin must be >= 0 dB");
+  // Concurrent candidates are evaluated on a derated view of the channel
+  // (both RSS backed off by the admission margin); the serial baseline
+  // keeps the clean rates. A margined pair is therefore only admitted when
+  // it beats serial *with headroom to spare*, and its recorded airtime is
+  // the conservative one the executor realizes.
+  const double derate = Decibels{-options.admission_margin_db.value()}.linear();
+  const auto ctx = UploadPairContext::make(a.rss * derate, b.rss * derate,
+                                           a.noise, adapter,
+                                           options.packet_bits);
+  return best_pair_plan_from_context(
+      ctx,
+      solo_airtime(a, adapter, options.packet_bits) +
+          solo_airtime(b, adapter, options.packet_bits),
+      options);
+}
+
 double serial_upload_airtime(std::span<const channel::LinkBudget> clients,
                              const phy::RateAdapter& adapter,
                              double packet_bits) {
@@ -69,65 +77,12 @@ double serial_upload_airtime(std::span<const channel::LinkBudget> clients,
 Schedule schedule_upload(std::span<const channel::LinkBudget> clients,
                          const phy::RateAdapter& adapter,
                          const SchedulerOptions& options) {
-  Schedule schedule;
-  schedule.admission_margin_db = options.admission_margin_db;
-  const int n = static_cast<int>(clients.size());
-  if (n == 0) return schedule;
-  if (n == 1) {
-    const double t = solo_airtime(clients[0], adapter, options.packet_bits);
-    schedule.slots.push_back(
-        ScheduledSlot{0, -1, PairPlan{PairMode::kSolo, t, 1.0}});
-    schedule.total_airtime = t;
-    return schedule;
-  }
-
-  // Fig. 12 reduction: complete graph over clients, dummy vertex for odd n.
-  const bool odd = (n % 2) != 0;
-  const int m = odd ? n + 1 : n;
-  const int dummy = odd ? n : -1;
-  // Cache plans so slot reconstruction matches the matrix exactly.
-  std::vector<PairPlan> plans(static_cast<std::size_t>(m) * m);
-  matching::CostMatrix costs{m};
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      const PairPlan plan = best_pair_plan(clients[i], clients[j], adapter, options);
-      costs.set(i, j, plan.airtime);
-      plans[static_cast<std::size_t>(i) * m + j] = plan;
-    }
-    if (odd) {
-      const double t = solo_airtime(clients[i], adapter, options.packet_bits);
-      costs.set(i, dummy, t);
-      plans[static_cast<std::size_t>(i) * m + dummy] =
-          PairPlan{PairMode::kSolo, t, 1.0};
-    }
-  }
-
-  const matching::Matching matching =
-      options.pairing == SchedulerOptions::Pairing::kBlossom
-          ? matching::min_weight_perfect_matching(costs)
-          : matching::greedy_min_weight_perfect_matching(costs);
-
-  for (const auto& [u, v] : matching.pairs) {
-    const int i = std::min(u, v);
-    const int j = std::max(u, v);
-    const PairPlan& plan = plans[static_cast<std::size_t>(i) * m + j];
-    ScheduledSlot slot;
-    slot.first = i;
-    slot.second = (j == dummy) ? -1 : j;
-    slot.plan = plan;
-    schedule.slots.push_back(slot);
-    schedule.total_airtime += plan.airtime;
-  }
-  // Deterministic presentation: longest slot first (the AP may use any
-  // order; tests rely on a stable one).
-  std::sort(schedule.slots.begin(), schedule.slots.end(),
-            [](const ScheduledSlot& a, const ScheduledSlot& b) {
-              if (a.plan.airtime != b.plan.airtime) {
-                return a.plan.airtime > b.plan.airtime;
-              }
-              return a.first < b.first;
-            });
-  return schedule;
+  // One-shot use of the incremental engine: a full build with every row
+  // dirty reproduces the historical from-scratch construction exactly (the
+  // engine's cache only ever short-circuits identical recomputations).
+  PairCostEngine engine{adapter, options};
+  engine.set_clients(clients);
+  return engine.schedule();
 }
 
 }  // namespace sic::core

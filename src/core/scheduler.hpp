@@ -85,6 +85,14 @@ struct PairPlan {
                                       const phy::RateAdapter& adapter,
                                       const SchedulerOptions& options);
 
+/// The mode-selection core of best_pair_plan, split out so callers holding
+/// precomputed per-client state (the PairCostEngine) share one kernel with
+/// the from-scratch path: \p ctx is the pair's margin-derated context and
+/// \p serial_airtime the unmargined solo-airtime sum of the two clients.
+[[nodiscard]] PairPlan best_pair_plan_from_context(
+    const UploadPairContext& ctx, double serial_airtime,
+    const SchedulerOptions& options);
+
 /// One slot of the final schedule. Client indices refer to the input span;
 /// second == -1 marks the odd client transmitting alone.
 struct ScheduledSlot {

@@ -33,6 +33,16 @@ class CostMatrix {
 
   [[nodiscard]] int size() const { return n_; }
 
+  /// Re-dimensions the matrix in place, reusing the existing allocation
+  /// when it is large enough. Lets callers that rebuild cost matrices every
+  /// round (the pair-cost engine's re-matching path) avoid a fresh
+  /// allocation per rebuild.
+  void reset(int n, double fill = 0.0) {
+    SIC_CHECK(n >= 0);
+    n_ = n;
+    data_.assign(static_cast<std::size_t>(n) * n, fill);
+  }
+
   [[nodiscard]] double at(int i, int j) const {
     SIC_DCHECK(in_range(i) && in_range(j));
     return data_[static_cast<std::size_t>(i) * n_ + j];

@@ -17,19 +17,37 @@ Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
       reg != nullptr ? &reg->histogram("matching.greedy.wall_s") : nullptr,
       reg != nullptr ? &reg->counter("matching.greedy.calls") : nullptr};
   auto edges = costs.edges();
-  std::sort(edges.begin(), edges.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) {
-              return a.weight < b.weight;
-            });
+  // Heap selection instead of a full sort: the greedy scan stops once every
+  // vertex is matched, which on a complete graph happens long before the
+  // expensive tail of the edge list would ever be looked at — so most of an
+  // O(E log E) sort is wasted. Heapify is O(E) and each accepted or skipped
+  // edge costs one O(log E) pop. Ties (exactly equal weights) break in
+  // (u, v) row-major order, the order edges() generates them in.
+  const auto later = [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.u != b.u) return a.u > b.u;
+    return a.v > b.v;
+  };
+  std::make_heap(edges.begin(), edges.end(), later);
+  auto heap_end = edges.end();
   std::vector<bool> used(static_cast<std::size_t>(n), false);
   Matching out;
+  out.pairs.reserve(static_cast<std::size_t>(n) / 2);
   std::uint64_t edge_visits = 0;
-  for (const auto& e : edges) {
+  int matched = 0;
+  while (matched < n && heap_end != edges.begin()) {
+    std::pop_heap(edges.begin(), heap_end, later);
+    const WeightedEdge& e = *--heap_end;
     ++edge_visits;
-    if (used[e.u] || used[e.v]) continue;
-    used[e.u] = used[e.v] = true;
+    if (used[static_cast<std::size_t>(e.u)] ||
+        used[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    used[static_cast<std::size_t>(e.u)] = true;
+    used[static_cast<std::size_t>(e.v)] = true;
     out.pairs.emplace_back(e.u, e.v);
     out.total_cost += e.weight;
+    matched += 2;
   }
   SIC_CHECK(static_cast<int>(out.pairs.size()) * 2 == n);
   if (reg != nullptr) {

@@ -113,11 +113,17 @@ TEST(ParallelSweep, UploadDeploymentGainsThreadCountInvariant) {
   });
   ASSERT_EQ(base.size(), 60u);
   bool saw_matching_counter = false;
+  bool saw_engine_counter = false;
   for (const auto& [name, value] : base_counters) {
     if (name.find("matching.") == 0 && value > 0) saw_matching_counter = true;
+    if (name.find("scheduler.pair_engine.") == 0 && value > 0) {
+      saw_engine_counter = true;
+    }
   }
   EXPECT_TRUE(saw_matching_counter)
       << "expected worker-side matching counters to reach the caller";
+  EXPECT_TRUE(saw_engine_counter)
+      << "expected pair-cost engine counters to reach the caller";
   for (const int threads : kThreadCounts) {
     const auto [gains, counters] = with_counters([&] {
       return run_upload_deployment_gains(config, kShannon, 60, 8, 17, 12000.0,

@@ -102,6 +102,72 @@ TEST(PowerControl, DiscreteAdapterFindsStepImprovement) {
   EXPECT_TRUE(result.applied);
 }
 
+/// The historical exhaustive grid search: every coarse point evaluated,
+/// then every fine point around the best coarse hit, strict `<` keeping the
+/// first minimum. The production plateau-skipping search must reproduce its
+/// result bit for bit.
+PowerControlResult exhaustive_grid_reference(const UploadPairContext& ctx) {
+  auto evaluate_at_scale = [&](double scale) {
+    UploadPairContext scaled = ctx;
+    scaled.arrival.weaker = ctx.arrival.weaker * scale;
+    PowerControlResult out;
+    out.scale = scale;
+    out.rates = sic_rates(scaled);
+    out.airtime = sic_airtime(scaled);
+    out.applied = scale < 1.0;
+    return out;
+  };
+  PowerControlResult best = evaluate_at_scale(1.0);
+  best.applied = false;
+  if (ctx.arrival.weaker.value() <= 0.0) return best;
+  constexpr double kMinDb = -40.0;
+  constexpr int kCoarse = 201;
+  double best_db = 0.0;
+  for (int i = 0; i < kCoarse; ++i) {
+    const double db = kMinDb + (0.0 - kMinDb) * i / (kCoarse - 1);
+    const PowerControlResult cand =
+        evaluate_at_scale(std::pow(10.0, db / 10.0));
+    if (cand.airtime < best.airtime) {
+      best = cand;
+      best_db = db;
+    }
+  }
+  constexpr int kFine = 81;
+  for (int i = 0; i < kFine; ++i) {
+    const double db = std::min(0.0, best_db - 0.2 + 0.4 * i / (kFine - 1));
+    const PowerControlResult cand =
+        evaluate_at_scale(std::pow(10.0, db / 10.0));
+    if (cand.airtime < best.airtime) best = cand;
+  }
+  return best;
+}
+
+TEST(PowerControl, PlateauSearchBitIdenticalToExhaustiveGrid) {
+  const phy::DiscreteRateAdapter g{phy::RateTable::dot11g()};
+  const phy::DiscreteRateAdapter b{phy::RateTable::dot11b()};
+  const phy::DiscreteRateAdapter n{phy::RateTable::dot11n()};
+  const phy::RateAdapter* const adapters[] = {&g, &b, &n};
+  for (const phy::RateAdapter* adapter : adapters) {
+    for (double s1 = 4.0; s1 <= 44.0; s1 += 2.0) {
+      for (double s2 = 1.0; s2 <= s1; s2 += 2.0) {
+        const auto ctx = ctx_db(s1, s2, *adapter);
+        const auto fast = optimize_weaker_power(ctx);
+        const auto slow = exhaustive_grid_reference(ctx);
+        EXPECT_EQ(fast.scale, slow.scale)
+            << adapter->name() << " s1=" << s1 << " s2=" << s2;
+        EXPECT_EQ(fast.airtime, slow.airtime)
+            << adapter->name() << " s1=" << s1 << " s2=" << s2;
+        EXPECT_EQ(fast.applied, slow.applied)
+            << adapter->name() << " s1=" << s1 << " s2=" << s2;
+        EXPECT_EQ(fast.rates.stronger.value(), slow.rates.stronger.value())
+            << adapter->name() << " s1=" << s1 << " s2=" << s2;
+        EXPECT_EQ(fast.rates.weaker.value(), slow.rates.weaker.value())
+            << adapter->name() << " s1=" << s1 << " s2=" << s2;
+      }
+    }
+  }
+}
+
 TEST(PowerControl, ScaleAlwaysInUnitInterval) {
   Rng rng{9};
   for (int i = 0; i < 200; ++i) {
