@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Static-analysis gate (see DESIGN.md "Static analysis").
+#
+#   scripts/lint.sh [BUILD_DIR]
+#
+# 1. Builds and runs tools/sic_lint over every tracked .cpp/.hpp (minus the
+#    seeded-violation fixtures) with the checked-in R2 baseline. Any finding
+#    — including a stale baseline entry — fails the run.
+# 2. If clang-tidy is installed, runs it over src/ with the repo .clang-tidy
+#    (warnings are errors) against the exported compile database. When
+#    clang-tidy is absent the step is skipped with a notice so the domain
+#    lint still gates environments without LLVM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+cmake --build "$BUILD_DIR" --target sic_lint -j "$(nproc)"
+
+mapfile -t files < <(git ls-files '*.cpp' '*.hpp' ':!tests/lint_fixtures')
+echo "sic_lint: checking ${#files[@]} files"
+"$BUILD_DIR"/tools/sic_lint --baseline tools/sic_lint/r2_baseline.txt \
+  "${files[@]}"
+echo "sic_lint: clean"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t tidy_files < <(git ls-files 'src/*.cpp' 'src/**/*.cpp')
+  echo "clang-tidy: checking ${#tidy_files[@]} files"
+  clang-tidy -p "$BUILD_DIR" --quiet --warnings-as-errors='*' \
+    "${tidy_files[@]}"
+  echo "clang-tidy: clean"
+else
+  echo "clang-tidy: not installed, skipping (sic_lint gate still applies)"
+fi

@@ -165,7 +165,7 @@ double cross_link_power_control_gain(const channel::TwoLinkRss& rss,
   for (int tx = 0; tx < 2; ++tx) {
     for (int i = 1; i < kSteps; ++i) {
       const double db = -20.0 * i / (kSteps - 1);
-      const double scale = std::pow(10.0, db / 10.0);
+      const double scale = Decibels{db}.linear();
       const channel::TwoLinkRss scaled =
           tx == 0 ? scale_t1(rss, scale) : scale_t1(rss.mirrored(), scale).mirrored();
       const auto res = core::evaluate_cross_link(scaled, adapter, packet_bits);

@@ -44,7 +44,7 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
       reg != nullptr ? &reg->histogram("analysis.trace_eval.upload_wall_s")
                      : nullptr};
   SIC_SPAN("trace_eval.upload");
-  const Milliwatts noise = Dbm{config.noise_floor_dbm}.to_milliwatts();
+  const Milliwatts noise = config.noise_floor.to_milliwatts();
 
   // Materialize the (snapshot, AP) cross product first: collecting link
   // budgets is cheap and sequential, the O(n²)–O(n³) schedule evaluation
@@ -58,8 +58,7 @@ UploadTraceGains evaluate_upload_trace(const trace::RssiTrace& trace,
       std::vector<channel::LinkBudget> budgets;
       budgets.reserve(ap.clients.size());
       for (const auto& obs : ap.clients) {
-        budgets.push_back(channel::LinkBudget{
-            Dbm{obs.rssi_dbm}.to_milliwatts(), noise});
+        budgets.push_back(channel::LinkBudget{obs.rssi.to_milliwatts(), noise});
       }
       cells.push_back(std::move(budgets));
     }
@@ -133,7 +132,7 @@ DownloadTraceGains evaluate_download_trace(
       reg != nullptr ? &reg->histogram("analysis.trace_eval.download_wall_s")
                      : nullptr};
   SIC_SPAN("trace_eval.download");
-  const Decibels floor{config.min_link_snr_db};
+  const Decibels floor = config.min_link_snr;
 
   ParallelRunner runner{{.threads = config.threads}};
   const auto scenarios = runner.map_trials<PairGains>(

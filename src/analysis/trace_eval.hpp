@@ -21,6 +21,7 @@
 #include "phy/rate_adapter.hpp"
 #include "trace/link_trace.hpp"
 #include "trace/snapshot.hpp"
+#include "util/units.hpp"
 
 namespace sic::analysis {
 
@@ -34,7 +35,7 @@ struct UploadTraceGains {
 
 struct UploadTraceEvalConfig {
   double packet_bits = 12000.0;
-  double noise_floor_dbm = -94.0;
+  Dbm noise_floor{-94.0};
   int min_clients = 2;
   int max_clients = 30;  ///< safety cap per cell (O(n²) pair costs)
   /// Worker threads for the (snapshot, AP) cell cross product (0 = all
@@ -64,7 +65,7 @@ struct DownloadTraceEvalConfig {
   /// only valid if both serving links actually work: the measured best-
   /// bitrate methodology presupposes a link sustaining the base rate. This
   /// floor (just above 802.11g's 6 Mbps threshold) encodes that.
-  double min_link_snr_db = 6.5;
+  Decibels min_link_snr{6.5};
   std::uint64_t seed = 7;
   /// Worker threads for the scenario sweep (0 = all hardware threads).
   /// Each scenario draws from the counter-based substream

@@ -7,18 +7,18 @@
 namespace sic::channel {
 
 Ar1ShadowingTrack::Ar1ShadowingTrack(double rho, Decibels sigma, Rng& rng)
-    : rho_(rho), sigma_db_(sigma.value()) {
+    : rho_(rho), sigma_(sigma) {
   SIC_CHECK_MSG(rho >= 0.0 && rho <= 1.0, "AR(1) rho must be in [0,1]");
-  SIC_CHECK_MSG(sigma_db_ >= 0.0, "sigma must be non-negative");
-  state_db_ = rng.normal(0.0, sigma_db_);  // start in the stationary law
+  SIC_CHECK_MSG(sigma_.value() >= 0.0, "sigma must be non-negative");
+  state_ = Decibels{rng.normal(0.0, sigma_.value())};  // stationary law
 }
 
 Decibels Ar1ShadowingTrack::step(Rng& rng) {
   const double innovation =
       std::sqrt(std::max(0.0, 1.0 - rho_ * rho_)) *
-      rng.normal(0.0, sigma_db_);
-  state_db_ = rho_ * state_db_ + innovation;
-  return Decibels{state_db_};
+      rng.normal(0.0, sigma_.value());
+  state_ = Decibels{rho_ * state_.value() + innovation};
+  return state_;
 }
 
 }  // namespace sic::channel

@@ -22,7 +22,7 @@ class Ar1ShadowingTrack {
   Ar1ShadowingTrack(double rho, Decibels sigma, Rng& rng);
 
   /// Current deviation from the nominal channel, dB.
-  [[nodiscard]] Decibels current() const { return Decibels{state_db_}; }
+  [[nodiscard]] Decibels current() const { return state_; }
 
   /// Advances one coherence interval and returns the new deviation.
   Decibels step(Rng& rng);
@@ -31,8 +31,8 @@ class Ar1ShadowingTrack {
 
  private:
   double rho_;
-  double sigma_db_;
-  double state_db_;
+  Decibels sigma_{0.0};
+  Decibels state_{0.0};
 };
 
 }  // namespace sic::channel

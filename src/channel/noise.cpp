@@ -8,7 +8,9 @@ namespace sic::channel {
 
 Dbm thermal_noise_floor(Hertz bandwidth, Decibels noise_figure) {
   SIC_CHECK(bandwidth.value() > 0.0);
-  const double dbm = -174.0 + 10.0 * std::log10(bandwidth.value()) +
+  // 10·log10(B/1 Hz) via the strong-type conversion (bit-identical to the
+  // former hand-rolled form: from_linear is exactly 10·log10).
+  const double dbm = -174.0 + Decibels::from_linear(bandwidth.value()).value() +
                      noise_figure.value();
   return Dbm{dbm};
 }

@@ -18,8 +18,9 @@ PairCostEngine::PairCostEngine(const phy::RateAdapter& adapter,
     : adapter_(&adapter),
       options_(options),
       derate_(Decibels{-options.admission_margin_db.value()}.linear()),
-      epsilon_db_(invalidation_epsilon.value()) {
-  SIC_CHECK_MSG(epsilon_db_ >= 0.0, "invalidation epsilon must be >= 0 dB");
+      epsilon_(invalidation_epsilon) {
+  SIC_CHECK_MSG(epsilon_.value() >= 0.0,
+                "invalidation epsilon must be >= 0 dB");
 }
 
 void PairCostEngine::refresh_derived(int client) {
@@ -61,11 +62,11 @@ void PairCostEngine::update_client(int client, Milliwatts rss) {
   const double old_mw = rss_[c].value();
   const double new_mw = rss.value();
   if (new_mw == old_mw) return;
-  if (epsilon_db_ > 0.0 && old_mw > 0.0 && new_mw > 0.0) {
-    const double drift_db = std::abs(10.0 * std::log10(new_mw / old_mw));
+  if (epsilon_ > Decibels{0.0} && old_mw > 0.0 && new_mw > 0.0) {
+    const Decibels drift = Decibels::from_linear(new_mw / old_mw);
     // Within tolerance: the row keeps serving plans of the fingerprinted
     // estimate, so the fingerprint itself must not move either.
-    if (drift_db <= epsilon_db_) return;
+    if (std::abs(drift.value()) <= epsilon_.value()) return;
   }
   rss_[c] = rss;
   refresh_derived(client);

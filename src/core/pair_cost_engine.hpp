@@ -103,7 +103,7 @@ class PairCostEngine {
   const phy::RateAdapter* adapter_;
   SchedulerOptions options_;
   double derate_ = 1.0;  ///< linear admission-margin back-off, hoisted
-  double epsilon_db_ = 0.0;
+  Decibels epsilon_{0.0};
   Milliwatts noise_{0.0};
   int n_ = 0;
 

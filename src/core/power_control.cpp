@@ -52,12 +52,12 @@ const ScaleTables& scale_tables() {
     ScaleTables t;
     for (int c = 0; c < kCoarse; ++c) {
       const double db = kMinDb + (0.0 - kMinDb) * c / (kCoarse - 1);
-      t.coarse_scale[static_cast<std::size_t>(c)] = std::pow(10.0, db / 10.0);
+      t.coarse_scale[static_cast<std::size_t>(c)] = Decibels{db}.linear();
       for (int i = 0; i < kFine; ++i) {
         const double fine_db =
             std::min(0.0, db - 0.2 + 0.4 * i / (kFine - 1));
         t.fine_scale[static_cast<std::size_t>(c)][static_cast<std::size_t>(
-            i)] = std::pow(10.0, fine_db / 10.0);
+            i)] = Decibels{fine_db}.linear();
       }
     }
     return t;

@@ -7,7 +7,7 @@ namespace sic::mac {
 FaultModel::FaultModel(const FaultConfig& config, int n_clients,
                        std::uint64_t seed)
     : config_(config), rng_(seed) {
-  SIC_CHECK_MSG(config.stale_rss_sigma_db >= 0.0, "sigma must be >= 0");
+  SIC_CHECK_MSG(config.stale_rss_sigma.value() >= 0.0, "sigma must be >= 0");
   SIC_CHECK_MSG(
       config.stale_rss_rho >= 0.0 && config.stale_rss_rho <= 1.0,
       "AR(1) rho must be in [0,1]");
@@ -19,8 +19,8 @@ FaultModel::FaultModel(const FaultConfig& config, int n_clients,
   if (config_.channel_faults()) {
     tracks_.reserve(static_cast<std::size_t>(n_clients));
     for (int i = 0; i < n_clients; ++i) {
-      tracks_.emplace_back(config_.stale_rss_rho,
-                           Decibels{config_.stale_rss_sigma_db}, rng_);
+      tracks_.emplace_back(config_.stale_rss_rho, config_.stale_rss_sigma,
+                           rng_);
     }
   }
 }

@@ -37,9 +37,9 @@ namespace sic::mac {
 
 /// Knobs for the injected faults. Defaults are the paper's ideal world.
 struct FaultConfig {
-  /// Stationary std-dev (dB) of each client's AR(1) channel drift between
-  /// the RSS measurement and the packet flight. 0 disables channel faults.
-  double stale_rss_sigma_db = 0.0;
+  /// Stationary std-dev of each client's AR(1) channel drift between the
+  /// RSS measurement and the packet flight. 0 dB disables channel faults.
+  Decibels stale_rss_sigma{0.0};
   /// AR(1) correlation between consecutive estimation epochs. 1 freezes
   /// the drift at its initial draw; 0 makes every epoch independent.
   double stale_rss_rho = 0.9;
@@ -50,7 +50,9 @@ struct FaultConfig {
   /// back, triggering a spurious retransmission.
   double ack_loss_prob = 0.0;
 
-  [[nodiscard]] bool channel_faults() const { return stale_rss_sigma_db > 0.0; }
+  [[nodiscard]] bool channel_faults() const {
+    return stale_rss_sigma > Decibels{0.0};
+  }
   [[nodiscard]] bool any() const {
     return channel_faults() || cancellation_failure_prob > 0.0 ||
            ack_loss_prob > 0.0;

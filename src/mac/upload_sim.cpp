@@ -255,7 +255,7 @@ class ClosedLoopRunner {
     const std::size_t c = static_cast<std::size_t>(client);
     const double backoff_db =
         margin_db_ +
-        failures_[c] * config_->recovery.retry_backoff_db;
+        failures_[c] * config_->recovery.retry_backoff.value();
     return estimates_[c] * Decibels{-backoff_db}.linear();
   }
 

@@ -48,10 +48,10 @@ struct RecoveryConfig {
   /// A client whose frame failed this many times is demoted: it is no
   /// longer offered for pairing at re-match time and drains solo.
   int demote_after_failures = 2;
-  /// Extra dB shaved off a client's rate-selection SNR per prior failure —
-  /// classic rate fallback, which guarantees convergence once the backoff
-  /// overtakes the estimation error.
-  double retry_backoff_db = 3.0;
+  /// Extra attenuation shaved off a client's rate-selection SNR per prior
+  /// failure — classic rate fallback, which guarantees convergence once
+  /// the backoff overtakes the estimation error.
+  Decibels retry_backoff{3.0};
   /// Upper bound on re-estimation + re-matching rounds after the planned
   /// schedule; survivors past the last round are dropped as unrecovered.
   int max_rematch_rounds = 32;

@@ -51,9 +51,8 @@ RssiTrace generate_building_trace(const BuildingConfig& config,
 
   const auto pathloss = channel::LogDistancePathLoss::for_carrier(
       config.pathloss_exponent);
-  const channel::LogNormalShadowing shadowing{
-      Decibels{config.shadowing_sigma_db}};
-  const Dbm tx_power{config.client_tx_power_dbm};
+  const channel::LogNormalShadowing shadowing{config.shadowing_sigma};
+  const Dbm tx_power = config.client_tx_power;
 
   RssiTrace trace;
   for (int ts = 0; ts < config.duration_s; ts += config.snapshot_period_s) {
@@ -82,9 +81,9 @@ RssiTrace generate_building_trace(const BuildingConfig& config,
           best_ap = static_cast<int>(a);
         }
       }
-      if (best_ap >= 0 && best_rssi >= config.association_floor_dbm) {
+      if (best_ap >= 0 && best_rssi >= config.association_floor.value()) {
         snap.aps[static_cast<std::size_t>(best_ap)].clients.push_back(
-            ClientObservation{static_cast<std::uint32_t>(c), best_rssi});
+            ClientObservation{static_cast<std::uint32_t>(c), Dbm{best_rssi}});
       }
     }
     trace.snapshots.push_back(std::move(snap));

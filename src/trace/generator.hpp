@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "trace/snapshot.hpp"
+#include "util/units.hpp"
 
 namespace sic::trace {
 
@@ -31,9 +32,9 @@ struct BuildingConfig {
   double presence_probability = 0.6;
   double roam_radius_m = 8.0;       ///< per-snapshot jitter around home
   double pathloss_exponent = 3.5;
-  double shadowing_sigma_db = 6.0;
-  double client_tx_power_dbm = 18.0;
-  double association_floor_dbm = -85.0;  ///< weaker clients are not heard
+  Decibels shadowing_sigma{6.0};
+  Dbm client_tx_power{18.0};
+  Dbm association_floor{-85.0};  ///< weaker clients are not heard
 
   int snapshot_period_s = 900;      ///< 15 minutes, as in the paper
   int duration_s = 14 * 24 * 3600;  ///< two weeks, as in the paper

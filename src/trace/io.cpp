@@ -41,7 +41,7 @@ void write_csv(const RssiTrace& trace, std::ostream& os) {
     for (const auto& ap : snap.aps) {
       for (const auto& obs : ap.clients) {
         os << snap.timestamp_s << ',' << ap.ap_id << ',' << obs.client_id
-           << ',' << obs.rssi_dbm << '\n';
+           << ',' << obs.rssi.value() << '\n';
       }
     }
   }
@@ -83,7 +83,7 @@ RssiTrace read_csv(std::istream& is) {
     if (ls >> rest) {
       malformed(lineno, raw, "trailing junk after rssi_dbm");
     }
-    rows[ts][ap].push_back(ClientObservation{client, rssi});
+    rows[ts][ap].push_back(ClientObservation{client, Dbm{rssi}});
   }
   RssiTrace trace;
   for (auto& [ts, aps] : rows) {

@@ -11,22 +11,20 @@ namespace sic::trace {
 LinkTrace::LinkTrace(int n_aps, int n_locations)
     : n_aps_(n_aps),
       n_locations_(n_locations),
-      snr_db_(static_cast<std::size_t>(n_aps) * n_locations, 0.0) {
+      snr_(static_cast<std::size_t>(n_aps) * n_locations, Decibels{0.0}) {
   SIC_CHECK(n_aps >= 1 && n_locations >= 1);
 }
 
 Decibels LinkTrace::snr(int ap, int location) const {
   SIC_DCHECK(ap >= 0 && ap < n_aps_ && location >= 0 &&
              location < n_locations_);
-  return Decibels{snr_db_[static_cast<std::size_t>(ap) * n_locations_ +
-                          location]};
+  return snr_[static_cast<std::size_t>(ap) * n_locations_ + location];
 }
 
 void LinkTrace::set_snr(int ap, int location, Decibels snr) {
   SIC_DCHECK(ap >= 0 && ap < n_aps_ && location >= 0 &&
              location < n_locations_);
-  snr_db_[static_cast<std::size_t>(ap) * n_locations_ + location] =
-      snr.value();
+  snr_[static_cast<std::size_t>(ap) * n_locations_ + location] = snr;
 }
 
 BitsPerSecond LinkTrace::clean_rate(int ap, int location,
@@ -72,10 +70,9 @@ LinkTrace generate_link_trace(const LinkTraceConfig& config,
 
   const auto pathloss =
       channel::LogDistancePathLoss::for_carrier(config.pathloss_exponent);
-  const channel::LogNormalShadowing shadowing{
-      Decibels{config.shadowing_sigma_db}};
-  const Dbm tx{config.ap_tx_power_dbm};
-  const Dbm noise{config.noise_floor_dbm};
+  const channel::LogNormalShadowing shadowing{config.shadowing_sigma};
+  const Dbm tx = config.ap_tx_power;
+  const Dbm noise = config.noise_floor;
 
   for (int loc = 0; loc < config.n_client_locations; ++loc) {
     const topology::Point p = topology::random_in_rect(

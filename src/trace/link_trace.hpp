@@ -31,9 +31,9 @@ struct LinkTraceConfig {
   /// saturated discrete rates shrug off moderate interference while the
   /// ideal rate degrades smoothly.
   double pathloss_exponent = 3.0;
-  double shadowing_sigma_db = 5.0;
-  double ap_tx_power_dbm = 26.0;   ///< EIRP incl. antenna gain
-  double noise_floor_dbm = -94.0;
+  Decibels shadowing_sigma{5.0};
+  Dbm ap_tx_power{26.0};   ///< EIRP incl. antenna gain
+  Dbm noise_floor{-94.0};
 };
 
 /// A dense matrix of per-(AP, location) clean SNRs.
@@ -66,7 +66,7 @@ class LinkTrace {
  private:
   int n_aps_;
   int n_locations_;
-  std::vector<double> snr_db_;
+  std::vector<Decibels> snr_;
 };
 
 /// Generates the synthetic measurement campaign.

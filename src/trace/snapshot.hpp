@@ -9,11 +9,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace sic::trace {
 
 struct ClientObservation {
   std::uint32_t client_id = 0;
-  double rssi_dbm = 0.0;  ///< client's RSSI as heard by the AP
+  Dbm rssi{0.0};  ///< client's RSSI as heard by the AP
 };
 
 struct ApSnapshot {

@@ -21,17 +21,17 @@ TraceStats compute_trace_stats(const RssiTrace& trace) {
       stats.max_clients_per_cell = std::max(stats.max_clients_per_cell, n);
       if (n >= 2) ++stats.cells_with_pairing_potential;
       for (const auto& obs : ap.clients) {
-        rssi_sum += obs.rssi_dbm;
-        rssi_sum2 += obs.rssi_dbm * obs.rssi_dbm;
+        rssi_sum += obs.rssi.value();
+        rssi_sum2 += obs.rssi.value() * obs.rssi.value();
         ++stats.observations;
       }
       for (int i = 0; i < n; ++i) {
         for (int j = i + 1; j < n; ++j) {
-          const double a = ap.clients[static_cast<std::size_t>(i)].rssi_dbm;
-          const double b = ap.clients[static_cast<std::size_t>(j)].rssi_dbm;
-          stats.pairwise_disparity_db.push_back(std::fabs(a - b));
-          stats.pair_weak_rssi_and_disparity_.emplace_back(std::min(a, b),
-                                                           std::fabs(a - b));
+          const double a = ap.clients[static_cast<std::size_t>(i)].rssi.value();
+          const double b = ap.clients[static_cast<std::size_t>(j)].rssi.value();
+          stats.pairwise_disparity.push_back(Decibels{std::fabs(a - b)});
+          stats.pair_weak_rssi_and_disparity_.emplace_back(
+              Dbm{std::min(a, b)}, Decibels{std::fabs(a - b)});
         }
       }
     }
@@ -42,22 +42,23 @@ TraceStats compute_trace_stats(const RssiTrace& trace) {
   }
   if (stats.observations > 0) {
     const double n = static_cast<double>(stats.observations);
-    stats.rssi_mean_dbm = rssi_sum / n;
-    const double var =
-        std::max(0.0, rssi_sum2 / n - stats.rssi_mean_dbm * stats.rssi_mean_dbm);
-    stats.rssi_stddev_db = std::sqrt(var);
+    const double mean = rssi_sum / n;
+    stats.rssi_mean = Dbm{mean};
+    const double var = std::max(0.0, rssi_sum2 / n - mean * mean);
+    stats.rssi_stddev = Decibels{std::sqrt(var)};
   }
   return stats;
 }
 
-double TraceStats::ridge_fraction(double noise_floor_dbm,
-                                  double band_db) const {
+double TraceStats::ridge_fraction(Dbm noise_floor, Decibels band) const {
   if (pair_weak_rssi_and_disparity_.empty()) return 0.0;
   std::size_t on_ridge = 0;
   for (const auto& [weak_rssi, disparity] : pair_weak_rssi_and_disparity_) {
     // Ridge: stronger SNR = 2 * weaker SNR (dB) ⇔ disparity = weaker SNR.
-    const double weaker_snr_db = weak_rssi - noise_floor_dbm;
-    if (std::fabs(disparity - weaker_snr_db) <= band_db) ++on_ridge;
+    const Decibels weaker_snr = weak_rssi - noise_floor;
+    if (std::fabs(disparity.value() - weaker_snr.value()) <= band.value()) {
+      ++on_ridge;
+    }
   }
   return static_cast<double>(on_ridge) /
          static_cast<double>(pair_weak_rssi_and_disparity_.size());

@@ -10,9 +10,11 @@
 /// occupancy and load summaries, for any trace — synthetic or real.
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "trace/snapshot.hpp"
+#include "util/units.hpp"
 
 namespace sic::trace {
 
@@ -23,22 +25,22 @@ struct TraceStats {
   double mean_clients_per_cell = 0.0;
   int max_clients_per_cell = 0;
   std::size_t cells_with_pairing_potential = 0;  ///< >= 2 clients
-  /// RSSI distribution across all observations, dBm.
-  double rssi_mean_dbm = 0.0;
-  double rssi_stddev_db = 0.0;
-  /// Pairwise |RSSI_i − RSSI_j| in dB over all client pairs sharing a cell.
-  std::vector<double> pairwise_disparity_db;
+  /// RSSI distribution across all observations.
+  Dbm rssi_mean{0.0};
+  Decibels rssi_stddev{0.0};
+  /// Pairwise |RSSI_i − RSSI_j| over all client pairs sharing a cell.
+  std::vector<Decibels> pairwise_disparity;
 
-  /// Fraction of same-cell pairs whose disparity lies within \p band_db of
+  /// Fraction of same-cell pairs whose disparity lies within \p band of
   /// the Fig. 4 ridge: the stronger client's SNR ≈ 2x the weaker's, i.e.
   /// disparity ≈ weaker-SNR dB. Needs the noise floor to convert RSSI→SNR.
-  [[nodiscard]] double ridge_fraction(double noise_floor_dbm,
-                                      double band_db = 3.0) const;
+  [[nodiscard]] double ridge_fraction(Dbm noise_floor,
+                                      Decibels band = Decibels{3.0}) const;
 
  private:
   friend TraceStats compute_trace_stats(const RssiTrace& trace);
-  /// Per-pair (weaker SNR proxy, disparity) retained for ridge analysis.
-  std::vector<std::pair<double, double>> pair_weak_rssi_and_disparity_;
+  /// Per-pair (weaker RSSI, disparity) retained for ridge analysis.
+  std::vector<std::pair<Dbm, Decibels>> pair_weak_rssi_and_disparity_;
 };
 
 [[nodiscard]] TraceStats compute_trace_stats(const RssiTrace& trace);

@@ -13,6 +13,7 @@
 
 #include <cmath>
 #include <compare>
+#include <limits>
 #include <ostream>
 
 namespace sic {
@@ -29,8 +30,14 @@ class Decibels {
   /// Linear (unitless) ratio corresponding to this dB value.
   [[nodiscard]] double linear() const { return std::pow(10.0, db_ / 10.0); }
 
-  /// Builds a Decibels value from a linear ratio. Requires ratio > 0.
+  /// Builds a Decibels value from a linear ratio. Non-positive ratios have
+  /// no dB representation and map to -inf (an infinitely attenuated
+  /// signal), which the completion-time algebra treats as "link off" —
+  /// never NaN, so comparisons against it stay well ordered.
   [[nodiscard]] static Decibels from_linear(double ratio) {
+    if (ratio <= 0.0) {
+      return Decibels{-std::numeric_limits<double>::infinity()};
+    }
     return Decibels{10.0 * std::log10(ratio)};
   }
 
@@ -90,7 +97,11 @@ class Dbm {
     return Milliwatts{std::pow(10.0, dbm_ / 10.0)};
   }
 
+  /// Non-positive powers map to -inf dBm (see Decibels::from_linear).
   [[nodiscard]] static Dbm from_milliwatts(Milliwatts p) {
+    if (p.value() <= 0.0) {
+      return Dbm{-std::numeric_limits<double>::infinity()};
+    }
     return Dbm{10.0 * std::log10(p.value())};
   }
 
@@ -111,6 +122,11 @@ class Hertz {
  private:
   double hz_ = 0.0;
 };
+
+/// Commuted scalar products, so `0.5 * rss` reads as naturally as
+/// `rss * 0.5` at call sites mixing scale factors and strong types.
+constexpr Decibels operator*(double k, Decibels v) { return v * k; }
+constexpr Milliwatts operator*(double k, Milliwatts v) { return v * k; }
 
 constexpr Hertz megahertz(double mhz) { return Hertz{mhz * 1e6}; }
 

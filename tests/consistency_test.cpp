@@ -131,7 +131,7 @@ TEST(Consistency, ObserversNeverPerturbTheSimulation) {
   const auto schedule = core::schedule_upload(clients, kShannon, {});
   mac::UploadSimConfig config;
   config.frames_per_client = 3;
-  config.faults.stale_rss_sigma_db = 3.0;
+  config.faults.stale_rss_sigma = Decibels{3.0};
   config.faults.cancellation_failure_prob = 0.2;
   config.faults.ack_loss_prob = 0.05;
 

@@ -21,7 +21,7 @@ TEST(LinkTrace, DimensionsAndDeterminism) {
 TEST(LinkTrace, NearestApUsuallyStrongest) {
   // Locations near AP k's corridor position should mostly prefer AP k.
   LinkTraceConfig config;
-  config.shadowing_sigma_db = 0.0 + 1e-9;  // almost deterministic
+  config.shadowing_sigma = Decibels{0.0 + 1e-9};  // almost deterministic
   const LinkTrace t = generate_link_trace(config, 11);
   int sane = 0;
   for (int loc = 0; loc < t.n_locations(); ++loc) {

@@ -1,0 +1,17 @@
+// Lint fixture: a file with nothing to report.
+#include <map>
+#include <unordered_set>
+
+/* Comments may talk about pow(10, x/10), log10, std::rand and
+   system_clock without tripping any rule. */
+
+int lookup(const std::unordered_set<int>& seen, int id) {
+  // Membership tests on unordered containers are order-free: clean.
+  return seen.count(id) > 0 ? 1 : 0;
+}
+
+int ordered_sum(const std::map<int, int>& scores) {
+  int total = 0;
+  for (const auto& kv : scores) total += kv.second;
+  return total;
+}

@@ -1,0 +1,15 @@
+// Lint fixture: R1 — hand-rolled dB<->linear conversions.
+// Comments mentioning pow(10, x/10) or log10 must NOT trip the rule.
+#include <cmath>
+
+double db_to_linear(double db) {
+  return std::pow(10.0, db / 10.0);  // line 6: R1 violation (pow)
+}
+
+double linear_to_db(double ratio) {
+  return 10.0 * std::log10(ratio);  // line 10: R1 violation (log10)
+}
+
+const char* innocuous() {
+  return "pow(10, x/10) inside a string literal is fine";
+}

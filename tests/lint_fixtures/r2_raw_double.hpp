@@ -1,0 +1,8 @@
+// Lint fixture: R2 — raw doubles with unit suffixes in a header.
+#pragma once
+
+struct FixtureConfig {
+  double tx_power_dbm = 18.0;  // line 5: R2 violation (symbol tx_power_dbm)
+  double margin = 3.0;         // no suffix: clean
+  int fade_db_steps = 4;       // not a double: clean
+};

@@ -1,0 +1,21 @@
+// Lint fixture: R3 — nondeterminism sources.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+int roll() {
+  return std::rand();  // line 7: R3 violation (std::rand)
+}
+
+double wall_now() {
+  const auto t = std::chrono::system_clock::now();  // line 11: R3 (clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+int sum_values(const std::unordered_map<int, int>& scores) {
+  int total = 0;
+  for (const auto& kv : scores) {  // line 17: R3 (unordered iteration)
+    total += kv.second;
+  }
+  return total;
+}

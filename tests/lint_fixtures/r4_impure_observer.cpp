@@ -1,0 +1,31 @@
+// Lint fixture: R4 — metrics mutators in value-producing expressions.
+#include <cstdint>
+
+struct Counter {
+  std::uint64_t inc(std::uint64_t n = 1) { return total += n; }
+  std::uint64_t total = 0;
+};
+
+struct Registry {
+  Counter& counter(const char*) { return c; }
+  Counter c;
+};
+
+void consume(std::uint64_t);
+
+std::uint64_t bad_return(Registry& reg) {
+  return reg.counter("x").inc();  // line 17: R4 violation (return)
+}
+
+void bad_assign(Registry& reg) {
+  const auto n = reg.counter("x").inc();  // line 21: R4 violation (=)
+  (void)n;
+}
+
+void bad_nested(Registry& reg) {
+  consume(reg.counter("x").inc());  // line 26: R4 violation (nested call)
+}
+
+void good_statement(Registry& reg) {
+  reg.counter("x").inc();  // clean: pure side-channel statement
+}

@@ -1,0 +1,20 @@
+// Lint fixture: inline suppressions silence findings.
+#include <cmath>
+
+double trailing(double db) {
+  return std::pow(10.0, db / 10.0);  // sic-lint: allow(R1)
+}
+
+double preceding(double ratio) {
+  // sic-lint: allow(R1)
+  return 10.0 * std::log10(ratio);
+}
+
+double multi(double db) {
+  return std::pow(10.0, db / 10.0);  // sic-lint: allow(R1, R3)
+}
+
+double still_flagged(double db) {
+  return std::pow(10.0, db / 10.0);  // line 18: allow(R2) does not cover R1
+  // sic-lint: allow(R2)
+}

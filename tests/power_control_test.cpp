@@ -68,7 +68,7 @@ TEST(PowerControl, ClosedFormMatchesGridSearch) {
       const double db = -40.0 * i / 4000.0;
       UploadPairContext scaled = ctx;
       scaled.arrival.weaker =
-          ctx.arrival.weaker * std::pow(10.0, db / 10.0);
+          ctx.arrival.weaker * Decibels{db}.linear();
       best = std::min(best, sic_airtime(scaled));
     }
     EXPECT_NEAR(fast.airtime, best, best * 1e-3) << "s1=" << s1;
@@ -126,7 +126,7 @@ PowerControlResult exhaustive_grid_reference(const UploadPairContext& ctx) {
   for (int i = 0; i < kCoarse; ++i) {
     const double db = kMinDb + (0.0 - kMinDb) * i / (kCoarse - 1);
     const PowerControlResult cand =
-        evaluate_at_scale(std::pow(10.0, db / 10.0));
+        evaluate_at_scale(Decibels{db}.linear());
     if (cand.airtime < best.airtime) {
       best = cand;
       best_db = db;
@@ -136,7 +136,7 @@ PowerControlResult exhaustive_grid_reference(const UploadPairContext& ctx) {
   for (int i = 0; i < kFine; ++i) {
     const double db = std::min(0.0, best_db - 0.2 + 0.4 * i / (kFine - 1));
     const PowerControlResult cand =
-        evaluate_at_scale(std::pow(10.0, db / 10.0));
+        evaluate_at_scale(Decibels{db}.linear());
     if (cand.airtime < best.airtime) best = cand;
   }
   return best;

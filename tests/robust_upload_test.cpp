@@ -101,7 +101,7 @@ TEST(RobustUpload, OddClientCountSurvivesRematching) {
   const auto clients = clients_db({26.0, 21.0, 17.0, 12.0, 8.0});
   const auto schedule = core::schedule_upload(clients, kShannon, {});
   UploadSimConfig config;
-  config.faults.stale_rss_sigma_db = 6.0;
+  config.faults.stale_rss_sigma = Decibels{6.0};
   config.faults.stale_rss_rho = 0.9;
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     config.seed = seed;
@@ -119,7 +119,7 @@ TEST(RobustUpload, AcceptanceCombinedFaultsClosedLoopLosesNothing) {
       clients_db({27.0, 24.0, 21.0, 18.0, 15.0, 12.0, 9.0, 6.0});
   const auto schedule = core::schedule_upload(clients, kShannon, {});
   UploadSimConfig config;
-  config.faults.stale_rss_sigma_db = 4.0;
+  config.faults.stale_rss_sigma = Decibels{4.0};
   config.faults.stale_rss_rho = 0.9;
   config.faults.cancellation_failure_prob = 0.01;
   config.faults.ack_loss_prob = 0.01;
@@ -179,7 +179,7 @@ TEST(RobustUpload, StaleRssDemotesChronicFailures) {
   const auto clients = clients_db({25.0, 23.0, 21.0, 19.0});
   const auto schedule = core::schedule_upload(clients, kShannon, {});
   UploadSimConfig config;
-  config.faults.stale_rss_sigma_db = 8.0;
+  config.faults.stale_rss_sigma = Decibels{8.0};
   config.faults.stale_rss_rho = 0.0;
   bool saw_demotion = false;
   for (std::uint64_t seed = 1; seed <= 10; ++seed) {

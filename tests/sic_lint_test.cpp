@@ -1,0 +1,148 @@
+/// sic_lint engine tests: every seeded fixture violation is caught by its
+/// rule at the expected file:line, clean code stays clean, suppressions and
+/// the R2 baseline behave as documented.
+
+#include "lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace sic::lint {
+namespace {
+
+std::string fixture_path(const std::string& name) {
+  return std::string{SIC_LINT_FIXTURE_DIR} + "/" + name;
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream in{fixture_path(name), std::ios::binary};
+  EXPECT_TRUE(in.good()) << "missing fixture " << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& name) {
+  return lint_file(fixture_path(name), read_fixture(name));
+}
+
+bool has_finding(const std::vector<Finding>& findings,
+                 const std::string& rule, int line) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule && f.line == line) return true;
+  }
+  return false;
+}
+
+TEST(SicLint, R1CatchesPowAndLog10AtSeededLines) {
+  const auto findings = lint_fixture("r1_pow10.cpp");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(has_finding(findings, "R1", 6));   // pow(10, db/10)
+  EXPECT_TRUE(has_finding(findings, "R1", 10));  // 10*log10(ratio)
+  EXPECT_EQ(findings[0].path, fixture_path("r1_pow10.cpp"));
+}
+
+TEST(SicLint, R2CatchesSuffixedDoubleInHeader) {
+  const auto findings = lint_fixture("r2_raw_double.hpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R2");
+  EXPECT_EQ(findings[0].line, 5);
+  EXPECT_EQ(findings[0].symbol, "tx_power_dbm");
+}
+
+TEST(SicLint, R3CatchesRandClockAndUnorderedIteration) {
+  const auto findings = lint_fixture("r3_determinism.cpp");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(has_finding(findings, "R3", 7));   // std::rand
+  EXPECT_TRUE(has_finding(findings, "R3", 11));  // system_clock
+  EXPECT_TRUE(has_finding(findings, "R3", 17));  // range-for over unordered
+}
+
+TEST(SicLint, R4CatchesMutatorsInValuePositions) {
+  const auto findings = lint_fixture("r4_impure_observer.cpp");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(has_finding(findings, "R4", 17));  // return ...inc()
+  EXPECT_TRUE(has_finding(findings, "R4", 21));  // n = ...inc()
+  EXPECT_TRUE(has_finding(findings, "R4", 26));  // consume(...inc())
+}
+
+TEST(SicLint, CleanFixtureHasNoFindings) {
+  EXPECT_TRUE(lint_fixture("clean.cpp").empty());
+}
+
+TEST(SicLint, SuppressionsCoverSameLinePrecedingLineAndLists) {
+  const auto findings = lint_fixture("suppressed.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R1");
+  EXPECT_EQ(findings[0].line, 18);  // allow(R2) does not silence R1
+}
+
+TEST(SicLint, SanitizePreservesLinesAndBlanksLiterals) {
+  const std::string src =
+      "int a; // pow(10, x/10)\n"
+      "const char* s = \"log10(\";\n"
+      "/* system_clock */ int b;\n";
+  const std::string out = sanitize(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("pow"), std::string::npos);
+  EXPECT_EQ(out.find("log10"), std::string::npos);
+  EXPECT_EQ(out.find("system_clock"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(SicLint, SanitizeHandlesDigitSeparatorsAndRawStrings) {
+  const std::string src =
+      "constexpr double c = 299'792'458.0;\n"
+      "const char* re = R\"(\\blog10\\s*\\()\";\n";
+  const std::string out = sanitize(src);
+  EXPECT_NE(out.find("299'792'458.0"), std::string::npos);
+  EXPECT_EQ(out.find("log10"), std::string::npos);
+}
+
+TEST(SicLint, UnitsHeaderIsExemptFromR1) {
+  const std::string src = "inline double f(double x) { return log10(x); }\n";
+  EXPECT_TRUE(lint_file("src/util/units.hpp", src).empty());
+  EXPECT_FALSE(lint_file("src/core/foo.cpp", src).empty());
+}
+
+TEST(SicLint, ObsAndBenchArePathExemptFromR3) {
+  const std::string src = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(lint_file("src/obs/scoped_timer.cpp", src).empty());
+  EXPECT_TRUE(lint_file("bench/bench_util.hpp", src).empty());
+  EXPECT_FALSE(lint_file("src/mac/upload_sim.cpp", src).empty());
+}
+
+TEST(SicLint, BaselineSuppressesListedR2AndFlagsStaleEntries) {
+  std::vector<Finding> findings;
+  findings.push_back(Finding{"R2", "src/a.hpp", 3, "tx_dbm", "msg"});
+  findings.push_back(Finding{"R2", "src/b.hpp", 9, "loss_db", "msg"});
+
+  const auto baseline = parse_baseline(
+      "# comment\n"
+      "src/a.hpp:tx_dbm\n"
+      "\n"
+      "src/gone.hpp:old_mw  # trailing comment\n");
+  ASSERT_EQ(baseline.size(), 2u);
+
+  const auto out = apply_baseline(findings, baseline);
+  ASSERT_EQ(out.size(), 2u);
+  // The unbaselined finding survives; the stale entry becomes an error.
+  EXPECT_EQ(out[0].rule, "R2");
+  EXPECT_EQ(out[0].symbol, "loss_db");
+  EXPECT_EQ(out[1].rule, "baseline");
+  EXPECT_EQ(out[1].path, "src/gone.hpp:old_mw");
+}
+
+TEST(SicLint, FormatFindingIsPathLineRuleMessage) {
+  const Finding f{"R1", "src/x.cpp", 42, "", "boom"};
+  EXPECT_EQ(format_finding(f), "src/x.cpp:42: [R1] boom");
+}
+
+}  // namespace
+}  // namespace sic::lint

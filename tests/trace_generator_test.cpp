@@ -55,8 +55,8 @@ TEST(TraceGenerator, RssiAboveAssociationFloor) {
   for (const auto& snap : trace.snapshots) {
     for (const auto& ap : snap.aps) {
       for (const auto& obs : ap.clients) {
-        EXPECT_GE(obs.rssi_dbm, config.association_floor_dbm);
-        EXPECT_LT(obs.rssi_dbm, config.client_tx_power_dbm);
+        EXPECT_GE(obs.rssi.value(), config.association_floor.value());
+        EXPECT_LT(obs.rssi.value(), config.client_tx_power.value());
       }
     }
   }

@@ -20,7 +20,7 @@ TEST(TraceIoEdge, CrlfLineEndingsParse) {
                        "\r\n0,0,1,-50.5\r\n900,0,1,-51\r\n"};
   const RssiTrace t = read_csv(ss);
   ASSERT_EQ(t.snapshots.size(), 2u);
-  EXPECT_DOUBLE_EQ(t.snapshots[0].aps[0].clients[0].rssi_dbm, -50.5);
+  EXPECT_DOUBLE_EQ(t.snapshots[0].aps[0].clients[0].rssi.value(), -50.5);
 }
 
 TEST(TraceIoEdge, CrlfHeaderAloneParses) {

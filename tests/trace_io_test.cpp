@@ -13,11 +13,12 @@ RssiTrace tiny_trace() {
   RssiTrace t;
   Snapshot s0;
   s0.timestamp_s = 0;
-  s0.aps.push_back(ApSnapshot{0, {{10, -55.5}, {11, -71.25}}});
-  s0.aps.push_back(ApSnapshot{1, {{12, -60.0}}});
+  s0.aps.push_back(
+      ApSnapshot{0, {{10, Dbm{-55.5}}, {11, Dbm{-71.25}}}});
+  s0.aps.push_back(ApSnapshot{1, {{12, Dbm{-60.0}}}});
   Snapshot s1;
   s1.timestamp_s = 900;
-  s1.aps.push_back(ApSnapshot{0, {{10, -56.0}}});
+  s1.aps.push_back(ApSnapshot{0, {{10, Dbm{-56.0}}}});
   t.snapshots = {s0, s1};
   return t;
 }
@@ -35,8 +36,8 @@ TEST(TraceIo, RoundTripPreservesObservations) {
   const auto& ap0 = parsed.snapshots[0].aps[0];
   ASSERT_EQ(ap0.clients.size(), 2u);
   EXPECT_EQ(ap0.clients[0].client_id, 10u);
-  EXPECT_DOUBLE_EQ(ap0.clients[0].rssi_dbm, -55.5);
-  EXPECT_DOUBLE_EQ(ap0.clients[1].rssi_dbm, -71.25);
+  EXPECT_DOUBLE_EQ(ap0.clients[0].rssi.value(), -55.5);
+  EXPECT_DOUBLE_EQ(ap0.clients[1].rssi.value(), -71.25);
 }
 
 TEST(TraceIo, HeaderValidated) {

@@ -11,8 +11,9 @@ RssiTrace tiny_trace() {
   RssiTrace t;
   Snapshot s;
   s.timestamp_s = 0;
-  s.aps.push_back(ApSnapshot{0, {{1, -50.0}, {2, -60.0}, {3, -70.0}}});
-  s.aps.push_back(ApSnapshot{1, {{4, -55.0}}});
+  s.aps.push_back(
+      ApSnapshot{0, {{1, Dbm{-50.0}}, {2, Dbm{-60.0}}, {3, Dbm{-70.0}}}});
+  s.aps.push_back(ApSnapshot{1, {{4, Dbm{-55.0}}}});
   s.aps.push_back(ApSnapshot{2, {}});
   t.snapshots.push_back(s);
   return t;
@@ -26,15 +27,16 @@ TEST(TraceStats, CountsAndMoments) {
   EXPECT_EQ(stats.cells_with_pairing_potential, 1u);
   // Two non-empty cells with 3 and 1 clients.
   EXPECT_DOUBLE_EQ(stats.mean_clients_per_cell, 2.0);
-  EXPECT_NEAR(stats.rssi_mean_dbm, (-50.0 - 60.0 - 70.0 - 55.0) / 4.0, 1e-12);
+  EXPECT_NEAR(stats.rssi_mean.value(), (-50.0 - 60.0 - 70.0 - 55.0) / 4.0,
+              1e-12);
 }
 
 TEST(TraceStats, PairwiseDisparities) {
   const auto stats = compute_trace_stats(tiny_trace());
   // Pairs within AP 0: |−50+60|=10, |−50+70|=20, |−60+70|=10.
-  ASSERT_EQ(stats.pairwise_disparity_db.size(), 3u);
+  ASSERT_EQ(stats.pairwise_disparity.size(), 3u);
   double sum = 0.0;
-  for (const double d : stats.pairwise_disparity_db) sum += d;
+  for (const Decibels d : stats.pairwise_disparity) sum += d.value();
   EXPECT_NEAR(sum, 40.0, 1e-12);
 }
 
@@ -44,15 +46,16 @@ TEST(TraceStats, RidgeFraction) {
   // Pair (−50, −70): disparity 20 vs weaker SNR 0 ⇒ off.
   // Pair (−60, −70): disparity 10 vs weaker SNR 0 ⇒ off.
   const auto stats = compute_trace_stats(tiny_trace());
-  EXPECT_NEAR(stats.ridge_fraction(-70.0, 1.0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats.ridge_fraction(Dbm{-70.0}, Decibels{1.0}), 1.0 / 3.0,
+              1e-12);
   // A wide band catches everything.
-  EXPECT_NEAR(stats.ridge_fraction(-70.0, 30.0), 1.0, 1e-12);
+  EXPECT_NEAR(stats.ridge_fraction(Dbm{-70.0}, Decibels{30.0}), 1.0, 1e-12);
 }
 
 TEST(TraceStats, EmptyTrace) {
   const auto stats = compute_trace_stats(RssiTrace{});
   EXPECT_EQ(stats.observations, 0u);
-  EXPECT_DOUBLE_EQ(stats.ridge_fraction(-94.0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ridge_fraction(Dbm{-94.0}), 0.0);
 }
 
 TEST(TraceStats, SyntheticBuildingCensus) {
@@ -62,16 +65,16 @@ TEST(TraceStats, SyntheticBuildingCensus) {
   const auto trace = generate_building_trace(config, 33);
   const auto stats = compute_trace_stats(trace);
   EXPECT_GT(stats.cells_with_pairing_potential, 50u);
-  EXPECT_GT(stats.pairwise_disparity_db.size(), 100u);
+  EXPECT_GT(stats.pairwise_disparity.size(), 100u);
   // Disparities have real spread (shadowing + geometry): several dB.
   double sum = 0.0;
-  for (const double d : stats.pairwise_disparity_db) sum += d;
+  for (const Decibels d : stats.pairwise_disparity) sum += d.value();
   const double mean =
-      sum / static_cast<double>(stats.pairwise_disparity_db.size());
+      sum / static_cast<double>(stats.pairwise_disparity.size());
   EXPECT_GT(mean, 3.0);
   EXPECT_LT(mean, 30.0);
   // Some pairs land on the Fig. 4 ridge — the raw material of Fig. 13.
-  const double ridge = stats.ridge_fraction(-94.0, 3.0);
+  const double ridge = stats.ridge_fraction(Dbm{-94.0}, Decibels{3.0});
   EXPECT_GT(ridge, 0.0);
   EXPECT_LT(ridge, 0.9);
 }

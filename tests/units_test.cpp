@@ -67,6 +67,39 @@ TEST(Units, AirtimeBasics) {
 
 TEST(Units, AirtimeAtZeroRateIsInfinite) {
   EXPECT_TRUE(std::isinf(airtime_seconds(1000.0, BitsPerSecond{0.0})));
+  // Zero payload over a dead link is still infeasible, not instantaneous:
+  // the rate check dominates, so the branch never wins a min().
+  EXPECT_TRUE(std::isinf(airtime_seconds(0.0, BitsPerSecond{0.0})));
+  EXPECT_TRUE(std::isinf(airtime_seconds(1000.0, BitsPerSecond{-1.0})));
+}
+
+TEST(Units, AirtimeAtZeroBitsIsZero) {
+  EXPECT_DOUBLE_EQ(airtime_seconds(0.0, megabits_per_second(54.0)), 0.0);
+}
+
+TEST(Units, FromLinearGuardsNonPositiveInput) {
+  // Documented contract: non-positive ratios are -inf, never NaN.
+  EXPECT_TRUE(std::isinf(Decibels::from_linear(0.0).value()));
+  EXPECT_LT(Decibels::from_linear(0.0).value(), 0.0);
+  EXPECT_TRUE(std::isinf(Decibels::from_linear(-3.0).value()));
+  EXPECT_LT(Decibels::from_linear(-3.0).value(), 0.0);
+  // -inf stays well ordered against every finite dB value.
+  EXPECT_LT(Decibels::from_linear(0.0), Decibels{-1000.0});
+}
+
+TEST(Units, FromMilliwattsGuardsNonPositiveInput) {
+  EXPECT_TRUE(std::isinf(Dbm::from_milliwatts(Milliwatts{0.0}).value()));
+  EXPECT_LT(Dbm::from_milliwatts(Milliwatts{0.0}).value(), 0.0);
+  EXPECT_TRUE(std::isinf(Dbm::from_milliwatts(Milliwatts{-1.0}).value()));
+  EXPECT_LT(Dbm::from_milliwatts(Milliwatts{-1.0}), Dbm{-300.0});
+}
+
+TEST(Units, CommutedScalarProducts) {
+  EXPECT_DOUBLE_EQ((2.0 * Decibels{10.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ((0.5 * Milliwatts{4.0}).value(), 2.0);
+  // Both orders agree bit-for-bit.
+  EXPECT_EQ((3.5 * Decibels{7.0}).value(), (Decibels{7.0} * 3.5).value());
+  EXPECT_EQ((3.5 * Milliwatts{7.0}).value(), (Milliwatts{7.0} * 3.5).value());
 }
 
 TEST(Units, StreamOutput) {
@@ -74,6 +107,14 @@ TEST(Units, StreamOutput) {
   os << Decibels{3.5} << ' ' << Dbm{-94.0} << ' ' << Milliwatts{2.0} << ' '
      << megabits_per_second(54.0);
   EXPECT_EQ(os.str(), "3.5 dB -94 dBm 2 mW 54 Mbps");
+}
+
+TEST(Units, StreamOutputEdgeValues) {
+  std::ostringstream os;
+  os << Decibels{0.0} << '|' << Decibels::from_linear(0.0) << '|'
+     << Dbm::from_milliwatts(Milliwatts{0.0}) << '|' << Milliwatts{0.0} << '|'
+     << BitsPerSecond{0.0};
+  EXPECT_EQ(os.str(), "0 dB|-inf dB|-inf dBm|0 mW|0 Mbps");
 }
 
 TEST(Units, Comparisons) {

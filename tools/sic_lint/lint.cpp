@@ -1,0 +1,494 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace sic::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// True if `path` has a directory component named `dir` (e.g. "obs",
+/// "bench"). Works for absolute and repo-relative paths alike.
+bool has_dir_component(std::string_view path, std::string_view dir) {
+  std::size_t pos = 0;
+  while ((pos = path.find(dir, pos)) != std::string_view::npos) {
+    const bool starts_segment = pos == 0 || path[pos - 1] == '/';
+    const std::size_t end = pos + dir.size();
+    const bool ends_segment = end < path.size() && path[end] == '/';
+    if (starts_segment && ends_segment) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Fixture files exercise the rules in tests: never exempt them.
+bool is_fixture(std::string_view path) {
+  return has_dir_component(path, "lint_fixtures");
+}
+
+bool is_header(std::string_view path) { return ends_with(path, ".hpp"); }
+
+bool r1_applies(std::string_view path) {
+  // util/units.hpp is the one blessed home of dB↔linear math.
+  return !ends_with(path, "util/units.hpp");
+}
+
+bool r2_applies(std::string_view path) {
+  return is_header(path) && !ends_with(path, "util/units.hpp");
+}
+
+bool r3_applies(std::string_view path) {
+  if (is_fixture(path)) return true;
+  // Observability reads clocks by design; bench code times itself.
+  return !has_dir_component(path, "obs") && !has_dir_component(path, "bench");
+}
+
+bool r4_applies(std::string_view path) {
+  if (is_fixture(path)) return true;
+  // The registry implementation calls its own mutators; tests assert on
+  // mutator behavior inside EXPECT macros. Both are out of scope.
+  return !has_dir_component(path, "obs") && !has_dir_component(path, "tests");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Per-line sets of rule names allowed via `// sic-lint: allow(R1,R3)`.
+/// A suppression on a comment-only line also covers the next line.
+class Suppressions {
+ public:
+  explicit Suppressions(std::string_view source) {
+    static const std::regex allow_re(
+        R"(sic-lint:\s*allow\(\s*([A-Za-z0-9_,\s]+?)\s*\))");
+    int line_no = 1;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      std::size_t nl = source.find('\n', start);
+      if (nl == std::string_view::npos) nl = source.size();
+      const std::string line{source.substr(start, nl - start)};
+      std::smatch m;
+      if (std::regex_search(line, m, allow_re)) {
+        std::set<std::string> rules;
+        std::stringstream list{m[1].str()};
+        std::string rule;
+        while (std::getline(list, rule, ',')) {
+          rule.erase(std::remove_if(rule.begin(), rule.end(), ::isspace),
+                     rule.end());
+          if (!rule.empty()) rules.insert(rule);
+        }
+        add(line_no, rules);
+        const std::size_t first = line.find_first_not_of(" \t");
+        const bool comment_only =
+            first != std::string::npos && line.compare(first, 2, "//") == 0;
+        if (comment_only) add(line_no + 1, rules);
+      }
+      ++line_no;
+      start = nl + 1;
+    }
+  }
+
+  [[nodiscard]] bool allowed(int line, const std::string& rule) const {
+    const auto it = by_line_.find(line);
+    return it != by_line_.end() && it->second.count(rule) > 0;
+  }
+
+ private:
+  void add(int line, const std::set<std::string>& rules) {
+    by_line_[line].insert(rules.begin(), rules.end());
+  }
+
+  std::unordered_map<int, std::set<std::string>> by_line_;
+};
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+void emit(std::vector<Finding>& out, const Suppressions& suppress,
+          const std::string& rule, const std::string& path, int line,
+          std::string symbol, std::string message) {
+  if (suppress.allowed(line, rule)) return;
+  out.push_back(Finding{rule, path, line, std::move(symbol),
+                        std::move(message)});
+}
+
+/// R1 — hand-rolled dB↔linear conversions.
+void check_r1(const std::string& path, const std::string& text,
+              const Suppressions& suppress, std::vector<Finding>& out) {
+  static const std::regex pow10_re(R"(\bpow\s*\(\s*10(?:\.0*)?\s*,)");
+  static const std::regex log10_re(R"(\blog10\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), pow10_re);
+       it != std::sregex_iterator(); ++it) {
+    emit(out, suppress, "R1", path,
+         line_of(text, static_cast<std::size_t>(it->position())), "",
+         "hand-rolled pow(10, x/10) dB->linear conversion; use "
+         "sic::Decibels{x}.linear() from util/units.hpp");
+  }
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), log10_re);
+       it != std::sregex_iterator(); ++it) {
+    emit(out, suppress, "R1", path,
+         line_of(text, static_cast<std::size_t>(it->position())), "",
+         "hand-rolled log10 linear->dB conversion; use "
+         "sic::Decibels::from_linear() from util/units.hpp");
+  }
+}
+
+/// R2 — raw doubles with unit suffixes in headers.
+void check_r2(const std::string& path, const std::string& text,
+              const Suppressions& suppress, std::vector<Finding>& out) {
+  static const std::regex decl_re(
+      R"(\bdouble\s+([A-Za-z_]\w*_(?:db|dbm|mw)_?)\b)");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), decl_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string symbol = (*it)[1].str();
+    emit(out, suppress, "R2", path,
+         line_of(text, static_cast<std::size_t>(it->position())), symbol,
+         "raw double '" + symbol +
+             "' carries a unit suffix in a header; use sic::Decibels / "
+             "sic::Dbm / sic::Milliwatts");
+  }
+}
+
+/// Collects identifiers declared with std::unordered_* types (variables,
+/// fields, parameters) so R3 can flag iteration over them.
+std::set<std::string> unordered_names(const std::string& text) {
+  std::set<std::string> names;
+  static const std::regex type_re(
+      R"(std::unordered_(?:map|set|multimap|multiset)\s*<)");
+  static const std::regex name_re(R"(^[\s&*]*(?:const\s+)?([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), type_re);
+       it != std::sregex_iterator(); ++it) {
+    // Balance the template angle brackets starting just after '<'.
+    std::size_t pos =
+        static_cast<std::size_t>(it->position() + it->length());
+    int depth = 1;
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '<') ++depth;
+      if (text[pos] == '>') --depth;
+      ++pos;
+    }
+    if (depth != 0) continue;
+    std::smatch m;
+    const std::string rest = text.substr(pos, 160);
+    if (std::regex_search(rest, m, name_re)) names.insert(m[1].str());
+  }
+  return names;
+}
+
+/// R3 — nondeterminism sources.
+void check_r3(const std::string& path, const std::string& text,
+              const Suppressions& suppress, std::vector<Finding>& out) {
+  struct Banned {
+    const char* pattern;
+    const char* why;
+  };
+  static const Banned banned[] = {
+      {R"(\bstd::rand\b)", "std::rand is not seedable per-stream; use "
+                           "sic::Rng (util/rng.hpp)"},
+      {R"(\bsrand\s*\()", "srand mutates global state; use sic::Rng "
+                          "(util/rng.hpp)"},
+      {R"(\bsystem_clock\b)", "wall-clock time breaks reproducibility; use "
+                              "steady_clock (and only in obs/bench code)"},
+      {R"(\bhigh_resolution_clock\b)",
+       "high_resolution_clock may alias system_clock; use steady_clock (and "
+       "only in obs/bench code)"},
+  };
+  for (const Banned& b : banned) {
+    const std::regex re(b.pattern);
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      emit(out, suppress, "R3", path,
+           line_of(text, static_cast<std::size_t>(it->position())), "",
+           b.why);
+    }
+  }
+
+  const std::set<std::string> unordered = unordered_names(text);
+  if (unordered.empty()) return;
+  // Range-for over an unordered container: iteration order is unspecified.
+  static const std::regex range_for_re(
+      R"(for\s*\([^;()]*:\s*(?:this->)?(?:[A-Za-z_]\w*\.)*([A-Za-z_]\w*)\s*\))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), range_for_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (unordered.count(name) == 0) continue;
+    emit(out, suppress, "R3", path,
+         line_of(text, static_cast<std::size_t>(it->position())), "",
+         "iteration over unordered container '" + name +
+             "' has unspecified order; iterate a sorted copy or an ordered "
+             "container");
+  }
+  static const std::regex begin_re(
+      R"(\b([A-Za-z_]\w*)\s*\.\s*(?:begin|end|cbegin|cend)\s*\()");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), begin_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (unordered.count(name) == 0) continue;
+    emit(out, suppress, "R3", path,
+         line_of(text, static_cast<std::size_t>(it->position())), "",
+         "iterator over unordered container '" + name +
+             "' has unspecified order; iterate a sorted copy or an ordered "
+             "container");
+  }
+}
+
+/// True if `prefix` (the statement text before a metrics mutator chain)
+/// puts the mutator inside a value-producing expression.
+bool impure_prefix(std::string_view prefix) {
+  static const std::regex return_re(R"(\breturn\b)");
+  if (std::regex_search(prefix.begin(), prefix.end(), return_re)) return true;
+  int depth = 0;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    const char c = prefix[i];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == '=') {
+      const char prev = i > 0 ? prefix[i - 1] : ' ';
+      const char next = i + 1 < prefix.size() ? prefix[i + 1] : ' ';
+      static constexpr std::string_view kCompound = "=<>!+-*/%&|^";
+      if (next != '=' && kCompound.find(prev) == std::string_view::npos) {
+        return true;  // bare assignment: the chain's value is consumed
+      }
+    }
+  }
+  return depth > 0;  // unbalanced '(' => nested inside another call
+}
+
+/// R4 — metrics mutators used as values.
+void check_r4(const std::string& path, const std::string& text,
+              const Suppressions& suppress, std::vector<Finding>& out) {
+  static const std::regex maker_re(R"(\b(counter|gauge|histogram)\s*\()");
+  static const std::set<std::string> mutators{"inc", "set", "observe"};
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), maker_re);
+       it != std::sregex_iterator(); ++it) {
+    // Balance the maker's argument list.
+    std::size_t pos =
+        static_cast<std::size_t>(it->position() + it->length());
+    int depth = 1;
+    while (pos < text.size() && depth > 0) {
+      if (text[pos] == '(') ++depth;
+      if (text[pos] == ')') --depth;
+      ++pos;
+    }
+    if (depth != 0) continue;
+    // Require a chained `.inc(` / `.set(` / `.observe(` — a bound reference
+    // (`auto& h = reg.histogram(...)`) is not itself a mutation.
+    std::size_t p = pos;
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    if (p >= text.size() || text[p] != '.') continue;
+    ++p;
+    while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+      ++p;
+    std::size_t name_end = p;
+    while (name_end < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[name_end])) ||
+            text[name_end] == '_'))
+      ++name_end;
+    if (mutators.count(text.substr(p, name_end - p)) == 0) continue;
+
+    // Statement prefix: back from the maker token to the nearest ; { or }.
+    const auto match_pos = static_cast<std::size_t>(it->position());
+    std::size_t stmt_start = 0;
+    for (std::size_t i = match_pos; i > 0; --i) {
+      const char c = text[i - 1];
+      if (c == ';' || c == '{' || c == '}') {
+        stmt_start = i;
+        break;
+      }
+    }
+    const std::string_view prefix =
+        std::string_view{text}.substr(stmt_start, match_pos - stmt_start);
+    if (!impure_prefix(prefix)) continue;
+    emit(out, suppress, "R4", path, line_of(text, match_pos), "",
+         "metrics mutator used inside a value-producing expression; "
+         "observers must be pure side-channel statements");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string sanitize(std::string_view source) {
+  std::string out(source.size(), ' ');
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // )delim" terminator for raw strings
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    if (c == '\n') out[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   source[i - 1])) &&
+                               source[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = source.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            out[i] = c;
+            break;
+          }
+          raw_delim = ")";
+          raw_delim.append(source.substr(i + 2, open - (i + 2)));
+          raw_delim.push_back('"');
+          out[i] = 'R';
+          out[i + 1] = '"';
+          i = open;  // blank from after '(' onwards
+          state = State::kRawString;
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kString;
+        } else if (c == '\'') {
+          // A quote right after an identifier/digit char is a digit
+          // separator (299'792'458), not a char literal.
+          const bool separator =
+              i > 0 && (std::isalnum(static_cast<unsigned char>(
+                            source[i - 1])) ||
+                        source[i - 1] == '_');
+          out[i] = '\'';
+          if (!separator) state = State::kChar;
+        } else {
+          out[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < source.size() && source[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          out[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out[i + raw_delim.size() - 1] = '"';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               std::string_view source) {
+  const Suppressions suppress{source};
+  const std::string text = sanitize(source);
+  std::vector<Finding> out;
+  if (r1_applies(path)) check_r1(path, text, suppress, out);
+  if (r2_applies(path)) check_r2(path, text, suppress, out);
+  if (r3_applies(path)) check_r3(path, text, suppress, out);
+  if (r4_applies(path)) check_r4(path, text, suppress, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+std::vector<std::string> parse_baseline(std::string_view text) {
+  std::vector<std::string> entries;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string line{text.substr(start, nl - start)};
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first != std::string::npos) {
+      const std::size_t last = line.find_last_not_of(" \t\r");
+      entries.push_back(line.substr(first, last - first + 1));
+    }
+    start = nl + 1;
+  }
+  return entries;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<std::string>& baseline) {
+  std::unordered_set<std::string> entries(baseline.begin(), baseline.end());
+  std::vector<Finding> out;
+  out.reserve(findings.size());
+  std::unordered_set<std::string> used;
+  for (Finding& f : findings) {
+    const std::string key = f.path + ":" + f.symbol;
+    if (f.rule == "R2" && entries.count(key) > 0) {
+      used.insert(key);
+      continue;  // accepted debt
+    }
+    out.push_back(std::move(f));
+  }
+  for (const std::string& entry : baseline) {
+    if (used.count(entry) > 0) continue;
+    out.push_back(Finding{
+        "baseline", entry, 0, "",
+        "stale baseline entry (no matching R2 finding); remove it"});
+  }
+  return out;
+}
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.path << ":" << finding.line << ": [" << finding.rule << "] "
+     << finding.message;
+  return os.str();
+}
+
+}  // namespace sic::lint

@@ -1,0 +1,71 @@
+/// sic_lint — domain static analysis for the sicmac tree.
+///
+/// A deliberately small token/regex-level checker (no libclang) enforcing
+/// the project's domain conventions:
+///
+///   R1  conversion-hygiene: no hand-rolled pow(10, x/10) / log10 dB↔linear
+///       conversions outside util/units.hpp — use sic::Decibels / sic::Dbm.
+///   R2  unit-suffix hygiene: no raw `double` declarations whose identifier
+///       carries a unit suffix (_db, _dbm, _mw) in headers. Existing debt is
+///       tracked in a checked-in baseline; new findings and stale baseline
+///       entries both fail the lint.
+///   R3  determinism: no std::rand/srand, no wall-clock time sources
+///       (system_clock, high_resolution_clock), and no iteration over
+///       unordered containers (iteration order is unspecified and would leak
+///       into results). Observability and bench code is exempt by path.
+///   R4  observer purity: metrics mutators (counter(...).inc, gauge(...).set,
+///       histogram(...).observe) must be statements of their own — never part
+///       of a value-producing expression (returned, assigned, or nested in
+///       another call), so detaching the registry can never change behavior.
+///
+/// Findings can be locally suppressed with a trailing
+/// `// sic-lint: allow(R1)` comment (or a comment-only line immediately
+/// above the offending line); multiple rules separate with commas.
+///
+/// The analysis is textual and line-oriented by design: it runs in
+/// milliseconds over the whole tree, needs no compile database, and the
+/// rules target idioms that are reliably visible at token level. Comments
+/// and string/char literals are blanked first so prose never trips a rule.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sic::lint {
+
+/// One rule violation (or baseline staleness error).
+struct Finding {
+  std::string rule;     ///< "R1".."R4", or "baseline" for stale entries.
+  std::string path;     ///< File path as passed to lint_file().
+  int line = 1;         ///< 1-indexed line of the violation.
+  std::string symbol;   ///< Flagged identifier (R2 only; baseline key).
+  std::string message;  ///< Human-readable explanation.
+};
+
+/// Replaces comments and string/char literal contents with spaces while
+/// preserving the line structure and column positions of all remaining
+/// tokens, so rule matches report accurate locations. Handles //, /*...*/,
+/// escape sequences, and raw string literals.
+[[nodiscard]] std::string sanitize(std::string_view source);
+
+/// Runs every rule applicable to `path` over `source` and returns findings
+/// in line order. Suppression comments are honored. The R2 baseline is NOT
+/// applied here — see apply_baseline().
+[[nodiscard]] std::vector<Finding> lint_file(const std::string& path,
+                                             std::string_view source);
+
+/// Parses a baseline file: one `path:identifier` entry per line, `#`
+/// comments and blank lines ignored.
+[[nodiscard]] std::vector<std::string> parse_baseline(std::string_view text);
+
+/// Removes R2 findings whose `path:symbol` key appears in `baseline`.
+/// Baseline entries that match no finding are STALE: each produces a
+/// Finding with rule "baseline" so the file cannot rot.
+[[nodiscard]] std::vector<Finding> apply_baseline(
+    std::vector<Finding> findings, const std::vector<std::string>& baseline);
+
+/// `path:line: [rule] message` — the canonical one-line rendering.
+[[nodiscard]] std::string format_finding(const Finding& finding);
+
+}  // namespace sic::lint

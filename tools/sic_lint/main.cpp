@@ -1,0 +1,103 @@
+/// sic_lint CLI — lints the given files and exits non-zero on findings.
+///
+///   sic_lint [--baseline FILE] [--print-baseline] FILE...
+///
+///   --baseline FILE    R2 findings listed in FILE (path:identifier lines)
+///                      are accepted debt; stale entries fail the run.
+///   --print-baseline   Instead of failing, print the R2 findings in
+///                      baseline format (to regenerate the baseline file).
+///
+/// Output format: path:line: [rule] message
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  bool print_baseline = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "sic_lint: --baseline needs a file argument\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--print-baseline") {
+      print_baseline = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sic_lint [--baseline FILE] [--print-baseline] "
+                   "FILE...\n";
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "sic_lint: no input files\n";
+    return 2;
+  }
+
+  std::vector<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_file(baseline_path, text)) {
+      std::cerr << "sic_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    baseline = sic::lint::parse_baseline(text);
+  }
+
+  std::vector<sic::lint::Finding> findings;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!read_file(file, source)) {
+      std::cerr << "sic_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    auto file_findings = sic::lint::lint_file(file, source);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  if (print_baseline) {
+    std::cout << "# sic_lint R2 baseline — accepted raw-double unit-suffix "
+                 "debt.\n# One path:identifier per line; regenerate with "
+                 "`sic_lint --print-baseline`.\n";
+    for (const auto& f : findings) {
+      if (f.rule == "R2") std::cout << f.path << ":" << f.symbol << "\n";
+    }
+    return 0;
+  }
+
+  findings = sic::lint::apply_baseline(std::move(findings), baseline);
+  for (const auto& f : findings) {
+    std::cout << sic::lint::format_finding(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cerr << "sic_lint: " << findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

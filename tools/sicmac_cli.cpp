@@ -347,8 +347,8 @@ int cmd_simulate(const ArgParser& args) {
   const auto schedule = core::schedule_upload(clients, *adapter, options);
 
   mac::UploadSimConfig config;
-  config.faults.stale_rss_sigma_db =
-      require_range(args, "stale-sigma", 0.0, 0.0, 60.0);
+  config.faults.stale_rss_sigma =
+      Decibels{require_range(args, "stale-sigma", 0.0, 0.0, 60.0)};
   config.faults.stale_rss_rho = require_range(args, "stale-rho", 0.9, 0.0, 1.0);
   config.faults.cancellation_failure_prob =
       require_range(args, "cancel-prob", 0.0, 0.0, 1.0);
