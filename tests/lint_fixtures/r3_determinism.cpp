@@ -19,3 +19,7 @@ int sum_values(const std::unordered_map<int, int>& scores) {
   }
   return total;
 }
+
+bool has_score(const std::unordered_map<int, int>& scores, int id) {
+  return scores.find(id) != scores.end();  // clean: membership test, not order
+}

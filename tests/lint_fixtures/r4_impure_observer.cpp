@@ -26,6 +26,10 @@ void bad_nested(Registry& reg) {
   consume(reg.counter("x").inc());  // line 26: R4 violation (nested call)
 }
 
+void bad_compound(Registry& reg, std::uint64_t& acc) {
+  acc += reg.counter("x").inc();  // line 30: R4 violation (compound assign)
+}
+
 void good_statement(Registry& reg) {
   reg.counter("x").inc();  // clean: pure side-channel statement
 }

@@ -64,10 +64,28 @@ TEST(SicLint, R3CatchesRandClockAndUnorderedIteration) {
 
 TEST(SicLint, R4CatchesMutatorsInValuePositions) {
   const auto findings = lint_fixture("r4_impure_observer.cpp");
-  ASSERT_EQ(findings.size(), 3u);
+  ASSERT_EQ(findings.size(), 4u);
   EXPECT_TRUE(has_finding(findings, "R4", 17));  // return ...inc()
   EXPECT_TRUE(has_finding(findings, "R4", 21));  // n = ...inc()
   EXPECT_TRUE(has_finding(findings, "R4", 26));  // consume(...inc())
+  EXPECT_TRUE(has_finding(findings, "R4", 30));  // acc += ...inc()
+}
+
+TEST(SicLint, R3ExemptsEndInMembershipComparisons) {
+  const std::string src =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> m;\n"
+      "bool has(int k) { return m.find(k) != m.end(); }\n"
+      "bool has2(int k) {\n"
+      "  const auto it = m.find(k);\n"
+      "  return it != m.end() && it->second > 0;\n"
+      "}\n"
+      "bool has3(int k) { return m.end() == m.find(k); }\n"
+      "auto first() { return m.begin(); }\n";
+  const auto findings = lint_file("src/core/foo.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);  // only the begin() on line 9
+  EXPECT_EQ(findings[0].rule, "R3");
+  EXPECT_EQ(findings[0].line, 9);
 }
 
 TEST(SicLint, CleanFixtureHasNoFindings) {
@@ -103,6 +121,53 @@ TEST(SicLint, SanitizeHandlesDigitSeparatorsAndRawStrings) {
   const std::string out = sanitize(src);
   EXPECT_NE(out.find("299'792'458.0"), std::string::npos);
   EXPECT_EQ(out.find("log10"), std::string::npos);
+}
+
+TEST(SicLint, SanitizeHandlesEncodingPrefixedRawStrings) {
+  // An unescaped quote + backslash inside the raw string would desync an
+  // ordinary-string scanner; the u8/u/U/L prefixes must enter raw mode.
+  const std::string src =
+      "const char8_t* a = u8R\"(log10( \" \\)\";\n"
+      "const char16_t* b = uR\"(pow(10, \" )\";\n"
+      "const wchar_t* w = LR\"(system_clock \" )\";\n"
+      "int after = 1;\n";
+  const std::string out = sanitize(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(out.find("log10"), std::string::npos);
+  EXPECT_EQ(out.find("pow"), std::string::npos);
+  EXPECT_EQ(out.find("system_clock"), std::string::npos);
+  EXPECT_NE(out.find("int after = 1;"), std::string::npos);
+}
+
+TEST(SicLint, CommentsOnlyKeepsCommentsAndBlanksCodeAndLiterals) {
+  const std::string src =
+      "int x = 1; // trailing note\n"
+      "const char* s = \"sic-lint: allow(R1)\";\n"
+      "/* block */ int y = 2;\n";
+  const std::string out = comments_only(src);
+  EXPECT_EQ(out.size(), src.size());
+  EXPECT_NE(out.find("// trailing note"), std::string::npos);
+  EXPECT_NE(out.find("/* block */"), std::string::npos);
+  EXPECT_EQ(out.find("int x"), std::string::npos);
+  EXPECT_EQ(out.find("allow"), std::string::npos);
+}
+
+TEST(SicLint, SuppressionInsideStringLiteralDoesNotSuppress) {
+  // The marker in a string literal on the violating line (line 2) and on a
+  // literal-only line above a violation (lines 3-4) must both stay inert;
+  // a real trailing comment (line 5) still suppresses.
+  const std::string src =
+      "#include <cmath>\n"
+      "double f(double db) { const char* m = \"sic-lint: allow(R1)\"; "
+      "return std::pow(10.0, db / 10.0); }\n"
+      "const char* only = \"// sic-lint: allow(R1)\";\n"
+      "double g(double db) { return std::pow(10.0, db / 10.0); }\n"
+      "double h(double db) { return std::pow(10.0, db / 10.0); }  "
+      "// sic-lint: allow(R1)\n";
+  const auto findings = lint_file("src/core/foo.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(has_finding(findings, "R1", 2));
+  EXPECT_TRUE(has_finding(findings, "R1", 4));
 }
 
 TEST(SicLint, UnitsHeaderIsExemptFromR1) {

@@ -70,17 +70,22 @@ bool r4_applies(std::string_view path) {
 
 /// Per-line sets of rule names allowed via `// sic-lint: allow(R1,R3)`.
 /// A suppression on a comment-only line also covers the next line.
+///
+/// Parsed from the comments-only view (not the raw source), so the allow
+/// marker occurring inside a string literal — e.g. in a fixture or in
+/// sic_lint's own messages — can never suppress findings. The sanitized
+/// code view decides whether a line is comment-only.
 class Suppressions {
  public:
-  explicit Suppressions(std::string_view source) {
+  Suppressions(std::string_view comments, std::string_view code) {
     static const std::regex allow_re(
         R"(sic-lint:\s*allow\(\s*([A-Za-z0-9_,\s]+?)\s*\))");
     int line_no = 1;
     std::size_t start = 0;
-    while (start <= source.size()) {
-      std::size_t nl = source.find('\n', start);
-      if (nl == std::string_view::npos) nl = source.size();
-      const std::string line{source.substr(start, nl - start)};
+    while (start <= comments.size()) {
+      std::size_t nl = comments.find('\n', start);
+      if (nl == std::string_view::npos) nl = comments.size();
+      const std::string line{comments.substr(start, nl - start)};
       std::smatch m;
       if (std::regex_search(line, m, allow_re)) {
         std::set<std::string> rules;
@@ -92,9 +97,10 @@ class Suppressions {
           if (!rule.empty()) rules.insert(rule);
         }
         add(line_no, rules);
-        const std::size_t first = line.find_first_not_of(" \t");
+        const std::string_view code_line =
+            code.substr(start, std::min(nl, code.size()) - start);
         const bool comment_only =
-            first != std::string::npos && line.compare(first, 2, "//") == 0;
+            code_line.find_first_not_of(" \t\r") == std::string_view::npos;
         if (comment_only) add(line_no + 1, rules);
       }
       ++line_no;
@@ -195,6 +201,31 @@ std::set<std::string> unordered_names(const std::string& text) {
   return names;
 }
 
+/// True if the `name.end()` call whose identifier starts at `name_pos` (with
+/// the argument list opening just before `after_open`) is an operand of an
+/// `==`/`!=` comparison. `it != m.end()` and `m.find(k) == m.end()` are
+/// deterministic membership/validity tests, not order-dependent iteration.
+bool is_validity_comparison(const std::string& text, std::size_t name_pos,
+                            std::size_t after_open) {
+  std::size_t b = name_pos;
+  while (b > 0 && std::isspace(static_cast<unsigned char>(text[b - 1]))) --b;
+  if (b >= 2 && text[b - 1] == '=' &&
+      (text[b - 2] == '=' || text[b - 2] == '!')) {
+    return true;
+  }
+  std::size_t p = after_open;  // balance the call's argument list
+  int depth = 1;
+  while (p < text.size() && depth > 0) {
+    if (text[p] == '(') ++depth;
+    if (text[p] == ')') --depth;
+    ++p;
+  }
+  while (p < text.size() && std::isspace(static_cast<unsigned char>(text[p])))
+    ++p;
+  return p + 1 < text.size() && (text[p] == '=' || text[p] == '!') &&
+         text[p + 1] == '=';
+}
+
 /// R3 — nondeterminism sources.
 void check_r3(const std::string& path, const std::string& text,
               const Suppressions& suppress, std::vector<Finding>& out) {
@@ -239,11 +270,18 @@ void check_r3(const std::string& path, const std::string& text,
              "container");
   }
   static const std::regex begin_re(
-      R"(\b([A-Za-z_]\w*)\s*\.\s*(?:begin|end|cbegin|cend)\s*\()");
+      R"(\b([A-Za-z_]\w*)\s*\.\s*(begin|end|cbegin|cend)\s*\()");
   for (auto it = std::sregex_iterator(text.begin(), text.end(), begin_re);
        it != std::sregex_iterator(); ++it) {
     const std::string name = (*it)[1].str();
     if (unordered.count(name) == 0) continue;
+    const std::string method = (*it)[2].str();
+    if ((method == "end" || method == "cend") &&
+        is_validity_comparison(
+            text, static_cast<std::size_t>(it->position(1)),
+            static_cast<std::size_t>(it->position() + it->length()))) {
+      continue;
+    }
     emit(out, suppress, "R3", path,
          line_of(text, static_cast<std::size_t>(it->position())), "",
          "iterator over unordered container '" + name +
@@ -265,10 +303,12 @@ bool impure_prefix(std::string_view prefix) {
     if (c == '=') {
       const char prev = i > 0 ? prefix[i - 1] : ' ';
       const char next = i + 1 < prefix.size() ? prefix[i + 1] : ' ';
-      static constexpr std::string_view kCompound = "=<>!+-*/%&|^";
-      if (next != '=' && kCompound.find(prev) == std::string_view::npos) {
-        return true;  // bare assignment: the chain's value is consumed
-      }
+      // ==, !=, <=, >= are comparisons (consumed only inside a condition,
+      // which the paren-depth check covers). Bare `=` AND the compound
+      // +=, -=, ... forms all consume the chain's value.
+      const bool comparison = next == '=' || prev == '=' || prev == '<' ||
+                              prev == '>' || prev == '!';
+      if (!comparison) return true;
     }
   }
   return depth > 0;  // unbalanced '(' => nested inside another call
@@ -332,7 +372,33 @@ void check_r4(const std::string& path, const std::string& text,
 // Public API
 // ---------------------------------------------------------------------------
 
-std::string sanitize(std::string_view source) {
+namespace {
+
+/// If `source[i]` begins a raw string literal — an optional u8/u/U/L
+/// encoding prefix followed by R" — returns the number of characters
+/// before the opening quote (1 for R", 2 for uR"/UR"/LR", 3 for u8R").
+/// Returns 0 when `i` is mid-identifier or no raw string starts here.
+std::size_t raw_prefix_length(std::string_view source, std::size_t i) {
+  if (i > 0 && (std::isalnum(static_cast<unsigned char>(source[i - 1])) ||
+                source[i - 1] == '_')) {
+    return 0;
+  }
+  std::size_t j = i;
+  if (source.compare(j, 2, "u8") == 0) {
+    j += 2;
+  } else if (source[j] == 'u' || source[j] == 'U' || source[j] == 'L') {
+    ++j;
+  }
+  if (j + 1 < source.size() && source[j] == 'R' && source[j + 1] == '"') {
+    return j + 1 - i;
+  }
+  return 0;
+}
+
+/// Shared scanner behind sanitize()/comments_only(): copies one channel
+/// (code or comments) into a same-shape buffer and blanks the other,
+/// preserving newlines and column positions in both.
+std::string strip(std::string_view source, bool keep_code) {
   std::string out(source.size(), ' ');
   enum class State {
     kCode,
@@ -349,31 +415,39 @@ std::string sanitize(std::string_view source) {
     const char next = i + 1 < source.size() ? source[i + 1] : '\0';
     if (c == '\n') out[i] = '\n';
     switch (state) {
-      case State::kCode:
+      case State::kCode: {
+        const std::size_t raw_len =
+            (c == 'R' || c == 'u' || c == 'U' || c == 'L')
+                ? raw_prefix_length(source, i)
+                : 0;
         if (c == '/' && next == '/') {
+          if (!keep_code) out[i] = '/';
           state = State::kLineComment;
         } else if (c == '/' && next == '*') {
+          if (!keep_code) {
+            out[i] = '/';
+            out[i + 1] = '*';
+          }
           state = State::kBlockComment;
           ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                                   source[i - 1])) &&
-                               source[i - 1] != '_'))) {
-          // R"delim( ... )delim"
-          std::size_t open = source.find('(', i + 2);
+        } else if (raw_len > 0) {
+          // (u8|u|U|L)?R"delim( ... )delim"
+          std::size_t open = source.find('(', i + raw_len + 1);
           if (open == std::string_view::npos) {
-            out[i] = c;
+            if (keep_code) out[i] = c;
             break;
           }
           raw_delim = ")";
-          raw_delim.append(source.substr(i + 2, open - (i + 2)));
+          raw_delim.append(
+              source.substr(i + raw_len + 1, open - (i + raw_len + 1)));
           raw_delim.push_back('"');
-          out[i] = 'R';
-          out[i + 1] = '"';
+          if (keep_code) {
+            for (std::size_t j = i; j <= i + raw_len; ++j) out[j] = source[j];
+          }
           i = open;  // blank from after '(' onwards
           state = State::kRawString;
         } else if (c == '"') {
-          out[i] = '"';
+          if (keep_code) out[i] = '"';
           state = State::kString;
         } else if (c == '\'') {
           // A quote right after an identifier/digit char is a digit
@@ -382,19 +456,30 @@ std::string sanitize(std::string_view source) {
               i > 0 && (std::isalnum(static_cast<unsigned char>(
                             source[i - 1])) ||
                         source[i - 1] == '_');
-          out[i] = '\'';
+          if (keep_code) out[i] = '\'';
           if (!separator) state = State::kChar;
-        } else {
+        } else if (keep_code) {
           out[i] = c;
         }
         break;
+      }
       case State::kLineComment:
-        if (c == '\n') state = State::kCode;
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (!keep_code) {
+          out[i] = c;
+        }
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
+          if (!keep_code) {
+            out[i] = '*';
+            out[i + 1] = '/';
+          }
           state = State::kCode;
           ++i;
+        } else if (!keep_code) {
+          out[i] = c;
         }
         break;
       case State::kString:
@@ -402,7 +487,7 @@ std::string sanitize(std::string_view source) {
           ++i;
           if (i < source.size() && source[i] == '\n') out[i] = '\n';
         } else if (c == '"') {
-          out[i] = '"';
+          if (keep_code) out[i] = '"';
           state = State::kCode;
         }
         break;
@@ -410,13 +495,13 @@ std::string sanitize(std::string_view source) {
         if (c == '\\') {
           ++i;
         } else if (c == '\'') {
-          out[i] = '\'';
+          if (keep_code) out[i] = '\'';
           state = State::kCode;
         }
         break;
       case State::kRawString:
         if (source.compare(i, raw_delim.size(), raw_delim) == 0) {
-          out[i + raw_delim.size() - 1] = '"';
+          if (keep_code) out[i + raw_delim.size() - 1] = '"';
           i += raw_delim.size() - 1;
           state = State::kCode;
         }
@@ -426,10 +511,18 @@ std::string sanitize(std::string_view source) {
   return out;
 }
 
+}  // namespace
+
+std::string sanitize(std::string_view source) { return strip(source, true); }
+
+std::string comments_only(std::string_view source) {
+  return strip(source, false);
+}
+
 std::vector<Finding> lint_file(const std::string& path,
                                std::string_view source) {
-  const Suppressions suppress{source};
   const std::string text = sanitize(source);
+  const Suppressions suppress{comments_only(source), text};
   std::vector<Finding> out;
   if (r1_applies(path)) check_r1(path, text, suppress, out);
   if (r2_applies(path)) check_r2(path, text, suppress, out);

@@ -12,15 +12,19 @@
 ///   R3  determinism: no std::rand/srand, no wall-clock time sources
 ///       (system_clock, high_resolution_clock), and no iteration over
 ///       unordered containers (iteration order is unspecified and would leak
-///       into results). Observability and bench code is exempt by path.
+///       into results). Iterator-validity comparisons (`it != c.end()`,
+///       `c.find(k) == c.end()`) are deterministic membership tests and are
+///       exempt. Observability and bench code is exempt by path.
 ///   R4  observer purity: metrics mutators (counter(...).inc, gauge(...).set,
 ///       histogram(...).observe) must be statements of their own — never part
-///       of a value-producing expression (returned, assigned, or nested in
-///       another call), so detaching the registry can never change behavior.
+///       of a value-producing expression (returned, assigned — including
+///       compound forms like `+=` — or nested in another call), so detaching
+///       the registry can never change behavior.
 ///
 /// Findings can be locally suppressed with a trailing
 /// `// sic-lint: allow(R1)` comment (or a comment-only line immediately
-/// above the offending line); multiple rules separate with commas.
+/// above the offending line); multiple rules separate with commas. Only
+/// real comments count: the marker inside a string literal is inert.
 ///
 /// The analysis is textual and line-oriented by design: it runs in
 /// milliseconds over the whole tree, needs no compile database, and the
@@ -48,6 +52,11 @@ struct Finding {
 /// tokens, so rule matches report accurate locations. Handles //, /*...*/,
 /// escape sequences, and raw string literals.
 [[nodiscard]] std::string sanitize(std::string_view source);
+
+/// Inverse channel of sanitize(): keeps comment text (and newlines), blanks
+/// code and literal contents. Suppression comments are parsed from this
+/// view, so `sic-lint: allow(...)` inside a string literal never suppresses.
+[[nodiscard]] std::string comments_only(std::string_view source);
 
 /// Runs every rule applicable to `path` over `source` and returns findings
 /// in line order. Suppression comments are honored. The R2 baseline is NOT
