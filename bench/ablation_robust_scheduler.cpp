@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
 
   const Scenario scenarios[] = {
       {"no-faults", {}},
-      {"cancel-10%", {Decibels{0.0}, 0.9, 0.1, 0.0}},
-      {"stale-4dB", {Decibels{4.0}, 0.9, 0.0, 0.0}},
-      {"ack-loss-1%", {Decibels{0.0}, 0.9, 0.0, 0.01}},
-      {"combined", {Decibels{4.0}, 0.9, 0.01, 0.01}},
+      {"cancel-10%", {Decibels{0.0}, 0.9, 0.1, 0.0, {}}},
+      {"stale-4dB", {Decibels{4.0}, 0.9, 0.0, 0.0, {}}},
+      {"ack-loss-1%", {Decibels{0.0}, 0.9, 0.0, 0.01, {}}},
+      {"combined", {Decibels{4.0}, 0.9, 0.01, 0.01, {}}},
   };
   constexpr int kSeeds = 25;
 

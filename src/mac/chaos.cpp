@@ -1,0 +1,186 @@
+#include "mac/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace sic::mac {
+
+namespace {
+
+void require_prob(double value, const char* name) {
+  if (std::isnan(value)) {
+    throw FaultConfigError(std::string(name) + " is NaN");
+  }
+  if (value < 0.0 || value > 1.0) {
+    throw FaultConfigError(std::string(name) + " must be in [0,1], got " +
+                           std::to_string(value));
+  }
+}
+
+void require_nonnegative(double value, const char* name) {
+  if (std::isnan(value)) {
+    throw FaultConfigError(std::string(name) + " is NaN");
+  }
+  if (value < 0.0) {
+    throw FaultConfigError(std::string(name) + " must be >= 0, got " +
+                           std::to_string(value));
+  }
+}
+
+void require_duration(int value, const char* name) {
+  if (value < 1) {
+    throw FaultConfigError(std::string(name) + " must be >= 1 epoch, got " +
+                           std::to_string(value));
+  }
+}
+
+}  // namespace
+
+void ChaosProfile::validate() const {
+  require_prob(ap_outage_prob, "ap_outage_prob");
+  require_prob(burst_prob, "burst_prob");
+  require_prob(departure_prob, "departure_prob");
+  require_prob(storm_prob, "storm_prob");
+  require_nonnegative(arrival_rate, "arrival_rate");
+  require_nonnegative(storm_multiplier, "storm_multiplier");
+  require_nonnegative(burst_depth.value(), "burst_depth");
+  require_duration(outage_epochs, "outage_epochs");
+  require_duration(burst_epochs, "burst_epochs");
+  require_duration(storm_epochs, "storm_epochs");
+}
+
+FaultSchedule::FaultSchedule(const ChaosProfile& profile) : profile_(profile) {
+  profile.validate();
+}
+
+FaultSchedule& FaultSchedule::add(const TimedChaosEvent& event) {
+  if (event.epoch < 0) {
+    throw FaultConfigError("timed event epoch must be >= 0");
+  }
+  if (event.kind != ChaosEventKind::kStorm &&
+      event.kind != ChaosEventKind::kArrivals && event.ap < -1) {
+    throw FaultConfigError("timed event AP must be an id or -1 (all)");
+  }
+  events_.push_back(event);
+  return *this;
+}
+
+EpochChaos FaultSchedule::resolve(int epoch,
+                                  std::span<const std::uint8_t> ap_alive,
+                                  std::span<const int> clients,
+                                  double churn_multiplier, Rng& rng) const {
+  EpochChaos out;
+  const int n_aps = static_cast<int>(ap_alive.size());
+  // Scripted events first — they happen regardless of any draw.
+  for (const TimedChaosEvent& ev : events_) {
+    if (ev.epoch != epoch) continue;
+    const int lo = ev.ap < 0 ? 0 : ev.ap;
+    const int hi = ev.ap < 0 ? n_aps - 1 : ev.ap;
+    switch (ev.kind) {
+      case ChaosEventKind::kApOutage:
+        for (int ap = lo; ap <= hi && ap < n_aps; ++ap) {
+          out.outages.push_back({ap, ev.duration_epochs});
+        }
+        break;
+      case ChaosEventKind::kApRestart:
+        for (int ap = lo; ap <= hi && ap < n_aps; ++ap) {
+          out.outages.push_back({ap, 0});  // duration 0 = back up now
+        }
+        break;
+      case ChaosEventKind::kBurst:
+        for (int ap = lo; ap <= hi && ap < n_aps; ++ap) {
+          out.bursts.push_back({ap, ev.depth, ev.duration_epochs});
+        }
+        break;
+      case ChaosEventKind::kStorm:
+        out.storm_epochs = std::max(out.storm_epochs, ev.duration_epochs);
+        break;
+      case ChaosEventKind::kArrivals:
+        out.arrivals += ev.count;
+        break;
+    }
+  }
+  // Stochastic draws in a fixed order: outage trials by AP id, burst
+  // trials by AP id, departure trials by client position, then arrivals
+  // and the storm trial. Zero-rate knobs skip their draws entirely.
+  if (profile_.ap_outage_prob > 0.0) {
+    for (int ap = 0; ap < n_aps; ++ap) {
+      if (ap_alive[static_cast<std::size_t>(ap)] == 0) continue;
+      if (rng.chance(profile_.ap_outage_prob)) {
+        out.outages.push_back({ap, profile_.outage_epochs});
+      }
+    }
+  }
+  if (profile_.burst_prob > 0.0) {
+    for (int ap = 0; ap < n_aps; ++ap) {
+      if (ap_alive[static_cast<std::size_t>(ap)] == 0) continue;
+      if (rng.chance(profile_.burst_prob)) {
+        out.bursts.push_back({ap, profile_.burst_depth, profile_.burst_epochs});
+      }
+    }
+  }
+  const double depart =
+      std::min(1.0, profile_.departure_prob * churn_multiplier);
+  if (depart > 0.0) {
+    for (const int client : clients) {
+      if (rng.chance(depart)) out.departures.push_back(client);
+    }
+  }
+  const double arrive = profile_.arrival_rate * churn_multiplier;
+  if (arrive > 0.0) {
+    out.arrivals += static_cast<int>(std::floor(arrive));
+    const double frac = arrive - std::floor(arrive);
+    if (frac > 0.0 && rng.chance(frac)) ++out.arrivals;
+  }
+  if (profile_.storm_prob > 0.0 && rng.chance(profile_.storm_prob)) {
+    out.storm_epochs = std::max(out.storm_epochs, profile_.storm_epochs);
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::preset(std::string_view name,
+                                    int expected_clients) {
+  const double n = static_cast<double>(expected_clients);
+  ChaosProfile p;
+  if (name == "none") {
+    return FaultSchedule{};
+  }
+  if (name == "default") {
+    // The ISSUE's acceptance profile: 1% AP outage/epoch, 2% churn,
+    // occasional 20 dB bursts.
+    p.ap_outage_prob = 0.01;
+    p.outage_epochs = 3;
+    p.burst_prob = 0.05;
+    p.burst_depth = Decibels{20.0};
+    p.burst_epochs = 2;
+    p.departure_prob = 0.02;
+    p.arrival_rate = 0.02 * n;
+    return FaultSchedule{p};
+  }
+  if (name == "outage") {
+    p.ap_outage_prob = 0.05;
+    p.outage_epochs = 5;
+    p.departure_prob = 0.01;
+    p.arrival_rate = 0.01 * n;
+    return FaultSchedule{p};
+  }
+  if (name == "burst") {
+    p.burst_prob = 0.20;
+    p.burst_depth = Decibels{25.0};
+    p.burst_epochs = 3;
+    return FaultSchedule{p};
+  }
+  if (name == "churn") {
+    p.departure_prob = 0.05;
+    p.arrival_rate = 0.05 * n;
+    p.storm_prob = 0.10;
+    p.storm_multiplier = 8.0;
+    p.storm_epochs = 2;
+    return FaultSchedule{p};
+  }
+  throw FaultConfigError("unknown chaos profile: " + std::string(name) +
+                         " (expected none|default|outage|burst|churn)");
+}
+
+}  // namespace sic::mac

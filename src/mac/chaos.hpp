@@ -1,0 +1,151 @@
+#ifndef SICMAC_MAC_CHAOS_HPP
+#define SICMAC_MAC_CHAOS_HPP
+
+/// \file chaos.hpp
+/// Deployment-scale fault injection. mac/fault_model perturbs one
+/// scheduled-upload run (per-round AR(1) drift, cancellation failures,
+/// ACK loss); this layer generalizes it to the faults only a fleet can
+/// experience: timed AP crashes and restarts, correlated interference
+/// bursts that bury a whole cell, and churn storms that turn over the
+/// client population. A FaultSchedule composes two sources:
+///
+///  - a ChaosProfile of per-epoch rates (AP outage probability, burst
+///    probability and depth, client departure probability, arrival rate,
+///    churn-storm probability), resolved by seeded draws; and
+///  - an explicit list of TimedChaosEvents pinned to epochs, for
+///    reproducing a specific incident (tests script "AP 0 dies at epoch
+///    3 for 5 epochs" this way).
+///
+/// resolve() is pure given (epoch, fleet state, rng): the engine passes a
+/// counter-based per-epoch Rng substream, so the chaos stream is
+/// bit-identical for any thread count and any earlier history. A
+/// default-constructed schedule is inert: no draws, no events.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mac/fault_model.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sic::mac {
+
+/// Stochastic per-epoch fault rates. All-zero (the default) is inert.
+/// Validation throws FaultConfigError — same taxonomy as FaultConfig.
+struct ChaosProfile {
+  /// Probability a live AP crashes this epoch.
+  double ap_outage_prob = 0.0;
+  /// Epochs a crashed AP stays down before restarting.
+  int outage_epochs = 3;
+  /// Probability a live AP takes a correlated interference burst this
+  /// epoch — an external emitter burying every uplink in the cell.
+  double burst_prob = 0.0;
+  /// Unplanned attenuation of every member's effective RSS under a burst.
+  Decibels burst_depth{20.0};
+  /// Epochs a burst persists.
+  int burst_epochs = 2;
+  /// Probability an active client departs this epoch.
+  double departure_prob = 0.0;
+  /// Expected client arrivals per epoch (fractional part resolved by a
+  /// Bernoulli draw).
+  double arrival_rate = 0.0;
+  /// Probability a churn storm starts this epoch.
+  double storm_prob = 0.0;
+  /// Multiplier applied to departure_prob and arrival_rate while a storm
+  /// is active.
+  double storm_multiplier = 8.0;
+  /// Epochs a storm lasts.
+  int storm_epochs = 2;
+
+  [[nodiscard]] bool any() const {
+    return ap_outage_prob > 0.0 || burst_prob > 0.0 || departure_prob > 0.0 ||
+           arrival_rate > 0.0 || storm_prob > 0.0;
+  }
+  /// FaultConfigError on NaNs, negative rates/durations, or probabilities
+  /// outside [0,1].
+  void validate() const;
+};
+
+/// One scripted fault, pinned to an epoch.
+enum class ChaosEventKind : std::uint8_t {
+  kApOutage,   ///< target AP goes down for duration_epochs
+  kApRestart,  ///< target AP comes back up immediately
+  kBurst,      ///< target AP takes a burst of `depth` for duration_epochs
+  kStorm,      ///< churn storm for duration_epochs
+  kArrivals,   ///< `count` clients arrive this epoch
+};
+
+struct TimedChaosEvent {
+  int epoch = 0;
+  ChaosEventKind kind = ChaosEventKind::kApOutage;
+  int ap = -1;  ///< target AP for outage/restart/burst; -1 = every AP
+  int duration_epochs = 1;
+  Decibels depth{20.0};  ///< burst only
+  int count = 0;         ///< arrivals only
+};
+
+/// Everything the schedule resolved for one epoch, in deterministic
+/// order: scripted events first, then stochastic draws (outages by AP id,
+/// bursts by AP id, departures by position in the active-client span,
+/// then the arrival and storm draws).
+struct EpochChaos {
+  struct Outage {
+    int ap = 0;
+    int epochs = 1;
+  };
+  struct Burst {
+    int ap = 0;
+    Decibels depth{0.0};
+    int epochs = 1;
+  };
+  std::vector<Outage> outages;
+  std::vector<Burst> bursts;
+  std::vector<int> departures;  ///< client ids leaving this epoch
+  int arrivals = 0;
+  int storm_epochs = 0;  ///< >0: a storm starts, lasting this many epochs
+};
+
+/// Seeded, schedule-driven fault injector: profile rates + timed events.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(const ChaosProfile& profile);
+
+  /// Appends a scripted event; returns *this so incidents compose:
+  /// `FaultSchedule{}.add({.epoch = 3, .kind = kApOutage, .ap = 0})`.
+  FaultSchedule& add(const TimedChaosEvent& event);
+
+  [[nodiscard]] const ChaosProfile& profile() const { return profile_; }
+  [[nodiscard]] bool empty() const {
+    return !profile_.any() && events_.empty();
+  }
+
+  /// Resolves epoch \p epoch against the current fleet. \p ap_alive flags
+  /// index APs; only live APs draw outage/burst trials. \p clients are
+  /// the active client ids in ascending order. \p churn_multiplier scales
+  /// departure/arrival rates (the engine passes its active-storm factor).
+  /// Zero-probability knobs take no draws, so composing a timed-only
+  /// schedule never consumes entropy.
+  [[nodiscard]] EpochChaos resolve(int epoch,
+                                   std::span<const std::uint8_t> ap_alive,
+                                   std::span<const int> clients,
+                                   double churn_multiplier, Rng& rng) const;
+
+  /// Named profiles for the CLI / bench: "none", "default" (1% AP
+  /// outage/epoch, 2% churn, 5% bursts), "outage" (outage-heavy),
+  /// "burst" (burst-heavy), "churn" (churn storms). \p expected_clients
+  /// sizes the arrival rate so the population is stationary in
+  /// expectation. FaultConfigError on an unknown name.
+  [[nodiscard]] static FaultSchedule preset(std::string_view name,
+                                            int expected_clients);
+
+ private:
+  ChaosProfile profile_;
+  std::vector<TimedChaosEvent> events_;
+};
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_CHAOS_HPP

@@ -1,0 +1,721 @@
+#include "mac/deployment_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "util/check.hpp"
+
+namespace sic::mac {
+
+namespace {
+
+/// Stream salt separating the engine's per-epoch draws (drift, chaos,
+/// arrival placement) from every inner-run seed.
+constexpr std::uint64_t kEngineStream = 0xC1A05E19E57ULL;
+
+/// Ladder level 3: serial solo slots in member order, no matching.
+core::Schedule serial_schedule(std::span<const channel::LinkBudget> budgets,
+                               const phy::RateAdapter& adapter,
+                               const core::SchedulerOptions& options) {
+  core::Schedule s;
+  s.admission_margin_db = options.admission_margin_db;
+  for (int i = 0; i < static_cast<int>(budgets.size()); ++i) {
+    core::ScheduledSlot slot;
+    slot.first = i;
+    slot.second = -1;
+    slot.plan.mode = core::PairMode::kSolo;
+    slot.plan.airtime = core::solo_airtime(
+        budgets[static_cast<std::size_t>(i)], adapter, options.packet_bits);
+    s.total_airtime += slot.plan.airtime;
+    s.slots.push_back(slot);
+  }
+  return s;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InvariantAuditor
+// ---------------------------------------------------------------------------
+
+void InvariantAuditor::check(const EpochInvariants& inv) {
+  ++epochs_checked_;
+  const auto fail = [&](std::string what) {
+    violations_.push_back(Violation{inv.epoch, std::move(what)});
+  };
+  if (inv.confirmed + inv.unrecovered != inv.offered) {
+    fail("conservation: confirmed (" + std::to_string(inv.confirmed) +
+         ") + unrecovered (" + std::to_string(inv.unrecovered) +
+         ") != offered (" + std::to_string(inv.offered) + ")");
+  }
+  const std::size_t n = inv.active.size();
+  SIC_CHECK(inv.quarantined.size() == n && inv.assignment.size() == n &&
+            inv.served_by.size() == n);
+  std::uint64_t served = 0;
+  std::uint64_t unassigned = 0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const int ap = inv.assignment[c];
+    const int by = inv.served_by[c];
+    const bool active = inv.active[c] != 0;
+    const bool quarantined = inv.quarantined[c] != 0;
+    const auto alive = [&](int a) {
+      return a >= 0 && a < static_cast<int>(inv.ap_alive.size()) &&
+             inv.ap_alive[static_cast<std::size_t>(a)] != 0;
+    };
+    if (!active && (ap >= 0 || by >= 0)) {
+      fail("inactive client " + std::to_string(c) + " assigned or served");
+      continue;
+    }
+    if (ap >= 0 && !alive(ap)) {
+      fail("client " + std::to_string(c) + " assigned to dead AP " +
+           std::to_string(ap));
+    }
+    if (by >= 0 && !alive(by)) {
+      fail("client " + std::to_string(c) + " served by dead AP " +
+           std::to_string(by));
+    }
+    if (quarantined && (ap >= 0 || by >= 0)) {
+      fail("quarantined client " + std::to_string(c) +
+           " appears in an active matching");
+    }
+    if (by >= 0 && ap != by) {
+      fail("client " + std::to_string(c) + " served by AP " +
+           std::to_string(by) + " but assigned to " + std::to_string(ap));
+    }
+    if (by >= 0) ++served;
+    if (active && !quarantined && ap < 0) ++unassigned;
+  }
+  if (served != inv.offered) {
+    fail("accounting: " + std::to_string(served) +
+         " clients served but offered = " + std::to_string(inv.offered));
+  }
+  if (unassigned != inv.deferred) {
+    fail("accounting: " + std::to_string(unassigned) +
+         " unassigned active clients but deferred = " +
+         std::to_string(inv.deferred));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DeploymentEngine
+// ---------------------------------------------------------------------------
+
+struct DeploymentEngine::ClientState {
+  topology::Point position;
+  bool active = true;
+  int ap = -1;              ///< serving AP id, -1 = unassigned
+  Decibels drift{0.0};      ///< truth deviation from nominal (epoch AR(1))
+  Decibels est_drift{0.0};  ///< drift captured at the last re-estimation
+  int fail_streak = 0;      ///< consecutive epochs with abandoned frames
+  bool quarantined = false;
+  int quarantine_until = 0;
+  int quarantine_times = 0;
+};
+
+struct DeploymentEngine::ApState {
+  int id = 0;
+  topology::Point site;
+  bool alive = true;
+  int down_until = 0;
+  Decibels burst{0.0};  ///< active interference-burst depth
+  int burst_until = 0;
+  int ladder = 0;  ///< 0 = full options .. 3 = serial-only
+  int healthy_streak = 0;
+  int allfail_streak = 0;
+  bool dirty = true;  ///< re-estimate + re-match before next service
+  bool rematched_this_epoch = false;
+  std::vector<int> members;  ///< ascending client ids
+  /// Membership/ladder the persistent pair-cost engine was built over —
+  /// a mismatch forces a rebuild instead of per-row updates.
+  std::vector<int> pce_members;
+  int pce_ladder = -1;
+  std::unique_ptr<core::PairCostEngine> pce;
+  core::Schedule schedule;
+  std::vector<int> sched_members;  ///< members the schedule indexes
+  UploadSimResult last;
+};
+
+DeploymentEngine::DeploymentEngine(std::vector<topology::Point> ap_sites,
+                                   const phy::RateAdapter& adapter,
+                                   const DeploymentEngineConfig& config,
+                                   FaultSchedule chaos)
+    : adapter_(&adapter),
+      config_(config),
+      chaos_(std::move(chaos)),
+      pathloss_(channel::LogDistancePathLoss::for_carrier(
+          config.pathloss_exponent)),
+      noise_mw_(config.noise_floor.to_milliwatts()),
+      pool_(std::make_unique<ThreadPool>(ThreadPool::resolve(config.threads))) {
+  SIC_CHECK_MSG(!ap_sites.empty(), "deployment needs at least one AP");
+  SIC_CHECK_MSG(config_.upload.faults.initial_drift.empty(),
+                "upload.faults.initial_drift is engine-owned; leave it empty");
+  config_.upload.faults.validate();
+  chaos_.profile().validate();
+  config_.scheduler.packet_bits = config_.upload.packet_bits;
+  config_.upload.recovery.enabled = config_.closed_loop;
+  aps_.reserve(ap_sites.size());
+  for (std::size_t i = 0; i < ap_sites.size(); ++i) {
+    ApState ap;
+    ap.id = static_cast<int>(i);
+    ap.site = ap_sites[i];
+    aps_.push_back(std::move(ap));
+  }
+}
+
+DeploymentEngine::~DeploymentEngine() = default;
+
+int DeploymentEngine::n_aps() const { return static_cast<int>(aps_.size()); }
+
+bool DeploymentEngine::ap_alive(int ap) const {
+  SIC_CHECK(ap >= 0 && ap < n_aps());
+  return aps_[static_cast<std::size_t>(ap)].alive;
+}
+
+int DeploymentEngine::ladder_level(int ap) const {
+  SIC_CHECK(ap >= 0 && ap < n_aps());
+  return aps_[static_cast<std::size_t>(ap)].ladder;
+}
+
+int DeploymentEngine::active_clients() const {
+  int n = 0;
+  for (const ClientState& c : clients_) n += c.active ? 1 : 0;
+  return n;
+}
+
+bool DeploymentEngine::client_active(int client) const {
+  SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  return clients_[static_cast<std::size_t>(client)].active;
+}
+
+bool DeploymentEngine::quarantined(int client) const {
+  SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  return clients_[static_cast<std::size_t>(client)].quarantined;
+}
+
+int DeploymentEngine::assignment(int client) const {
+  SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  return clients_[static_cast<std::size_t>(client)].ap;
+}
+
+const UploadSimResult& DeploymentEngine::last_ap_result(int ap) const {
+  SIC_CHECK(ap >= 0 && ap < n_aps());
+  return aps_[static_cast<std::size_t>(ap)].last;
+}
+
+channel::LinkBudget DeploymentEngine::nominal_budget(int client,
+                                                     int ap) const {
+  SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  SIC_CHECK(ap >= 0 && ap < n_aps());
+  const ClientState& c = clients_[static_cast<std::size_t>(client)];
+  const ApState& a = aps_[static_cast<std::size_t>(ap)];
+  const double d = topology::distance(c.position, a.site);
+  return channel::LinkBudget{
+      pathloss_.received_power(config_.client_tx_power, d).to_milliwatts(),
+      noise_mw_};
+}
+
+std::uint64_t DeploymentEngine::epoch_seed(std::uint64_t seed, int ap,
+                                           int epoch) {
+  const std::uint64_t stream =
+      static_cast<std::uint64_t>(ap) * 0x9e3779b97f4a7c15ULL +
+      static_cast<std::uint64_t>(epoch) * 0xbf58476d1ce4e5b9ULL + 1;
+  return SplitMix64{seed ^ stream}.next();
+}
+
+Rng DeploymentEngine::epoch_rng() const {
+  return Rng::at(config_.seed ^ kEngineStream,
+                 static_cast<std::uint64_t>(epoch_));
+}
+
+int DeploymentEngine::add_client(topology::Point position) {
+  ClientState c;
+  c.position = position;
+  clients_.push_back(c);
+  return static_cast<int>(clients_.size()) - 1;
+}
+
+void DeploymentEngine::remove_client(int client) {
+  SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
+  ClientState& c = clients_[static_cast<std::size_t>(client)];
+  if (!c.active) return;
+  c.active = false;
+  c.quarantined = false;
+  if (c.ap >= 0) {
+    ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
+    ap.members.erase(
+        std::remove(ap.members.begin(), ap.members.end(), client),
+        ap.members.end());
+    ap.dirty = true;
+    c.ap = -1;
+  }
+}
+
+core::SchedulerOptions DeploymentEngine::ladder_options(int level) const {
+  core::SchedulerOptions o = config_.scheduler;
+  if (level >= 1) o.enable_multirate = false;
+  if (level >= 2) o.enable_power_control = false;
+  return o;
+}
+
+double DeploymentEngine::association_score_db(const ClientState& c,
+                                              const ApState& a) const {
+  // Association tracks slow-scale beacon RSS: geometry plus a load
+  // penalty. Per-client drift shifts every AP's beacon equally and
+  // transient bursts are invisible at this timescale, so neither enters
+  // the comparison.
+  const double d = topology::distance(c.position, a.site);
+  return pathloss_.received_power(config_.client_tx_power, d).value() -
+         config_.load_penalty_per_client.value() *
+             static_cast<double>(a.members.size());
+}
+
+void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
+                                   EpochStats& stats) {
+  for (const EpochChaos::Outage& o : chaos.outages) {
+    if (o.ap < 0 || o.ap >= n_aps()) continue;
+    ApState& ap = aps_[static_cast<std::size_t>(o.ap)];
+    if (o.epochs <= 0) {  // scripted restart
+      if (!ap.alive) {
+        ap.alive = true;
+        ap.down_until = epoch_;
+        ap.dirty = true;
+      }
+      continue;
+    }
+    if (!ap.alive) {  // already down: extend the outage
+      ap.down_until = std::max(ap.down_until, epoch_ + o.epochs);
+      continue;
+    }
+    ap.alive = false;
+    ap.down_until = epoch_ + o.epochs;
+    ap.pce.reset();
+    ap.pce_ladder = -1;
+    ap.pce_members.clear();
+    ap.schedule = core::Schedule{};
+    ap.sched_members.clear();
+    ap.dirty = true;
+    for (const int m : ap.members) {
+      clients_[static_cast<std::size_t>(m)].ap = -1;
+    }
+    ap.members.clear();
+    ++stats.outages_started;
+  }
+  for (const EpochChaos::Burst& b : chaos.bursts) {
+    if (b.ap < 0 || b.ap >= n_aps()) continue;
+    ApState& ap = aps_[static_cast<std::size_t>(b.ap)];
+    ap.burst = std::max(ap.burst, b.depth);
+    ap.burst_until = std::max(ap.burst_until, epoch_ + b.epochs);
+    ++stats.bursts_started;
+  }
+  if (chaos.storm_epochs > 0) {
+    storm_until_ = std::max(storm_until_, epoch_ + chaos.storm_epochs);
+  }
+  for (const int c : chaos.departures) {
+    remove_client(c);
+    ++stats.departures;
+  }
+  stats.arrivals += chaos.arrivals;
+}
+
+void DeploymentEngine::associate_clients(EpochStats& stats) {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    ClientState& c = clients_[i];
+    if (!c.active || c.quarantined) continue;
+    int best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (const ApState& ap : aps_) {
+      if (!ap.alive) continue;
+      const double score = association_score_db(c, ap);
+      if (score > best_score) {  // strict: equal scores keep the lower id
+        best = ap.id;
+        best_score = score;
+      }
+    }
+    if (best < 0 || best == c.ap) continue;
+    if (c.ap >= 0) {
+      // Hysteresis: leave a live AP only for a clearly better one.
+      const double current =
+          association_score_db(c, aps_[static_cast<std::size_t>(c.ap)]);
+      if (best_score <= current + config_.handoff_hysteresis.value()) {
+        continue;
+      }
+      ApState& old = aps_[static_cast<std::size_t>(c.ap)];
+      old.members.erase(
+          std::remove(old.members.begin(), old.members.end(),
+                      static_cast<int>(i)),
+          old.members.end());
+      old.dirty = true;
+      ++stats.handoffs;
+    }
+    ApState& ap = aps_[static_cast<std::size_t>(best)];
+    ap.members.insert(
+        std::upper_bound(ap.members.begin(), ap.members.end(),
+                         static_cast<int>(i)),
+        static_cast<int>(i));
+    ap.dirty = true;
+    c.ap = best;
+  }
+}
+
+void DeploymentEngine::serve_ap(ApState& ap) {
+  const bool rebuild = ap.pce == nullptr || ap.pce_ladder != ap.ladder ||
+                       ap.pce_members != ap.members;
+  if (ap.dirty) {
+    // Re-estimation: the AP measures every member's channel fresh.
+    for (const int m : ap.members) {
+      ClientState& c = clients_[static_cast<std::size_t>(m)];
+      c.est_drift = c.drift;
+    }
+  }
+  // Planning estimates (member order).
+  std::vector<channel::LinkBudget> budgets;
+  budgets.reserve(ap.members.size());
+  for (const int m : ap.members) {
+    const channel::LinkBudget nominal = nominal_budget(m, ap.id);
+    const Decibels est = clients_[static_cast<std::size_t>(m)].est_drift;
+    budgets.push_back(
+        channel::LinkBudget{nominal.rss * est.linear(), noise_mw_});
+  }
+  if (ap.dirty || rebuild) {
+    if (ap.ladder >= 3) {
+      ap.pce.reset();
+      ap.pce_ladder = ap.ladder;
+      ap.pce_members = ap.members;
+      ap.schedule = serial_schedule(budgets, *adapter_, ladder_options(2));
+    } else if (rebuild) {
+      ap.pce = std::make_unique<core::PairCostEngine>(
+          *adapter_, ladder_options(ap.ladder));
+      ap.pce->set_clients(budgets);
+      ap.pce_ladder = ap.ladder;
+      ap.pce_members = ap.members;
+      ap.schedule = ap.pce->schedule();
+    } else {
+      // Same members, same options: re-estimation only — dirty rows
+      // recompute, clean rows serve from cache.
+      for (std::size_t i = 0; i < budgets.size(); ++i) {
+        ap.pce->update_client(static_cast<int>(i), budgets[i].rss);
+      }
+      ap.schedule = ap.pce->schedule();
+    }
+    ap.sched_members = ap.members;
+    ap.rematched_this_epoch = true;
+    ap.dirty = false;
+  }
+
+  // Execution: the truth the packets fly through deviates from the
+  // planning estimate by accumulated drift plus any active burst,
+  // expressed through the fault model's initial_drift conduit.
+  UploadSimConfig run = config_.upload;
+  run.seed = epoch_seed(config_.seed, ap.id, epoch_);
+  run.recovery.enabled = config_.closed_loop;
+  run.recovery.rematch_options = ladder_options(std::min(ap.ladder, 2));
+  std::vector<Decibels> offsets(ap.members.size(), Decibels{0.0});
+  bool any_offset = false;
+  for (std::size_t i = 0; i < ap.members.size(); ++i) {
+    const ClientState& c =
+        clients_[static_cast<std::size_t>(ap.members[i])];
+    const Decibels off = c.drift - c.est_drift - ap.burst;
+    offsets[i] = off;
+    any_offset = any_offset || off != Decibels{0.0};
+  }
+  if (any_offset) run.faults.initial_drift = std::move(offsets);
+  ap.last = run_scheduled_upload(budgets, *adapter_, ap.schedule, run);
+}
+
+EpochStats DeploymentEngine::run_epoch() {
+  EpochStats stats;
+  stats.epoch = epoch_;
+  Rng rng = epoch_rng();
+
+  // 1. Epoch-scale channel drift, client-id order (sequential: one
+  //    deterministic draw stream regardless of thread count).
+  if (config_.epoch_drift_sigma > Decibels{0.0}) {
+    const double rho = config_.epoch_drift_rho;
+    const double innovation = std::sqrt(std::max(0.0, 1.0 - rho * rho));
+    for (ClientState& c : clients_) {
+      if (!c.active) continue;
+      c.drift = Decibels{
+          rho * c.drift.value() +
+          rng.normal(0.0, innovation * config_.epoch_drift_sigma.value())};
+    }
+  }
+
+  // 2. Scheduled restarts and burst expiry.
+  for (ApState& ap : aps_) {
+    if (!ap.alive && epoch_ >= ap.down_until) {
+      ap.alive = true;
+      ap.dirty = true;
+    }
+    if (epoch_ >= ap.burst_until) ap.burst = Decibels{0.0};
+  }
+
+  // 3. Chaos resolution + application.
+  if (!chaos_.empty()) {
+    std::vector<std::uint8_t> alive;
+    alive.reserve(aps_.size());
+    for (const ApState& ap : aps_) alive.push_back(ap.alive ? 1 : 0);
+    std::vector<int> active_ids;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      if (clients_[i].active) active_ids.push_back(static_cast<int>(i));
+    }
+    const double mult =
+        epoch_ < storm_until_ ? chaos_.profile().storm_multiplier : 1.0;
+    const EpochChaos resolved =
+        chaos_.resolve(epoch_, alive, active_ids, mult, rng);
+    apply_chaos(resolved, stats);
+    // Arrival placement draws stay on the engine's epoch stream.
+    for (int k = 0; k < resolved.arrivals; ++k) {
+      const int site = rng.uniform_int(0, n_aps() - 1);
+      (void)add_client(topology::random_in_disc(
+          rng, aps_[static_cast<std::size_t>(site)].site,
+          config_.arrival_radius_m));
+    }
+  }
+
+  // 4. Quarantine re-admission probes (before association so a released
+  //    client is served this epoch).
+  if (config_.closed_loop && config_.enable_quarantine) {
+    for (ClientState& c : clients_) {
+      if (c.active && c.quarantined && epoch_ >= c.quarantine_until) {
+        c.quarantined = false;
+        // Probation, not a clean slate: one failed probe epoch re-exiles
+        // the client (a confirmed epoch clears the streak as usual), so a
+        // still-hopeless link costs one epoch per probe instead of
+        // another full quarantine_after streak.
+        c.fail_streak = config_.quarantine_after - 1;
+        ++stats.readmissions;
+      }
+    }
+  }
+
+  // 5. Association / handoff with hysteresis.
+  associate_clients(stats);
+  for (const ClientState& c : clients_) {
+    if (c.active && !c.quarantined && c.ap < 0) ++stats.deferred;
+  }
+  for (const ApState& ap : aps_) stats.live_aps += ap.alive ? 1 : 0;
+  for (const ClientState& c : clients_) {
+    stats.active_clients += c.active ? 1 : 0;
+    stats.quarantined_clients += (c.active && c.quarantined) ? 1 : 0;
+  }
+
+  // 6. Serve every live AP with members — in parallel over APs, each
+  //    with a scratch metrics registry merged back in AP order so counter
+  //    maps are identical at any thread count.
+  std::vector<int> serving;
+  for (const ApState& ap : aps_) {
+    if (ap.alive && !ap.members.empty()) serving.push_back(ap.id);
+  }
+  obs::MetricsRegistry* caller = obs::metrics();
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> scratch(aps_.size());
+  pool_->parallel_for(
+      static_cast<std::int64_t>(serving.size()), 1,
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t k = begin; k < end; ++k) {
+          ApState& ap =
+              aps_[static_cast<std::size_t>(serving[static_cast<std::size_t>(k)])];
+          obs::MetricsRegistry* prev = nullptr;
+          if (caller != nullptr) {
+            scratch[static_cast<std::size_t>(ap.id)] =
+                std::make_unique<obs::MetricsRegistry>();
+            prev = obs::set_metrics(
+                scratch[static_cast<std::size_t>(ap.id)].get());
+          }
+          serve_ap(ap);
+          if (caller != nullptr) (void)obs::set_metrics(prev);
+        }
+      });
+  if (caller != nullptr) {
+    for (const int id : serving) {
+      if (scratch[static_cast<std::size_t>(id)] != nullptr) {
+        caller->merge_from(*scratch[static_cast<std::size_t>(id)]);
+      }
+    }
+  }
+
+  // 7. Aggregate, then audit the epoch exactly as executed.
+  std::vector<int> served_by;
+  if (auditor_ != nullptr) served_by.assign(clients_.size(), -1);
+  for (const int id : serving) {
+    ApState& ap = aps_[static_cast<std::size_t>(id)];
+    stats.offered += ap.last.offered;
+    stats.unrecovered += ap.last.failures.unrecovered;
+    stats.decisions += ap.schedule.slots.size();
+    if (ap.rematched_this_epoch) {
+      ++stats.rematched_aps;
+      ap.rematched_this_epoch = false;
+    }
+    for (std::size_t i = 0; i < ap.sched_members.size(); ++i) {
+      const int m = ap.sched_members[i];
+      ClientState& c = clients_[static_cast<std::size_t>(m)];
+      const std::uint64_t lost = i < ap.last.unrecovered_per_client.size()
+                                     ? ap.last.unrecovered_per_client[i]
+                                     : 0;
+      if (lost > 0) {
+        ++c.fail_streak;
+      } else {
+        c.fail_streak = 0;
+      }
+      if (auditor_ != nullptr) served_by[static_cast<std::size_t>(m)] = id;
+    }
+  }
+  stats.confirmed = stats.offered - stats.unrecovered;
+  if (auditor_ != nullptr) audit_epoch(stats, served_by);
+
+  // 8. Quarantine decisions for next epoch (closed loop only).
+  if (config_.closed_loop && config_.enable_quarantine) {
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      ClientState& c = clients_[i];
+      if (!c.active || c.quarantined ||
+          c.fail_streak < config_.quarantine_after) {
+        continue;
+      }
+      c.quarantined = true;
+      const int shift = std::min(c.quarantine_times, 10);
+      c.quarantine_until =
+          epoch_ + 1 + (config_.quarantine_base_epochs << shift);
+      ++c.quarantine_times;
+      c.fail_streak = 0;
+      if (c.ap >= 0) {
+        ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
+        ap.members.erase(std::remove(ap.members.begin(), ap.members.end(),
+                                     static_cast<int>(i)),
+                         ap.members.end());
+        ap.dirty = true;
+        c.ap = -1;
+      }
+      ++stats.quarantines;
+    }
+  }
+
+  // 9. Per-AP health: degradation ladder + stuck-AP watchdog.
+  if (config_.closed_loop) {
+    for (const int id : serving) {
+      ApState& ap = aps_[static_cast<std::size_t>(id)];
+      const std::uint64_t offered = ap.last.offered;
+      if (offered == 0) continue;
+      const std::uint64_t confirmed =
+          offered - ap.last.failures.unrecovered;
+      if (confirmed == 0) {
+        ++ap.allfail_streak;
+      } else {
+        ap.allfail_streak = 0;
+      }
+      if (ap.allfail_streak >= config_.watchdog_epochs) {
+        // Stuck AP: nothing confirmed for K epochs. Force fresh
+        // estimates and a full from-scratch re-match.
+        ++stats.watchdog_fires;
+        ap.allfail_streak = 0;
+        ap.pce.reset();
+        ap.pce_ladder = -1;
+        ap.pce_members.clear();
+        ap.dirty = true;
+      }
+      const double frac =
+          static_cast<double>(confirmed) / static_cast<double>(offered);
+      if (frac < config_.unhealthy_below) {
+        ap.healthy_streak = 0;
+        if (ap.ladder < 3) {
+          ++ap.ladder;
+          ++stats.ladder_steps;
+          ap.dirty = true;
+        }
+      } else {
+        ++ap.healthy_streak;
+        if (ap.ladder > 0 &&
+            ap.healthy_streak >= config_.ladder_recover_epochs) {
+          --ap.ladder;
+          ++stats.ladder_steps;
+          ap.dirty = true;
+          ap.healthy_streak = 0;
+        }
+      }
+    }
+  }
+
+  // 10. Publish the epoch to obs (counters per fault cause + one span).
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("deploy.epochs").inc();
+    reg->counter("deploy.offered").inc(stats.offered);
+    reg->counter("deploy.confirmed").inc(stats.confirmed);
+    reg->counter("deploy.unrecovered").inc(stats.unrecovered);
+    reg->counter("deploy.deferred").inc(stats.deferred);
+    reg->counter("deploy.decisions").inc(stats.decisions);
+    reg->counter("deploy.handoffs").inc(
+        static_cast<std::uint64_t>(stats.handoffs));
+    reg->counter("deploy.rematched_aps").inc(
+        static_cast<std::uint64_t>(stats.rematched_aps));
+    reg->counter("deploy.fault.outages").inc(
+        static_cast<std::uint64_t>(stats.outages_started));
+    reg->counter("deploy.fault.bursts").inc(
+        static_cast<std::uint64_t>(stats.bursts_started));
+    reg->counter("deploy.fault.departures").inc(
+        static_cast<std::uint64_t>(stats.departures));
+    reg->counter("deploy.fault.arrivals").inc(
+        static_cast<std::uint64_t>(stats.arrivals));
+    reg->counter("deploy.quarantines").inc(
+        static_cast<std::uint64_t>(stats.quarantines));
+    reg->counter("deploy.readmissions").inc(
+        static_cast<std::uint64_t>(stats.readmissions));
+    reg->counter("deploy.ladder_steps").inc(
+        static_cast<std::uint64_t>(stats.ladder_steps));
+    reg->counter("deploy.watchdog_fires").inc(
+        static_cast<std::uint64_t>(stats.watchdog_fires));
+  }
+  if (obs::TraceSink* sink = obs::trace()) {
+    // Epochs have no shared sim clock; one synthetic second per epoch
+    // keeps the timeline ordered and readable.
+    sink->complete(
+        "epoch", static_cast<double>(epoch_) * 1e6, 1e6, /*tid=*/0,
+        {{"offered", std::to_string(stats.offered)},
+         {"confirmed", std::to_string(stats.confirmed)},
+         {"live_aps", std::to_string(stats.live_aps)},
+         {"quarantined", std::to_string(stats.quarantined_clients)}});
+  }
+
+  result_.epochs.push_back(stats);
+  result_.offered += stats.offered;
+  result_.confirmed += stats.confirmed;
+  result_.unrecovered += stats.unrecovered;
+  result_.deferred += stats.deferred;
+  result_.decisions += stats.decisions;
+  result_.handoffs += static_cast<std::uint64_t>(stats.handoffs);
+  result_.quarantines += static_cast<std::uint64_t>(stats.quarantines);
+  result_.readmissions += static_cast<std::uint64_t>(stats.readmissions);
+  result_.watchdog_fires += static_cast<std::uint64_t>(stats.watchdog_fires);
+  ++epoch_;
+  return stats;
+}
+
+void DeploymentEngine::audit_epoch(const EpochStats& stats,
+                                   const std::vector<int>& served_by) const {
+  EpochInvariants inv;
+  inv.epoch = epoch_;
+  inv.offered = stats.offered;
+  inv.confirmed = stats.confirmed;
+  inv.unrecovered = stats.unrecovered;
+  inv.deferred = stats.deferred;
+  inv.ap_alive.reserve(aps_.size());
+  for (const ApState& ap : aps_) inv.ap_alive.push_back(ap.alive ? 1 : 0);
+  inv.active.reserve(clients_.size());
+  inv.quarantined.reserve(clients_.size());
+  inv.assignment.reserve(clients_.size());
+  for (const ClientState& c : clients_) {
+    inv.active.push_back(c.active ? 1 : 0);
+    inv.quarantined.push_back((c.active && c.quarantined) ? 1 : 0);
+    inv.assignment.push_back(c.ap);
+  }
+  inv.served_by = served_by;
+  auditor_->check(inv);
+}
+
+DeploymentResult DeploymentEngine::run_epochs(int n) {
+  SIC_CHECK(n >= 0);
+  for (int i = 0; i < n; ++i) (void)run_epoch();
+  return result_;
+}
+
+}  // namespace sic::mac

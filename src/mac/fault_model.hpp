@@ -25,6 +25,7 @@
 /// run.
 
 #include <cstdint>
+#include <stdexcept>
 #include <unordered_set>
 #include <vector>
 
@@ -34,6 +35,15 @@
 #include "util/units.hpp"
 
 namespace sic::mac {
+
+/// Thrown when a FaultConfig carries NaNs, negative rates, or
+/// out-of-range probabilities — the malformed-config classes that would
+/// otherwise silently produce garbage trajectories (a NaN sigma passes a
+/// `>= 0` check and poisons every AR(1) draw after it).
+class FaultConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Knobs for the injected faults. Defaults are the paper's ideal world.
 struct FaultConfig {
@@ -49,20 +59,40 @@ struct FaultConfig {
   /// Probability the ACK of a delivered data frame is lost on the way
   /// back, triggering a spurious retransmission.
   double ack_loss_prob = 0.0;
+  /// Per-client deviation (dB) of the true channel from the nominal RSS
+  /// the schedule was planned on, fixed at run start — how a caller that
+  /// owns longer-lived estimates (the deployment engine's epoch-scale
+  /// drift and interference bursts) expresses "the plan is stale" to one
+  /// scheduled-upload run. Empty = no offsets; otherwise one finite entry
+  /// per client. Re-estimation inside the run measures through the offset
+  /// like any other channel fault, so the closed loop recovers from it.
+  std::vector<Decibels> initial_drift;
 
   [[nodiscard]] bool channel_faults() const {
-    return stale_rss_sigma > Decibels{0.0};
+    if (stale_rss_sigma > Decibels{0.0}) return true;
+    for (const Decibels d : initial_drift) {
+      if (d != Decibels{0.0}) return true;
+    }
+    return false;
   }
   [[nodiscard]] bool any() const {
     return channel_faults() || cancellation_failure_prob > 0.0 ||
            ack_loss_prob > 0.0;
   }
+
+  /// Throws FaultConfigError on NaN sigma/rho/probabilities, negative
+  /// sigma, probabilities outside [0,1], or non-finite drift entries.
+  /// \p n_clients pins the expected initial_drift size when >= 0 (pass -1
+  /// to validate a config with no client context yet).
+  void validate(int n_clients = -1) const;
 };
 
 /// Seeded source of the injected faults, plus the book-keeping the
 /// recovery layer needs to attribute failures to causes.
 class FaultModel {
  public:
+  /// Validates \p config (FaultConfigError on malformed knobs) and seeds
+  /// the per-client AR(1) tracks when channel faults are enabled.
   FaultModel(const FaultConfig& config, int n_clients, std::uint64_t seed);
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }

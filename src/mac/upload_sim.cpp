@@ -49,6 +49,10 @@ void publish_failure_telemetry(obs::MetricsRegistry& reg,
   reg.counter("mac.upload.rematch_rounds").inc(t.rematch_rounds);
   reg.counter("mac.upload.recovered").inc(t.recovered);
   reg.counter("mac.upload.unrecovered").inc(t.unrecovered);
+  reg.counter("mac.upload.gave_up.rate_miss").inc(t.gave_up_rate_miss);
+  reg.counter("mac.upload.gave_up.cancellation").inc(t.gave_up_cancellation);
+  reg.counter("mac.upload.gave_up.ack_loss").inc(t.gave_up_ack_loss);
+  reg.counter("mac.upload.gave_up.unattempted").inc(t.gave_up_unattempted);
   auto& retries = reg.histogram("mac.upload.retries_to_confirm", 1.0, 16);
   for (std::size_t k = 0; k < t.retry_histogram.size(); ++k) {
     for (std::uint64_t i = 0; i < t.retry_histogram[k]; ++i) {
@@ -193,6 +197,8 @@ class ClosedLoopRunner {
     dropped_.assign(n, false);
     demoted_.assign(n, false);
     ap_seen_.assign(n, 0);
+    last_cause_.assign(n, FailCause::kNone);
+    unrecovered_per_client_.assign(n, 0);
     const int buckets =
         std::clamp(config.recovery.max_attempts_per_frame, 1, 16);
     telemetry_.retry_histogram.assign(static_cast<std::size_t>(buckets), 0);
@@ -219,14 +225,15 @@ class ClosedLoopRunner {
   void finalize() {
     close_round_span("horizon");
     for (std::size_t c = 0; c < pending_.size(); ++c) {
-      if (pending_[c] > 0 && !dropped_[c]) {
-        telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
-        pending_[c] = 0;
-      }
+      if (pending_[c] > 0 && !dropped_[c]) give_up(c);
     }
   }
 
   [[nodiscard]] const FailureTelemetry& telemetry() const { return telemetry_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& unrecovered_per_client()
+      const {
+    return unrecovered_per_client_;
+  }
 
  private:
   struct RunSlot {
@@ -240,6 +247,27 @@ class ClosedLoopRunner {
   };
 
   enum class CheckOutcome { kConfirmed, kFailed, kDropped };
+
+  /// Cause of a client's most recent failed confirmation — the terminal
+  /// cause attributed when the executor abandons that client's frames.
+  enum class FailCause { kNone, kRateMiss, kCancellation, kAckLoss };
+
+  /// Abandons every pending frame of client \p c, splitting the loss by
+  /// the last observed failure cause (kNone = never checked: horizon).
+  void give_up(std::size_t c) {
+    const auto count = static_cast<std::uint64_t>(pending_[c]);
+    telemetry_.unrecovered += count;
+    unrecovered_per_client_[c] += count;
+    switch (last_cause_[c]) {
+      case FailCause::kRateMiss: telemetry_.gave_up_rate_miss += count; break;
+      case FailCause::kCancellation:
+        telemetry_.gave_up_cancellation += count;
+        break;
+      case FailCause::kAckLoss: telemetry_.gave_up_ack_loss += count; break;
+      case FailCause::kNone: telemetry_.gave_up_unattempted += count; break;
+    }
+    pending_[c] = 0;
+  }
 
   [[nodiscard]] static std::uint64_t frame_id(int client) {
     // Stable per-client ids: a retransmission carries the same id as the
@@ -476,6 +504,7 @@ class ClosedLoopRunner {
         // The AP has the frame; the station never hears so and will
         // retransmit — the duplicate-delivery path.
         ++telemetry_.ack_losses;
+        last_cause_[c] = FailCause::kAckLoss;
         if (sink_ != nullptr) {
           sink_->instant("ack_loss", now_us(), client + 1);
         }
@@ -492,11 +521,13 @@ class ClosedLoopRunner {
       }
     } else if (faults_->was_injected(frame_id(client))) {
       ++telemetry_.cancellation_failures;
+      last_cause_[c] = FailCause::kCancellation;
       if (sink_ != nullptr) {
         sink_->instant("cancellation_failure", now_us(), client + 1);
       }
     } else {
       ++telemetry_.rate_misses;
+      last_cause_[c] = FailCause::kRateMiss;
       if (sink_ != nullptr) {
         sink_->instant("rate_miss", now_us(), client + 1);
       }
@@ -504,8 +535,7 @@ class ClosedLoopRunner {
     ++failures_[c];
     if (!config_->recovery.enabled ||
         attempts_[c] >= config_->recovery.max_attempts_per_frame) {
-      telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
-      pending_[c] = 0;
+      give_up(c);
       dropped_[c] = true;
       SIC_LOG_WARN("client %d dropped after %d attempts", client,
                    attempts_[c]);
@@ -545,8 +575,7 @@ class ClosedLoopRunner {
         rounds_ >= config_->recovery.max_rematch_rounds) {
       for (const int client : residual) {
         const std::size_t c = static_cast<std::size_t>(client);
-        telemetry_.unrecovered += static_cast<std::uint64_t>(pending_[c]);
-        pending_[c] = 0;
+        give_up(c);
         dropped_[c] = true;
       }
       return;
@@ -677,6 +706,8 @@ class ClosedLoopRunner {
   std::vector<bool> dropped_;           ///< gave up on this client
   std::vector<bool> demoted_;           ///< barred from pairing
   std::vector<std::uint64_t> ap_seen_;  ///< AP receive counters last seen
+  std::vector<FailCause> last_cause_;   ///< most recent failure per client
+  std::vector<std::uint64_t> unrecovered_per_client_;
   std::vector<RunSlot> round_slots_;
   /// Lazily built on the first re-match; rows track estimate drift after.
   std::unique_ptr<core::PairCostEngine> rematch_engine_;
@@ -736,6 +767,7 @@ UploadSimResult run_scheduled_upload(
   result.completion_s = to_seconds(queue.now());
   result.medium = medium->stats();
   result.failures = runner.telemetry();
+  result.unrecovered_per_client = runner.unrecovered_per_client();
   result.failures.duplicate_deliveries = ap.stats().duplicate_data;
   result.retries = result.failures.retransmissions;
   result.drops = result.failures.unrecovered;

@@ -115,6 +115,17 @@ struct FailureTelemetry {
   std::uint64_t recovered = 0;
   /// Frames abandoned (attempt/round budget exhausted or horizon hit).
   std::uint64_t unrecovered = 0;
+  /// Terminal cause of each abandoned frame — what its *last* failed
+  /// confirmation died of when the executor gave up. The per-attempt
+  /// counters above mix recovered and fatal failures; these four split
+  /// `unrecovered` by cause (they always sum to it), so "gave up because
+  /// of X" is visible in metrics snapshots.
+  std::uint64_t gave_up_rate_miss = 0;
+  std::uint64_t gave_up_cancellation = 0;
+  std::uint64_t gave_up_ack_loss = 0;
+  /// Abandoned with no failed confirmation observed: the horizon cut the
+  /// run before the frame's first check came back.
+  std::uint64_t gave_up_unattempted = 0;
   /// retry_histogram[k] = frames confirmed after exactly k retries; the
   /// last bucket absorbs the tail.
   std::vector<std::uint64_t> retry_histogram;
@@ -134,6 +145,10 @@ struct UploadSimResult {
   MediumStats medium;
   /// Failure/recovery accounting (scheduled executor; empty for DCF runs).
   FailureTelemetry failures;
+  /// Abandoned frames per client, indexed like the clients span (scheduled
+  /// executor only; empty for DCF runs). Sums to failures.unrecovered —
+  /// the per-client attribution a fleet-level quarantine policy needs.
+  std::vector<std::uint64_t> unrecovered_per_client;
 };
 
 [[nodiscard]] UploadSimResult run_dcf_upload(

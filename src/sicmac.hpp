@@ -59,8 +59,10 @@
 #include "core/upload_pair.hpp"     // IWYU pragma: export
 #include "core/wlan_scenarios.hpp"  // IWYU pragma: export
 
-#include "mac/access_point.hpp"       // IWYU pragma: export
-#include "mac/deployment_medium.hpp"  // IWYU pragma: export
+#include "mac/access_point.hpp"        // IWYU pragma: export
+#include "mac/chaos.hpp"               // IWYU pragma: export
+#include "mac/deployment_engine.hpp"   // IWYU pragma: export
+#include "mac/deployment_medium.hpp"   // IWYU pragma: export
 #include "mac/event_queue.hpp"   // IWYU pragma: export
 #include "mac/medium.hpp"        // IWYU pragma: export
 #include "mac/station.hpp"       // IWYU pragma: export

@@ -1,0 +1,216 @@
+/// FaultConfig validation (typed FaultConfigError), ChaosProfile
+/// validation, FaultSchedule determinism + scripted-event composition,
+/// and the named presets.
+
+#include "mac/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "mac/fault_model.hpp"
+
+namespace sic::mac {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+TEST(FaultConfigValidation, AcceptsDefaultAndTypicalConfigs) {
+  EXPECT_NO_THROW(FaultConfig{}.validate());
+  FaultConfig typical;
+  typical.stale_rss_sigma = Decibels{4.0};
+  typical.stale_rss_rho = 0.9;
+  typical.cancellation_failure_prob = 0.01;
+  typical.ack_loss_prob = 0.01;
+  EXPECT_NO_THROW(typical.validate());
+}
+
+TEST(FaultConfigValidation, RejectsNanSigmaWithTypedError) {
+  // The motivating bug class: NaN passes a `>= 0` check and poisons every
+  // AR(1) draw downstream. It must be a typed, catchable error instead.
+  FaultConfig config;
+  config.stale_rss_sigma = Decibels{kNan};
+  EXPECT_THROW(config.validate(), FaultConfigError);
+  EXPECT_THROW((FaultModel{config, 4, 1}), FaultConfigError);
+}
+
+TEST(FaultConfigValidation, RejectsNegativeSigma) {
+  FaultConfig config;
+  config.stale_rss_sigma = Decibels{-1.0};
+  EXPECT_THROW(config.validate(), FaultConfigError);
+}
+
+TEST(FaultConfigValidation, RejectsOutOfRangeAndNanProbabilities) {
+  FaultConfig config;
+  config.cancellation_failure_prob = 1.5;
+  EXPECT_THROW(config.validate(), FaultConfigError);
+  config.cancellation_failure_prob = 0.0;
+  config.ack_loss_prob = -0.1;
+  EXPECT_THROW(config.validate(), FaultConfigError);
+  config.ack_loss_prob = kNan;
+  EXPECT_THROW(config.validate(), FaultConfigError);
+  config.ack_loss_prob = 0.0;
+  config.stale_rss_rho = kNan;
+  EXPECT_THROW(config.validate(), FaultConfigError);
+}
+
+TEST(FaultConfigValidation, RejectsNonFiniteInitialDrift) {
+  FaultConfig config;
+  config.initial_drift = {Decibels{1.0}, Decibels{kNan}};
+  EXPECT_THROW(config.validate(), FaultConfigError);
+  config.initial_drift = {Decibels{std::numeric_limits<double>::infinity()}};
+  EXPECT_THROW(config.validate(), FaultConfigError);
+}
+
+TEST(FaultConfigValidation, RejectsDriftSizeMismatchAgainstClientCount) {
+  FaultConfig config;
+  config.initial_drift = {Decibels{1.0}, Decibels{-2.0}};
+  EXPECT_NO_THROW(config.validate(2));
+  EXPECT_NO_THROW(config.validate());  // no client context: size unchecked
+  EXPECT_THROW(config.validate(3), FaultConfigError);
+  EXPECT_THROW((FaultModel{config, 3, 1}), FaultConfigError);
+}
+
+TEST(FaultConfigValidation, ErrorIsAlsoAnInvalidArgument) {
+  // Callers that don't know the domain type can still catch the std one.
+  FaultConfig config;
+  config.ack_loss_prob = 2.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(FaultModelDrift, InitialDriftOffsetsTrueRssWithoutRngDraws) {
+  FaultConfig config;
+  config.initial_drift = {Decibels{10.0}, Decibels{0.0}};
+  FaultModel model{config, 2, 42};
+  EXPECT_EQ(model.drift(0), Decibels{10.0});
+  EXPECT_EQ(model.drift(1), Decibels{0.0});
+  const Milliwatts nominal{1.0};
+  EXPECT_NEAR(model.true_rss(nominal, 0).value(), 10.0, 1e-12);
+  EXPECT_EQ(model.true_rss(nominal, 1).value(), 1.0);
+  // advance_epoch with no AR(1) tracks must keep the offsets frozen.
+  model.advance_epoch();
+  EXPECT_EQ(model.drift(0), Decibels{10.0});
+}
+
+TEST(ChaosProfileValidation, RejectsBadKnobs) {
+  ChaosProfile p;
+  p.ap_outage_prob = 1.2;
+  EXPECT_THROW(p.validate(), FaultConfigError);
+  p.ap_outage_prob = 0.0;
+  p.burst_prob = kNan;
+  EXPECT_THROW(p.validate(), FaultConfigError);
+  p.burst_prob = 0.0;
+  p.arrival_rate = -1.0;
+  EXPECT_THROW(p.validate(), FaultConfigError);
+  p.arrival_rate = 0.0;
+  p.outage_epochs = 0;
+  EXPECT_THROW(p.validate(), FaultConfigError);
+  p.outage_epochs = 1;
+  EXPECT_NO_THROW(p.validate());
+  // The validating constructor uses the same checks.
+  p.storm_prob = -0.5;
+  EXPECT_THROW((FaultSchedule{p}), FaultConfigError);
+}
+
+TEST(FaultSchedule, DefaultScheduleIsInertAndConsumesNoEntropy) {
+  FaultSchedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  std::vector<std::uint8_t> alive{1, 1};
+  std::vector<int> clients{0, 1, 2};
+  Rng rng{123};
+  const Rng untouched = rng;
+  const EpochChaos chaos = schedule.resolve(0, alive, clients, 1.0, rng);
+  EXPECT_TRUE(chaos.outages.empty());
+  EXPECT_TRUE(chaos.bursts.empty());
+  EXPECT_TRUE(chaos.departures.empty());
+  EXPECT_EQ(chaos.arrivals, 0);
+  EXPECT_EQ(chaos.storm_epochs, 0);
+  // No draws were taken: the next double from both streams agrees.
+  Rng a = rng;
+  Rng b = untouched;
+  EXPECT_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(FaultSchedule, SameSeedResolvesIdentically) {
+  const FaultSchedule schedule = FaultSchedule::preset("default", 16);
+  std::vector<std::uint8_t> alive{1, 1, 1, 0};
+  std::vector<int> clients;
+  for (int c = 0; c < 16; ++c) clients.push_back(c);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    Rng r1 = Rng::at(99, static_cast<std::uint64_t>(epoch));
+    Rng r2 = Rng::at(99, static_cast<std::uint64_t>(epoch));
+    const EpochChaos a = schedule.resolve(epoch, alive, clients, 1.0, r1);
+    const EpochChaos b = schedule.resolve(epoch, alive, clients, 1.0, r2);
+    ASSERT_EQ(a.outages.size(), b.outages.size());
+    for (std::size_t i = 0; i < a.outages.size(); ++i) {
+      EXPECT_EQ(a.outages[i].ap, b.outages[i].ap);
+      EXPECT_EQ(a.outages[i].epochs, b.outages[i].epochs);
+    }
+    ASSERT_EQ(a.bursts.size(), b.bursts.size());
+    EXPECT_EQ(a.departures, b.departures);
+    EXPECT_EQ(a.arrivals, b.arrivals);
+    EXPECT_EQ(a.storm_epochs, b.storm_epochs);
+  }
+}
+
+TEST(FaultSchedule, TimedEventsComposeAndTargetApRanges) {
+  FaultSchedule schedule;
+  schedule.add({.epoch = 2, .kind = ChaosEventKind::kApOutage, .ap = 1,
+                .duration_epochs = 4})
+      .add({.epoch = 2, .kind = ChaosEventKind::kBurst, .ap = -1,
+            .duration_epochs = 2, .depth = Decibels{25.0}})
+      .add({.epoch = 3, .kind = ChaosEventKind::kApRestart, .ap = 1})
+      .add({.epoch = 2, .kind = ChaosEventKind::kArrivals, .count = 3})
+      .add({.epoch = 2, .kind = ChaosEventKind::kStorm, .duration_epochs = 5});
+  EXPECT_FALSE(schedule.empty());
+  std::vector<std::uint8_t> alive{1, 1, 1};
+  std::vector<int> clients{0};
+  Rng rng{1};
+
+  const EpochChaos quiet = schedule.resolve(0, alive, clients, 1.0, rng);
+  EXPECT_TRUE(quiet.outages.empty());
+  EXPECT_TRUE(quiet.bursts.empty());
+
+  const EpochChaos storm = schedule.resolve(2, alive, clients, 1.0, rng);
+  ASSERT_EQ(storm.outages.size(), 1u);
+  EXPECT_EQ(storm.outages[0].ap, 1);
+  EXPECT_EQ(storm.outages[0].epochs, 4);
+  ASSERT_EQ(storm.bursts.size(), 3u);  // ap = -1 fans out to every AP
+  EXPECT_EQ(storm.bursts[2].ap, 2);
+  EXPECT_EQ(storm.bursts[0].depth, Decibels{25.0});
+  EXPECT_EQ(storm.arrivals, 3);
+  EXPECT_EQ(storm.storm_epochs, 5);
+
+  const EpochChaos restart = schedule.resolve(3, alive, clients, 1.0, rng);
+  ASSERT_EQ(restart.outages.size(), 1u);
+  EXPECT_EQ(restart.outages[0].ap, 1);
+  EXPECT_EQ(restart.outages[0].epochs, 0);  // 0 = back up now
+}
+
+TEST(FaultSchedule, RejectsMalformedTimedEvents) {
+  FaultSchedule schedule;
+  EXPECT_THROW(schedule.add({.epoch = -1}), FaultConfigError);
+  EXPECT_THROW(
+      schedule.add({.epoch = 0, .kind = ChaosEventKind::kBurst, .ap = -2}),
+      FaultConfigError);
+}
+
+TEST(FaultSchedule, PresetsExistAndUnknownNameThrows) {
+  EXPECT_TRUE(FaultSchedule::preset("none", 10).empty());
+  EXPECT_FALSE(FaultSchedule::preset("default", 10).empty());
+  EXPECT_FALSE(FaultSchedule::preset("outage", 10).empty());
+  EXPECT_FALSE(FaultSchedule::preset("burst", 10).empty());
+  EXPECT_FALSE(FaultSchedule::preset("churn", 10).empty());
+  // The acceptance profile's headline rates stay pinned.
+  const ChaosProfile p = FaultSchedule::preset("default", 50).profile();
+  EXPECT_DOUBLE_EQ(p.ap_outage_prob, 0.01);
+  EXPECT_DOUBLE_EQ(p.departure_prob, 0.02);
+  EXPECT_DOUBLE_EQ(p.arrival_rate, 1.0);  // 2% of 50 clients per epoch
+  EXPECT_GT(p.burst_prob, 0.0);
+  EXPECT_THROW(FaultSchedule::preset("earthquake", 10), FaultConfigError);
+}
+
+}  // namespace
+}  // namespace sic::mac

@@ -79,6 +79,52 @@ TEST(DeploymentMedium, TwoCellEwlanUploadRuns) {
   }
 }
 
+TEST(DeploymentMedium, ZeroClientApIsIdleButReachable) {
+  // A deployment where one AP has no associated clients: the bridge must
+  // still build gains to/from it, and the floor must run — the idle AP
+  // simply never receives a data frame.
+  topology::Deployment floor;
+  floor.nodes.push_back(
+      topology::Node{0, topology::NodeRole::kAccessPoint, {0.0, 0.0}});
+  floor.nodes.push_back(
+      topology::Node{1, topology::NodeRole::kAccessPoint, {40.0, 0.0}});
+  floor.nodes.push_back(
+      topology::Node{2, topology::NodeRole::kClient, {4.0, 0.0}});
+  EventQueue queue;
+  const auto medium = make_medium_from_deployment(queue, floor, kShannon);
+  AccessPoint busy{queue, *medium, 0};
+  AccessPoint idle{queue, *medium, 1};
+  EXPECT_GT(medium->gain(2, 1).value(), 0.0);  // idle AP still hears it
+
+  const double snr = floor.rss(floor.nodes[2], floor.nodes[0]) / floor.noise();
+  DcfStation station{queue, *medium, 2, 0, kShannon.rate(snr), Rng{1}};
+  station.enqueue(3, 12000.0);
+  station.start();
+  queue.run_until(from_seconds(10.0));
+
+  EXPECT_TRUE(station.done());
+  EXPECT_EQ(busy.received_from(2), 3u);
+  EXPECT_EQ(idle.received_from(2), 0u);
+}
+
+TEST(DeploymentMedium, EquidistantClientHearsBothApsIdentically) {
+  // A client exactly halfway between two same-power APs must present
+  // bit-identical gains toward both — the tie the deployment engine's
+  // association pass breaks toward the lower AP id. Pin the equality here
+  // so that tie-break stays a policy choice, not a float accident.
+  topology::Deployment floor;
+  floor.nodes.push_back(
+      topology::Node{0, topology::NodeRole::kAccessPoint, {0.0, 0.0}});
+  floor.nodes.push_back(
+      topology::Node{1, topology::NodeRole::kAccessPoint, {40.0, 0.0}});
+  floor.nodes.push_back(
+      topology::Node{2, topology::NodeRole::kClient, {20.0, 0.0}});
+  EventQueue queue;
+  const auto medium = make_medium_from_deployment(queue, floor, kShannon);
+  EXPECT_DOUBLE_EQ(medium->gain(2, 0).value(), medium->gain(2, 1).value());
+  EXPECT_DOUBLE_EQ(medium->gain(0, 2).value(), medium->gain(1, 2).value());
+}
+
 TEST(DeploymentMedium, RejectsNonContiguousIds) {
   topology::Deployment bad;
   bad.nodes.push_back(topology::Node{5, topology::NodeRole::kClient, {}});

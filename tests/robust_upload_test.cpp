@@ -56,6 +56,19 @@ TEST(RobustUpload, OpenLoopDropsWhatClosedLoopRecovers) {
   EXPECT_GE(result.failures.unrecovered, 1u);
   EXPECT_EQ(result.retries, 0u);
   EXPECT_LT(result.delivered, result.offered);
+  // The abandoned frame died of an injected cancellation failure, and the
+  // terminal-cause split always accounts for every unrecovered frame.
+  EXPECT_GE(result.failures.gave_up_cancellation, 1u);
+  EXPECT_EQ(result.failures.gave_up_rate_miss +
+                result.failures.gave_up_cancellation +
+                result.failures.gave_up_ack_loss +
+                result.failures.gave_up_unattempted,
+            result.failures.unrecovered);
+  std::uint64_t per_client_sum = 0;
+  for (const std::uint64_t lost : result.unrecovered_per_client) {
+    per_client_sum += lost;
+  }
+  EXPECT_EQ(per_client_sum, result.failures.unrecovered);
 }
 
 TEST(RobustUpload, CertainAckLossAccountsDuplicatesExactly) {
@@ -74,6 +87,14 @@ TEST(RobustUpload, CertainAckLossAccountsDuplicatesExactly) {
   EXPECT_EQ(result.failures.ack_losses, attempts);
   EXPECT_EQ(result.failures.unrecovered, 1u);  // never confirmed
   EXPECT_EQ(result.failures.recovered, 0u);
+  // Terminal-cause attribution: the budget ran out on ACK loss, and the
+  // per-client split points at the only client.
+  EXPECT_EQ(result.failures.gave_up_ack_loss, 1u);
+  EXPECT_EQ(result.failures.gave_up_rate_miss, 0u);
+  EXPECT_EQ(result.failures.gave_up_cancellation, 0u);
+  EXPECT_EQ(result.failures.gave_up_unattempted, 0u);
+  ASSERT_EQ(result.unrecovered_per_client.size(), 1u);
+  EXPECT_EQ(result.unrecovered_per_client[0], 1u);
 }
 
 TEST(RobustUpload, OccasionalAckLossRecoversViaDuplicate) {
@@ -169,6 +190,13 @@ TEST(RobustUpload, ZeroFaultsMatchesOpenLoopBitForBit) {
   EXPECT_EQ(closed.failures.rematch_rounds, 0u);
   EXPECT_EQ(closed.failures.recovered, 0u);
   EXPECT_EQ(closed.failures.unrecovered, 0u);
+  EXPECT_EQ(closed.failures.gave_up_rate_miss, 0u);
+  EXPECT_EQ(closed.failures.gave_up_cancellation, 0u);
+  EXPECT_EQ(closed.failures.gave_up_ack_loss, 0u);
+  EXPECT_EQ(closed.failures.gave_up_unattempted, 0u);
+  for (const std::uint64_t lost : closed.unrecovered_per_client) {
+    EXPECT_EQ(lost, 0u);
+  }
 }
 
 TEST(RobustUpload, StaleRssDemotesChronicFailures) {

@@ -11,6 +11,7 @@
 ///   sicmac mesh --long 40 --short 10 [--exponent 4]
 ///   sicmac capacity --s1 20 --s2 12
 ///   sicmac simulate --clients 24,18,12,9 [--stale-sigma dB] [--cancel-prob p]
+///   sicmac deploy --aps 4 --clients 24 --chaos-profile default [--threads N]
 ///   sicmac report [--trials N] [--seed S]      # markdown repro summary
 ///
 /// All SNRs in dB over a unit noise floor; rates on a 20 MHz channel.
@@ -26,7 +27,7 @@
 ///                          value — see DESIGN.md "Parallel sweeps".
 ///
 /// Exit codes: 0 success; 1 internal error; 2 usage error; 3 file I/O
-/// error; 4 trace format error.
+/// error; 4 trace format error; 5 deployment invariant violated.
 
 #include <cstdio>
 #include <fstream>
@@ -387,6 +388,81 @@ int cmd_simulate(const ArgParser& args) {
   return 0;
 }
 
+int cmd_deploy(const ArgParser& args) {
+  // Multi-AP deployment under a chaos profile: APs on a line, clients
+  // round-robin across cells, the invariant auditor attached to every
+  // epoch. A violated invariant is its own exit code (5) so CI and
+  // scripts can tell "the engine broke a conservation law" from an
+  // ordinary failure.
+  const auto adapter = make_adapter(args.get_string("table", "shannon"));
+  const int n_aps = args.get_int("aps", 4);
+  const int n_clients = args.get_int("clients", 24);
+  const int n_epochs = args.get_int("epochs", 30);
+  if (n_aps < 1) throw UsageError("deploy needs --aps >= 1");
+  if (n_clients < 1) throw UsageError("deploy needs --clients >= 1");
+  if (n_epochs < 1) throw UsageError("deploy needs --epochs >= 1");
+  const std::string profile = args.get_string("chaos-profile", "default");
+
+  mac::DeploymentEngineConfig config;
+  config.scheduler.enable_power_control = args.has("power-control");
+  config.scheduler.enable_multirate = args.has("multirate");
+  config.closed_loop = !args.has("open-loop");
+  config.enable_quarantine = !args.has("no-quarantine");
+  config.epoch_drift_sigma =
+      Decibels{require_range(args, "drift-sigma", 2.0, 0.0, 60.0)};
+  config.threads = args.get_threads();
+  config.seed = args.get_u64("seed", 1);
+
+  std::vector<topology::Point> sites;
+  for (int a = 0; a < n_aps; ++a) sites.push_back({60.0 * a, 0.0});
+  mac::DeploymentEngine engine{sites, *adapter, config,
+                               mac::FaultSchedule::preset(profile, n_clients)};
+  for (int c = 0; c < n_clients; ++c) {
+    const int ap = c % n_aps;
+    engine.add_client({60.0 * ap + 4.0 + 1.5 * (c / n_aps),
+                       (c % 2 == 0) ? 6.0 : -6.0});
+  }
+  mac::InvariantAuditor auditor;
+  engine.set_auditor(&auditor);
+
+  const mac::DeploymentResult r = engine.run_epochs(n_epochs);
+  std::printf("deployment (%d APs, %d clients, %s, chaos=%s, %s):\n", n_aps,
+              n_clients, adapter->name().c_str(), profile.c_str(),
+              config.closed_loop
+                  ? (config.enable_quarantine ? "closed-loop+quarantine"
+                                              : "closed-loop")
+                  : "open-loop");
+  std::printf("  epochs              : %zu\n", r.epochs.size());
+  std::printf("  offered / confirmed : %llu / %llu (%.2f%%)\n",
+              static_cast<unsigned long long>(r.offered),
+              static_cast<unsigned long long>(r.confirmed),
+              100.0 * r.confirmation_rate());
+  std::printf("  unrecovered drops   : %llu\n",
+              static_cast<unsigned long long>(r.unrecovered));
+  std::printf("  deferred (no AP)    : %llu\n",
+              static_cast<unsigned long long>(r.deferred));
+  std::printf("  planning decisions  : %llu\n",
+              static_cast<unsigned long long>(r.decisions));
+  std::printf("  handoffs            : %llu\n",
+              static_cast<unsigned long long>(r.handoffs));
+  std::printf("  quarantines / back  : %llu / %llu\n",
+              static_cast<unsigned long long>(r.quarantines),
+              static_cast<unsigned long long>(r.readmissions));
+  std::printf("  watchdog fires      : %llu\n",
+              static_cast<unsigned long long>(r.watchdog_fires));
+  std::printf("  invariant audit     : %s (%llu epochs)\n",
+              auditor.ok() ? "ok" : "VIOLATED",
+              static_cast<unsigned long long>(auditor.epochs_checked()));
+  if (!auditor.ok()) {
+    for (const auto& v : auditor.violations()) {
+      std::fprintf(stderr, "invariant violation (epoch %d): %s\n", v.epoch,
+                   v.what.c_str());
+    }
+    return 5;
+  }
+  return 0;
+}
+
 int cmd_report(const ArgParser& args) {
   // A self-contained markdown reproduction summary with bootstrap 95% CIs
   // on every headline fraction — the quick-look version of EXPERIMENTS.md.
@@ -488,8 +564,13 @@ int usage() {
       "  simulate    --clients dB,... [--stale-sigma dB] [--stale-rho r]\n"
       "              [--cancel-prob p] [--ack-loss p] [--margin dB]\n"
       "              [--open-loop] [--seed S]\n"
+      "  deploy      [--aps N] [--clients N] [--epochs N]\n"
+      "              [--chaos-profile none|default|outage|burst|churn]\n"
+      "              [--open-loop] [--no-quarantine] [--drift-sigma dB]\n"
+      "              [--threads N] [--seed S]\n"
       "  report      [--trials N] [--seed S]\n"
-      "exit codes: 0 ok, 1 internal, 2 usage, 3 file I/O, 4 trace format\n");
+      "exit codes: 0 ok, 1 internal, 2 usage, 3 file I/O, 4 trace format,\n"
+      "            5 deployment invariant violated\n");
   return 2;
 }
 
@@ -548,6 +629,8 @@ int main(int argc, char** argv) {
       rc = cmd_mesh(args);
     } else if (cmd == "simulate") {
       rc = cmd_simulate(args);
+    } else if (cmd == "deploy") {
+      rc = cmd_deploy(args);
     } else if (cmd == "report") {
       rc = cmd_report(args);
     } else {
@@ -576,6 +659,11 @@ int main(int argc, char** argv) {
     }
     return rc;
   } catch (const UsageError& e) {
+    std::fprintf(stderr, "usage error: %s\n", e.what());
+    return 2;
+  } catch (const mac::FaultConfigError& e) {
+    // Malformed chaos profile / fault knobs — a usage problem, not an
+    // internal failure.
     std::fprintf(stderr, "usage error: %s\n", e.what());
     return 2;
   } catch (const trace::TraceIoError& e) {
