@@ -46,6 +46,7 @@ struct VariantOutcome {
   double steady_frac = 0.0;    ///< mean confirmation over the last half
   double overall_frac = 0.0;   ///< mean confirmation over every epoch
   double recovery_epochs = 0.0;
+  double mean_health = 0.0;    ///< mean epoch health score (see obs docs)
   double decisions = 0.0;
   double quarantines = 0.0;
   double watchdogs = 0.0;
@@ -119,15 +120,16 @@ int main(int argc, char** argv) {
 
   std::ostringstream csv_rows;
   csv_rows << "chaos,variant,steady_frac,overall_frac,recovery_epochs,"
-              "quarantines,watchdog_fires,audited\n";
-  std::printf("%-14s %-10s %-8s %-8s %-9s %-7s %-6s %-7s\n", "chaos",
-              "variant", "steady", "overall", "recov_ep", "quar", "wdog",
-              "audit");
+              "mean_health,quarantines,watchdog_fires,audited\n";
+  std::printf("%-14s %-10s %-8s %-8s %-9s %-7s %-7s %-6s %-7s\n", "chaos",
+              "variant", "steady", "overall", "recov_ep", "health", "quar",
+              "wdog", "audit");
 
   double smoke_decisions = 0.0;
   double smoke_elapsed_s = 0.0;
   double smoke_recovery = 0.0;
   double smoke_steady = 0.0;
+  double smoke_health = 0.0;
   std::uint64_t samples = 0;
 
   for (const ChaosCell& cell : cells) {
@@ -187,6 +189,12 @@ int main(int argc, char** argv) {
             steady / static_cast<double>(r.epochs.size() - half);
         mean.overall_frac += r.confirmation_rate();
         mean.recovery_epochs += mean_recovery_epochs(r.epochs, 0.95);
+        double health = 0.0;
+        for (const mac::EpochStats& e : r.epochs) health += e.mean_health;
+        mean.mean_health +=
+            r.epochs.empty()
+                ? 1.0
+                : health / static_cast<double>(r.epochs.size());
         mean.decisions += static_cast<double>(r.decisions);
         mean.quarantines += static_cast<double>(r.quarantines);
         mean.watchdogs += static_cast<double>(r.watchdog_fires);
@@ -196,17 +204,20 @@ int main(int argc, char** argv) {
       mean.steady_frac /= k;
       mean.overall_frac /= k;
       mean.recovery_epochs /= k;
+      mean.mean_health /= k;
       mean.quarantines /= k;
       mean.watchdogs /= k;
 
-      std::printf("%-14s %-10s %-8.4f %-8.4f %-9.2f %-7.1f %-6.1f %-7s\n",
-                  cell.name, variant.name, mean.steady_frac,
-                  mean.overall_frac, mean.recovery_epochs, mean.quarantines,
-                  mean.watchdogs, mean.audited ? "ok" : "FAIL");
+      std::printf(
+          "%-14s %-10s %-8.4f %-8.4f %-9.2f %-7.4f %-7.1f %-6.1f %-7s\n",
+          cell.name, variant.name, mean.steady_frac, mean.overall_frac,
+          mean.recovery_epochs, mean.mean_health, mean.quarantines,
+          mean.watchdogs, mean.audited ? "ok" : "FAIL");
       csv_rows << cell.name << ',' << variant.name << ',' << mean.steady_frac
                << ',' << mean.overall_frac << ',' << mean.recovery_epochs
-               << ',' << mean.quarantines << ',' << mean.watchdogs << ','
-               << (mean.audited ? "ok" : "FAIL") << '\n';
+               << ',' << mean.mean_health << ',' << mean.quarantines << ','
+               << mean.watchdogs << ',' << (mean.audited ? "ok" : "FAIL")
+               << '\n';
 
       if (std::string(cell.name) == "default" &&
           std::string(variant.name) == "closed+qr") {
@@ -214,6 +225,7 @@ int main(int argc, char** argv) {
         smoke_elapsed_s = elapsed_s;
         smoke_recovery = mean.recovery_epochs;
         smoke_steady = mean.steady_frac;
+        smoke_health = mean.mean_health;
       }
     }
   }
@@ -240,7 +252,7 @@ int main(int argc, char** argv) {
   std::printf(
       "{\"bench\":\"deployment\",\"variant\":\"closed+qr\",\"chaos\":"
       "\"default\",\"decisions_per_sec\":%.0f,\"recovery_epochs\":%.2f,"
-      "\"confirmed_frac\":%.4f}\n",
-      dps, smoke_recovery, smoke_steady);
+      "\"confirmed_frac\":%.4f,\"mean_health\":%.4f}\n",
+      dps, smoke_recovery, smoke_steady, smoke_health);
   return 0;
 }

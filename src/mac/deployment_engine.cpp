@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_sink.hpp"
 #include "util/check.hpp"
 
@@ -15,6 +18,27 @@ namespace {
 /// Stream salt separating the engine's per-epoch draws (drift, chaos,
 /// arrival placement) from every inner-run seed.
 constexpr std::uint64_t kEngineStream = 0xC1A05E19E57ULL;
+
+/// Appends a flight-recorder event when a recorder is attached. Only ever
+/// called from the engine's sequential phases (never from pool workers),
+/// so the event stream — and therefore the post-mortem bytes — is
+/// identical at any thread count.
+void flight_event(int epoch, int ap, int client, const char* kind,
+                  std::string detail = {}) {
+  if (obs::FlightRecorder* fr = obs::flight()) {
+    fr->record(obs::FlightEvent{static_cast<std::uint64_t>(epoch), ap, client,
+                                kind, std::move(detail)});
+  }
+}
+
+/// Name of an AP's health series, zero-padded so the registry's
+/// lexicographic name order matches numeric AP order (fleets beyond 999
+/// APs widen past the padding and would interleave; today's scales fit).
+std::string ap_health_series(int ap) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "deploy.ap%03d.health", ap);
+  return buf;
+}
 
 /// Ladder level 3: serial solo slots in member order, no matching.
 core::Schedule serial_schedule(std::span<const channel::LinkBudget> budgets,
@@ -113,6 +137,9 @@ struct DeploymentEngine::ClientState {
   bool quarantined = false;
   int quarantine_until = 0;
   int quarantine_times = 0;
+  /// AP the client was exiled from (-1 when unattributed) — attributes
+  /// quarantine occupancy to the cell that was failing the client.
+  int quarantined_from = -1;
 };
 
 struct DeploymentEngine::ApState {
@@ -136,6 +163,12 @@ struct DeploymentEngine::ApState {
   core::Schedule schedule;
   std::vector<int> sched_members;  ///< members the schedule indexes
   UploadSimResult last;
+  // Health bookkeeping (pure observation: nothing below feeds a decision).
+  double last_health = 1.0;
+  std::uint64_t epochs_served = 0;
+  double health_sum = 0.0;
+  double health_min = 1.0;
+  double conf_sum = 0.0;
 };
 
 DeploymentEngine::DeploymentEngine(std::vector<topology::Point> ap_sites,
@@ -205,6 +238,25 @@ const UploadSimResult& DeploymentEngine::last_ap_result(int ap) const {
   return aps_[static_cast<std::size_t>(ap)].last;
 }
 
+std::vector<ApHealthSummary> DeploymentEngine::health_summary() const {
+  std::vector<ApHealthSummary> out;
+  out.reserve(aps_.size());
+  for (const ApState& ap : aps_) {
+    ApHealthSummary s;
+    s.ap = ap.id;
+    s.epochs_served = ap.epochs_served;
+    if (ap.epochs_served > 0) {
+      s.mean_health =
+          ap.health_sum / static_cast<double>(ap.epochs_served);
+      s.min_health = ap.health_min;
+      s.mean_confirmation =
+          ap.conf_sum / static_cast<double>(ap.epochs_served);
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
 channel::LinkBudget DeploymentEngine::nominal_budget(int client,
                                                      int ap) const {
   SIC_CHECK(client >= 0 && client < static_cast<int>(clients_.size()));
@@ -243,6 +295,7 @@ void DeploymentEngine::remove_client(int client) {
   if (!c.active) return;
   c.active = false;
   c.quarantined = false;
+  c.quarantined_from = -1;
   if (c.ap >= 0) {
     ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
     ap.members.erase(
@@ -260,15 +313,15 @@ core::SchedulerOptions DeploymentEngine::ladder_options(int level) const {
   return o;
 }
 
-double DeploymentEngine::association_score_db(const ClientState& c,
-                                              const ApState& a) const {
+Dbm DeploymentEngine::association_score(const ClientState& c,
+                                        const ApState& a) const {
   // Association tracks slow-scale beacon RSS: geometry plus a load
   // penalty. Per-client drift shifts every AP's beacon equally and
   // transient bursts are invisible at this timescale, so neither enters
   // the comparison.
   const double d = topology::distance(c.position, a.site);
-  return pathloss_.received_power(config_.client_tx_power, d).value() -
-         config_.load_penalty_per_client.value() *
+  return pathloss_.received_power(config_.client_tx_power, d) -
+         config_.load_penalty_per_client *
              static_cast<double>(a.members.size());
 }
 
@@ -282,11 +335,14 @@ void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
         ap.alive = true;
         ap.down_until = epoch_;
         ap.dirty = true;
+        flight_event(epoch_, o.ap, -1, "chaos.restart");
       }
       continue;
     }
     if (!ap.alive) {  // already down: extend the outage
       ap.down_until = std::max(ap.down_until, epoch_ + o.epochs);
+      flight_event(epoch_, o.ap, -1, "chaos.outage_extend",
+                   "down_until=" + std::to_string(ap.down_until));
       continue;
     }
     ap.alive = false;
@@ -302,6 +358,8 @@ void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
     }
     ap.members.clear();
     ++stats.outages_started;
+    flight_event(epoch_, o.ap, -1, "chaos.outage",
+                 "down_for=" + std::to_string(o.epochs));
   }
   for (const EpochChaos::Burst& b : chaos.bursts) {
     if (b.ap < 0 || b.ap >= n_aps()) continue;
@@ -309,26 +367,33 @@ void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
     ap.burst = std::max(ap.burst, b.depth);
     ap.burst_until = std::max(ap.burst_until, epoch_ + b.epochs);
     ++stats.bursts_started;
+    flight_event(epoch_, b.ap, -1, "chaos.burst",
+                 "depth_db=" + std::to_string(b.depth.value()) +
+                     " epochs=" + std::to_string(b.epochs));
   }
   if (chaos.storm_epochs > 0) {
     storm_until_ = std::max(storm_until_, epoch_ + chaos.storm_epochs);
+    flight_event(epoch_, -1, -1, "chaos.storm",
+                 "epochs=" + std::to_string(chaos.storm_epochs));
   }
   for (const int c : chaos.departures) {
     remove_client(c);
     ++stats.departures;
+    flight_event(epoch_, -1, c, "chaos.departure");
   }
   stats.arrivals += chaos.arrivals;
 }
 
-void DeploymentEngine::associate_clients(EpochStats& stats) {
+void DeploymentEngine::associate_clients(EpochStats& stats,
+                                         std::vector<int>& handoff_flux) {
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     ClientState& c = clients_[i];
     if (!c.active || c.quarantined) continue;
     int best = -1;
-    double best_score = -std::numeric_limits<double>::infinity();
+    Dbm best_score{-std::numeric_limits<double>::infinity()};
     for (const ApState& ap : aps_) {
       if (!ap.alive) continue;
-      const double score = association_score_db(c, ap);
+      const Dbm score = association_score(c, ap);
       if (score > best_score) {  // strict: equal scores keep the lower id
         best = ap.id;
         best_score = score;
@@ -337,9 +402,9 @@ void DeploymentEngine::associate_clients(EpochStats& stats) {
     if (best < 0 || best == c.ap) continue;
     if (c.ap >= 0) {
       // Hysteresis: leave a live AP only for a clearly better one.
-      const double current =
-          association_score_db(c, aps_[static_cast<std::size_t>(c.ap)]);
-      if (best_score <= current + config_.handoff_hysteresis.value()) {
+      const Dbm current =
+          association_score(c, aps_[static_cast<std::size_t>(c.ap)]);
+      if (best_score <= current + config_.handoff_hysteresis) {
         continue;
       }
       ApState& old = aps_[static_cast<std::size_t>(c.ap)];
@@ -349,6 +414,13 @@ void DeploymentEngine::associate_clients(EpochStats& stats) {
           old.members.end());
       old.dirty = true;
       ++stats.handoffs;
+      ++handoff_flux[static_cast<std::size_t>(c.ap)];
+      ++handoff_flux[static_cast<std::size_t>(best)];
+      flight_event(epoch_, best, static_cast<int>(i), "handoff",
+                   "from_ap=" + std::to_string(c.ap));
+    } else {
+      ++handoff_flux[static_cast<std::size_t>(best)];
+      flight_event(epoch_, best, static_cast<int>(i), "associate");
     }
     ApState& ap = aps_[static_cast<std::size_t>(best)];
     ap.members.insert(
@@ -425,6 +497,58 @@ void DeploymentEngine::serve_ap(ApState& ap) {
   ap.last = run_scheduled_upload(budgets, *adapter_, ap.schedule, run);
 }
 
+void DeploymentEngine::score_health(const std::vector<int>& serving,
+                                    const std::vector<int>& handoff_flux,
+                                    EpochStats& stats) {
+  // Quarantine occupancy attributes each exiled client to the AP it was
+  // exiled from; the AP's "population" is its current members plus those
+  // exiles, so occupancy is the fraction of its flock it is failing.
+  std::vector<int> exiled(aps_.size(), 0);
+  for (const ClientState& c : clients_) {
+    if (c.active && c.quarantined && c.quarantined_from >= 0) {
+      ++exiled[static_cast<std::size_t>(c.quarantined_from)];
+    }
+  }
+  double health_sum = 0.0;
+  int scored = 0;
+  for (const int id : serving) {
+    ApState& ap = aps_[static_cast<std::size_t>(id)];
+    const std::uint64_t offered = ap.last.offered;
+    const std::uint64_t confirmed = offered - ap.last.failures.unrecovered;
+    const double conf =
+        offered == 0 ? 1.0
+                     : static_cast<double>(confirmed) /
+                           static_cast<double>(offered);
+    const double retry_pressure =
+        offered == 0 ? 0.0
+                     : static_cast<double>(ap.last.failures.retransmissions) /
+                           static_cast<double>(offered);
+    const double population = static_cast<double>(
+        ap.members.size() +
+        static_cast<std::size_t>(exiled[static_cast<std::size_t>(id)]));
+    const double occupancy =
+        population == 0.0
+            ? 0.0
+            : static_cast<double>(exiled[static_cast<std::size_t>(id)]) /
+                  population;
+    const double flux =
+        static_cast<double>(handoff_flux[static_cast<std::size_t>(id)]) /
+        static_cast<double>(std::max<std::size_t>(1, ap.members.size()));
+    const double health = conf * (1.0 / (1.0 + retry_pressure)) *
+                          (1.0 - occupancy) * (1.0 / (1.0 + flux));
+    ap.last_health = health;
+    ++ap.epochs_served;
+    ap.health_sum += health;
+    ap.health_min =
+        ap.epochs_served == 1 ? health : std::min(ap.health_min, health);
+    ap.conf_sum += conf;
+    health_sum += health;
+    ++scored;
+  }
+  stats.mean_health =
+      scored == 0 ? 1.0 : health_sum / static_cast<double>(scored);
+}
+
 EpochStats DeploymentEngine::run_epoch() {
   EpochStats stats;
   stats.epoch = epoch_;
@@ -486,13 +610,18 @@ EpochStats DeploymentEngine::run_epoch() {
         // still-hopeless link costs one epoch per probe instead of
         // another full quarantine_after streak.
         c.fail_streak = config_.quarantine_after - 1;
+        c.quarantined_from = -1;
         ++stats.readmissions;
+        flight_event(epoch_, -1, static_cast<int>(&c - clients_.data()),
+                     "quarantine.probe");
       }
     }
   }
 
-  // 5. Association / handoff with hysteresis.
-  associate_clients(stats);
+  // 5. Association / handoff with hysteresis. The per-AP flux count
+  //    feeds the health score's churn factor.
+  std::vector<int> handoff_flux(aps_.size(), 0);
+  associate_clients(stats, handoff_flux);
   for (const ClientState& c : clients_) {
     if (c.active && !c.quarantined && c.ap < 0) ++stats.deferred;
   }
@@ -579,6 +708,7 @@ EpochStats DeploymentEngine::run_epoch() {
           epoch_ + 1 + (config_.quarantine_base_epochs << shift);
       ++c.quarantine_times;
       c.fail_streak = 0;
+      c.quarantined_from = c.ap;
       if (c.ap >= 0) {
         ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
         ap.members.erase(std::remove(ap.members.begin(), ap.members.end(),
@@ -588,10 +718,19 @@ EpochStats DeploymentEngine::run_epoch() {
         c.ap = -1;
       }
       ++stats.quarantines;
+      flight_event(epoch_, c.quarantined_from, static_cast<int>(i),
+                   "quarantine.enter",
+                   "until_epoch=" + std::to_string(c.quarantine_until) +
+                       " times=" + std::to_string(c.quarantine_times));
     }
   }
 
-  // 9. Per-AP health: degradation ladder + stuck-AP watchdog.
+  // 9. Per-AP health score — pure observation folded from this epoch's
+  //    confirmation, retries, quarantine occupancy, and handoff flux;
+  //    nothing downstream reads it (the ladder keys on raw confirmation).
+  score_health(serving, handoff_flux, stats);
+
+  // 10. Per-AP recovery: degradation ladder + stuck-AP watchdog.
   if (config_.closed_loop) {
     for (const int id : serving) {
       ApState& ap = aps_[static_cast<std::size_t>(id)];
@@ -601,6 +740,10 @@ EpochStats DeploymentEngine::run_epoch() {
           offered - ap.last.failures.unrecovered;
       if (confirmed == 0) {
         ++ap.allfail_streak;
+        if (ap.allfail_streak < config_.watchdog_epochs) {
+          flight_event(epoch_, id, -1, "watchdog.warn",
+                       "allfail_streak=" + std::to_string(ap.allfail_streak));
+        }
       } else {
         ap.allfail_streak = 0;
       }
@@ -613,6 +756,18 @@ EpochStats DeploymentEngine::run_epoch() {
         ap.pce_ladder = -1;
         ap.pce_members.clear();
         ap.dirty = true;
+        if (obs::FlightRecorder* fr = obs::flight()) {
+          fr->record(obs::FlightEvent{static_cast<std::uint64_t>(epoch_), id,
+                                      -1, "watchdog.fire",
+                                      "epochs=" +
+                                          std::to_string(
+                                              config_.watchdog_epochs)});
+          // Latch the trip; whoever owns the recorder dumps the
+          // post-mortem. The return value is deliberately dropped — the
+          // engine must never branch on observer state.
+          (void)fr->trip("watchdog fire: ap " + std::to_string(id),
+                         static_cast<std::uint64_t>(epoch_));
+        }
       }
       const double frac =
           static_cast<double>(confirmed) / static_cast<double>(offered);
@@ -622,6 +777,8 @@ EpochStats DeploymentEngine::run_epoch() {
           ++ap.ladder;
           ++stats.ladder_steps;
           ap.dirty = true;
+          flight_event(epoch_, id, -1, "ladder.down",
+                       "level=" + std::to_string(ap.ladder));
         }
       } else {
         ++ap.healthy_streak;
@@ -631,12 +788,15 @@ EpochStats DeploymentEngine::run_epoch() {
           ++stats.ladder_steps;
           ap.dirty = true;
           ap.healthy_streak = 0;
+          flight_event(epoch_, id, -1, "ladder.up",
+                       "level=" + std::to_string(ap.ladder));
         }
       }
     }
   }
 
-  // 10. Publish the epoch to obs (counters per fault cause + one span).
+  // 11. Publish the epoch to obs (counters per fault cause, epoch-stamped
+  //     health gauge, time-series samples, one trace span).
   if (obs::MetricsRegistry* reg = obs::metrics()) {
     reg->counter("deploy.epochs").inc();
     reg->counter("deploy.offered").inc(stats.offered);
@@ -664,6 +824,32 @@ EpochStats DeploymentEngine::run_epoch() {
         static_cast<std::uint64_t>(stats.ladder_steps));
     reg->counter("deploy.watchdog_fires").inc(
         static_cast<std::uint64_t>(stats.watchdog_fires));
+    // Stamped with the epoch so parallel-chunk merges keep the newest
+    // epoch's value regardless of merge order (see Gauge::merge_from).
+    reg->gauge("deploy.mean_health")
+        .set(stats.mean_health, static_cast<std::uint64_t>(epoch_) + 1);
+  }
+  if (obs::TimeSeriesRegistry* ts = obs::timeseries()) {
+    const auto e = static_cast<std::uint64_t>(epoch_);
+    ts->series("deploy.confirmation_rate").record(e, stats.confirmation_rate());
+    ts->series("deploy.mean_health").record(e, stats.mean_health);
+    ts->series("deploy.offered")
+        .record(e, static_cast<double>(stats.offered));
+    ts->series("deploy.unrecovered")
+        .record(e, static_cast<double>(stats.unrecovered));
+    ts->series("deploy.deferred")
+        .record(e, static_cast<double>(stats.deferred));
+    ts->series("deploy.live_aps").record(e, stats.live_aps);
+    ts->series("deploy.active_clients").record(e, stats.active_clients);
+    ts->series("deploy.quarantined_clients")
+        .record(e, stats.quarantined_clients);
+    ts->series("deploy.handoffs").record(e, stats.handoffs);
+    // Per-AP health only for APs that served: a dead AP's column goes
+    // blank in the CSV, which is exactly how an outage should read.
+    for (const int id : serving) {
+      ts->series(ap_health_series(id))
+          .record(e, aps_[static_cast<std::size_t>(id)].last_health);
+    }
   }
   if (obs::TraceSink* sink = obs::trace()) {
     // Epochs have no shared sim clock; one synthetic second per epoch

@@ -171,12 +171,31 @@ struct EpochStats {
   int readmissions = 0;
   int ladder_steps = 0;
   int watchdog_fires = 0;
+  /// Mean per-AP health over the APs that served this epoch (1.0 when no
+  /// AP served). Health folds an AP's confirmation rate, retry pressure,
+  /// quarantine occupancy, and handoff flux into one [0,1] figure:
+  ///   health = conf · 1/(1+retries/offered) · (1−quarantined/population)
+  ///                 · 1/(1+handoffs/members)
+  /// Each factor is 1.0 when the cell is calm, so a healthy AP scores
+  /// ~1.0 and every kind of distress pulls the score down smoothly.
+  double mean_health = 1.0;
 
   [[nodiscard]] double confirmation_rate() const {
     return offered == 0 ? 1.0
                         : static_cast<double>(confirmed) /
                               static_cast<double>(offered);
   }
+};
+
+/// Lifetime health aggregate of one AP, for `sicmac deploy
+/// --health-summary`. Epochs where the AP did not serve (dead, or no
+/// members) do not contribute.
+struct ApHealthSummary {
+  int ap = 0;
+  std::uint64_t epochs_served = 0;
+  double mean_health = 1.0;
+  double min_health = 1.0;
+  double mean_confirmation = 1.0;
 };
 
 struct DeploymentResult {
@@ -238,6 +257,9 @@ class DeploymentEngine {
   /// Inner-run result of \p ap 's most recent served epoch (for the
   /// old-vs-new bit-identity pin).
   [[nodiscard]] const UploadSimResult& last_ap_result(int ap) const;
+  /// Lifetime per-AP health aggregates, AP-id order (one entry per AP,
+  /// including APs that never served).
+  [[nodiscard]] std::vector<ApHealthSummary> health_summary() const;
   /// Nominal (drift-free) link budget of \p client toward \p ap.
   [[nodiscard]] channel::LinkBudget nominal_budget(int client, int ap) const;
 
@@ -253,10 +275,15 @@ class DeploymentEngine {
 
   [[nodiscard]] Rng epoch_rng() const;
   [[nodiscard]] core::SchedulerOptions ladder_options(int level) const;
-  [[nodiscard]] double association_score_db(const ClientState& c,
-                                            const ApState& a) const;
+  [[nodiscard]] Dbm association_score(const ClientState& c,
+                                      const ApState& a) const;
   void apply_chaos(const EpochChaos& chaos, EpochStats& stats);
-  void associate_clients(EpochStats& stats);
+  /// \p handoff_flux (size n_aps) accumulates per-AP association churn
+  /// this epoch: +1 on each AP a handoff touches, +1 on the AP gaining a
+  /// previously unassigned client — the flux input of the health score.
+  void associate_clients(EpochStats& stats, std::vector<int>& handoff_flux);
+  void score_health(const std::vector<int>& serving,
+                    const std::vector<int>& handoff_flux, EpochStats& stats);
   void serve_ap(ApState& ap);
   void audit_epoch(const EpochStats& stats,
                    const std::vector<int>& served_by) const;

@@ -1,0 +1,39 @@
+#include "obs/json_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace sic::obs::detail {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  if (v == 0.0) return "0";
+  char buf[32];
+  // Try increasing precision until the value round-trips.
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void append_json_string(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace sic::obs::detail

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <sstream>
 
+#include "obs/json_util.hpp"
 #include "util/check.hpp"
 
 namespace sic::obs {
@@ -14,41 +14,21 @@ namespace {
 
 thread_local MetricsRegistry* g_metrics = nullptr;
 
-/// Shortest round-trip double representation — deterministic for a given
-/// value, locale-independent (printf "C" numeric formatting of %.17g is
-/// stable for the values we emit; we normalize -0 and non-finites).
-std::string format_double(double v) {
-  if (std::isnan(v)) return "null";
-  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
-  if (v == 0.0) return "0";
-  char buf[32];
-  // Try increasing precision until the value round-trips.
-  for (int prec = 6; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
+using detail::format_double;
 
 void append_json_key(std::ostringstream& os, const std::string& name) {
-  // Instrument names are our own dotted identifiers; escape the JSON
-  // specials anyway so a stray name cannot corrupt the document.
-  os << '"';
-  for (const char c : name) {
-    if (c == '"' || c == '\\') {
-      os << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      os << buf;
-    } else {
-      os << c;
-    }
-  }
-  os << '"';
+  detail::append_json_string(os, name);
 }
 
 }  // namespace
+
+void Gauge::merge_from(const Gauge& other) {
+  if (other.stamp_ > stamp_ ||
+      (other.stamp_ == stamp_ && other.value_ > value_)) {
+    stamp_ = other.stamp_;
+    value_ = other.value_;
+  }
+}
 
 Histogram::Histogram(double min_value, int n_buckets) : min_value_(min_value) {
   SIC_CHECK(min_value > 0.0 && n_buckets >= 1);
@@ -208,7 +188,7 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     counter(name).inc(c.value());
   }
   for (const auto& [name, g] : other.gauges_) {
-    gauge(name).set(g.value());
+    gauge(name).merge_from(g);
   }
   for (const auto& [name, h] : other.histograms_) {
     histogram(name, h.bucket_lower_bound(0), h.n_buckets()).merge_from(h);

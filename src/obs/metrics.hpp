@@ -45,14 +45,30 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Last-write-wins instantaneous value (e.g. samples/sec of a sweep).
+/// Instantaneous value (e.g. samples/sec of a sweep). Each set carries an
+/// optional monotone stamp (the deployment engine uses the epoch); the
+/// stamp never appears in snapshots but drives merge_from's tie-breaking:
+/// merged gauges keep the lexicographically largest (stamp, value) pair,
+/// which is commutative and associative — so parallel chunk registries
+/// fold to the same gauge no matter the merge schedule. Unstamped setters
+/// (stamp 0) therefore merge by plain max value. Note the *values* a
+/// gauge holds may still be wall-clock-derived (samples/sec); those stay
+/// outside the thread-invariance contract like histogram sums.
 class Gauge {
  public:
-  void set(double value) { value_ = value; }
+  void set(double value, std::uint64_t stamp = 0) {
+    value_ = value;
+    stamp_ = stamp;
+  }
   [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] std::uint64_t stamp() const { return stamp_; }
+
+  /// Adopts \p other's (stamp, value) when it is lexicographically larger.
+  void merge_from(const Gauge& other);
 
  private:
   double value_ = 0.0;
+  std::uint64_t stamp_ = 0;
 };
 
 /// Log-bucketed histogram over positive doubles. Bucket k covers
@@ -122,9 +138,12 @@ class MetricsRegistry {
   [[nodiscard]] std::string json_snapshot() const;
 
   /// Folds \p other into this registry: counters add, histograms merge
-  /// bucket-wise, gauges take the merged-in value (last write wins).
-  /// Counter results are schedule-independent; histogram sums and gauges
-  /// inherit whatever nondeterminism the observed values carry.
+  /// bucket-wise, gauges keep the largest (stamp, value) pair — all three
+  /// are commutative+associative, so the merged registry is independent
+  /// of the chunk schedule. Counter results (and gauge choice) are
+  /// schedule-independent; histogram sums and wall-clock-derived gauge
+  /// values still inherit whatever nondeterminism the observed values
+  /// carry.
   void merge_from(const MetricsRegistry& other);
 
   /// Name-sorted (name, value) view of every counter — the deterministic

@@ -7,10 +7,12 @@
 /// DESIGN.md "Observability layer" for the zero-overhead-when-disabled
 /// contract all of them share.
 
-#include "obs/build_info.hpp"   // IWYU pragma: export
-#include "obs/logger.hpp"       // IWYU pragma: export
-#include "obs/metrics.hpp"      // IWYU pragma: export
-#include "obs/scoped_timer.hpp" // IWYU pragma: export
-#include "obs/trace_sink.hpp"   // IWYU pragma: export
+#include "obs/build_info.hpp"       // IWYU pragma: export
+#include "obs/flight_recorder.hpp"  // IWYU pragma: export
+#include "obs/logger.hpp"           // IWYU pragma: export
+#include "obs/metrics.hpp"          // IWYU pragma: export
+#include "obs/scoped_timer.hpp"     // IWYU pragma: export
+#include "obs/timeseries.hpp"       // IWYU pragma: export
+#include "obs/trace_sink.hpp"       // IWYU pragma: export
 
 #endif  // SICMAC_OBS_OBS_HPP

@@ -8,11 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/scheduler.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace sic::mac {
 namespace {
@@ -371,6 +374,154 @@ TEST(DeploymentEngine, DefaultChaosProfileStaysAuditClean) {
   EXPECT_EQ(auditor.epochs_checked(), 30u);
   EXPECT_GT(result.offered, 0u);
   EXPECT_GT(result.confirmation_rate(), 0.9);
+}
+
+TEST(DeploymentEngine, PostmortemByteIdenticalAcrossThreadCounts) {
+  // The PR's acceptance pin: a seeded AP-outage run under the default
+  // chaos profile must produce a byte-identical post-mortem document —
+  // events, time-series, and all — at threads 1 / 4 / 7, because flight
+  // events and series samples are only recorded on the engine's
+  // sequential phases.
+  const auto run = [](int threads) {
+    obs::FlightRecorder recorder;
+    obs::TimeSeriesRegistry series;
+    obs::FlightRecorder* prev_fr = obs::set_flight(&recorder);
+    obs::TimeSeriesRegistry* prev_ts = obs::set_timeseries(&series);
+    DeploymentEngineConfig config;
+    config.scheduler.enable_power_control = true;
+    config.epoch_drift_sigma = Decibels{2.0};
+    config.threads = threads;
+    config.seed = 11;
+    std::vector<topology::Point> sites{{0.0, 0.0}, {60.0, 0.0}, {120.0, 0.0},
+                                       {180.0, 0.0}};
+    FaultSchedule chaos = FaultSchedule::preset("default", 24);
+    chaos.add({.epoch = 4, .kind = ChaosEventKind::kApOutage, .ap = 1,
+               .duration_epochs = 3});
+    DeploymentEngine engine{sites, kShannon, config, std::move(chaos)};
+    for (int c = 0; c < 24; ++c) {
+      (void)engine.add_client({7.0 * (c % 8) + 45.0 * (c / 8), 5.0});
+    }
+    (void)engine.run_epochs(12);
+    (void)obs::set_flight(prev_fr);
+    (void)obs::set_timeseries(prev_ts);
+    return recorder.postmortem_json(&series, /*window_epochs=*/12);
+  };
+
+  const std::string pm1 = run(1);
+  // The scripted outage and its telemetry must actually be in there.
+  EXPECT_NE(pm1.find("\"kind\":\"chaos.outage\""), std::string::npos);
+  EXPECT_NE(pm1.find("\"deploy.mean_health\""), std::string::npos);
+  EXPECT_EQ(pm1, run(4));
+  EXPECT_EQ(pm1, run(7));
+}
+
+TEST(DeploymentEngine, WatchdogTripLatchesFlightRecorderExactlyOnce) {
+  // Same scripted 80 dB burst as WatchdogFreesStuckApAfterDeepBurst, with
+  // the flight recorder attached: the watchdog's first fire must trip the
+  // recorder, and later fires (the burst outlives the first watchdog
+  // window) must not re-trip or overwrite the reason.
+  obs::FlightRecorder recorder;
+  obs::FlightRecorder* prev = obs::set_flight(&recorder);
+  DeploymentEngineConfig config;
+  config.watchdog_epochs = 2;
+  config.enable_quarantine = false;
+  config.upload.horizon = from_seconds(0.05);
+  FaultSchedule chaos;
+  chaos.add({.epoch = 1, .kind = ChaosEventKind::kBurst, .ap = 0,
+             .duration_epochs = 4, .depth = Decibels{80.0}});
+  DeploymentEngine engine{{topology::Point{0.0, 0.0}}, kShannon, config,
+                          chaos};
+  (void)engine.add_client({8.0, 0.0});
+  (void)engine.add_client({12.0, 0.0});
+
+  const DeploymentResult result = engine.run_epochs(8);
+  (void)obs::set_flight(prev);
+  ASSERT_GE(result.watchdog_fires, 1u);
+  EXPECT_TRUE(recorder.tripped());
+  EXPECT_EQ(recorder.trip_reason(), "watchdog fire: ap 0");
+
+  // The trip anchors at the FIRST watchdog.fire event even if the
+  // watchdog fired again later in the run.
+  std::uint64_t first_fire = 0;
+  std::size_t fires = 0;
+  for (std::size_t i = 0; i < recorder.size(); ++i) {
+    if (recorder.event(i).kind == "watchdog.fire") {
+      if (fires == 0) first_fire = recorder.event(i).epoch;
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, result.watchdog_fires);
+  EXPECT_EQ(recorder.trip_epoch(), first_fire);
+}
+
+TEST(DeploymentEngine, HealthScoreBoundedAndPerfectWhenCalm) {
+  // No chaos, no drift, near clients: after the associations of epoch 0
+  // settle (initial association counts as handoff flux, so epoch 0 is
+  // legitimately below 1), every epoch must score a perfect 1.0, and the
+  // per-AP summary must agree.
+  DeploymentEngineConfig config;
+  DeploymentEngine engine{{topology::Point{0.0, 0.0}}, kShannon, config};
+  (void)engine.add_client({8.0, 0.0});
+  (void)engine.add_client({12.0, 0.0});
+
+  const DeploymentResult result = engine.run_epochs(6);
+  for (const EpochStats& e : result.epochs) {
+    EXPECT_GE(e.mean_health, 0.0) << "epoch " << e.epoch;
+    EXPECT_LE(e.mean_health, 1.0) << "epoch " << e.epoch;
+  }
+  for (std::size_t e = 1; e < result.epochs.size(); ++e) {
+    EXPECT_DOUBLE_EQ(result.epochs[e].mean_health, 1.0) << "epoch " << e;
+  }
+
+  const std::vector<ApHealthSummary> summary = engine.health_summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].ap, 0);
+  EXPECT_EQ(summary[0].epochs_served, 6u);
+  EXPECT_GT(summary[0].mean_health, 0.9);   // epoch 0 flux dilutes slightly
+  EXPECT_GT(summary[0].min_health, 0.0);
+  EXPECT_LE(summary[0].min_health, 1.0);
+  EXPECT_DOUBLE_EQ(summary[0].mean_confirmation, 1.0);
+}
+
+TEST(DeploymentEngine, HealthDropsUnderBurstAndTimeSeriesRecordsIt) {
+  // The WatchdogFreesStuckApAfterDeepBurst scenario again, now asserting
+  // the health channel: buried epochs must score well below calm ones,
+  // and the attached time-series must carry the same per-epoch values.
+  obs::TimeSeriesRegistry series;
+  obs::TimeSeriesRegistry* prev = obs::set_timeseries(&series);
+  DeploymentEngineConfig config;
+  config.watchdog_epochs = 2;
+  config.enable_quarantine = false;
+  config.upload.horizon = from_seconds(0.05);
+  FaultSchedule chaos;
+  chaos.add({.epoch = 1, .kind = ChaosEventKind::kBurst, .ap = 0,
+             .duration_epochs = 4, .depth = Decibels{80.0}});
+  DeploymentEngine engine{{topology::Point{0.0, 0.0}}, kShannon, config,
+                          chaos};
+  (void)engine.add_client({8.0, 0.0});
+  (void)engine.add_client({12.0, 0.0});
+
+  const DeploymentResult result = engine.run_epochs(8);
+  (void)obs::set_timeseries(prev);
+
+  double min_health = 1.0;
+  for (const EpochStats& e : result.epochs) {
+    min_health = std::min(min_health, e.mean_health);
+  }
+  EXPECT_LT(min_health, 0.5);  // buried epochs confirm nothing
+  const std::vector<ApHealthSummary> summary = engine.health_summary();
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary[0].min_health, min_health);
+  EXPECT_LT(summary[0].mean_health, 1.0);
+
+  // The engine published one mean-health sample per epoch, matching the
+  // per-epoch stats bit for bit.
+  const obs::TimeSeries& health = series.series("deploy.mean_health");
+  ASSERT_EQ(health.size(), result.epochs.size());
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    EXPECT_EQ(health.point(e).epoch, e);
+    EXPECT_EQ(health.point(e).value, result.epochs[e].mean_health);
+  }
 }
 
 TEST(InvariantAuditor, SeededViolationsActuallyFire) {

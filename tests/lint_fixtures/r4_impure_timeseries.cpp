@@ -1,0 +1,31 @@
+// Lint fixture: R4 — time-series mutators in value-producing expressions.
+#include <cstdint>
+
+struct TimeSeries {
+  std::uint64_t record(std::uint64_t e, double) { return last = e; }
+  std::uint64_t last = 0;
+};
+
+struct Registry {
+  TimeSeries& series(const char*) { return s; }
+  TimeSeries s;
+};
+
+void consume(std::uint64_t);
+
+std::uint64_t bad_return(Registry& reg) {
+  return reg.series("x").record(1, 0.5);  // line 17: R4 violation (return)
+}
+
+void bad_assign(Registry& reg) {
+  const auto e = reg.series("x").record(2, 0.5);  // line 21: R4 violation (=)
+  (void)e;
+}
+
+void bad_nested(Registry& reg) {
+  consume(reg.series("x").record(3, 0.5));  // line 26: R4 (nested call)
+}
+
+void good_statement(Registry& reg) {
+  reg.series("x").record(4, 0.5);  // clean: pure side-channel statement
+}

@@ -27,6 +27,61 @@ TEST(Gauge, LastWriteWins) {
   EXPECT_DOUBLE_EQ(g.value(), -2.0);
 }
 
+TEST(Gauge, MergeAdoptsNewestStampRegardlessOfOrder) {
+  // Worker A published at epoch 7, worker B at epoch 3. Whichever merge
+  // order the thread pool produces, the epoch-7 value must win.
+  Gauge a;
+  a.set(0.25, /*stamp=*/7);
+  Gauge b;
+  b.set(0.90, /*stamp=*/3);
+
+  Gauge ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  Gauge ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+
+  EXPECT_DOUBLE_EQ(ab.value(), 0.25);
+  EXPECT_DOUBLE_EQ(ba.value(), 0.25);
+  EXPECT_EQ(ab.stamp(), 7u);
+  EXPECT_EQ(ba.stamp(), 7u);
+}
+
+TEST(Gauge, MergeTieBreaksOnValueSoOrderNeverMatters) {
+  // Equal stamps (two shards publishing the same epoch): the larger value
+  // wins in both orders — lexicographic (stamp, value) max.
+  Gauge a;
+  a.set(1.0, 5);
+  Gauge b;
+  b.set(2.0, 5);
+
+  Gauge ab;
+  ab.merge_from(a);
+  ab.merge_from(b);
+  Gauge ba;
+  ba.merge_from(b);
+  ba.merge_from(a);
+  EXPECT_DOUBLE_EQ(ab.value(), ba.value());
+  EXPECT_DOUBLE_EQ(ab.value(), 2.0);
+}
+
+TEST(MetricsRegistry, GaugeMergeIsScheduleIndependent) {
+  MetricsRegistry shard_a;
+  shard_a.gauge("deploy.mean_health").set(0.4, 9);
+  MetricsRegistry shard_b;
+  shard_b.gauge("deploy.mean_health").set(0.8, 4);
+
+  MetricsRegistry into_ab;
+  into_ab.merge_from(shard_a);
+  into_ab.merge_from(shard_b);
+  MetricsRegistry into_ba;
+  into_ba.merge_from(shard_b);
+  into_ba.merge_from(shard_a);
+  EXPECT_EQ(into_ab.json_snapshot(), into_ba.json_snapshot());
+  EXPECT_DOUBLE_EQ(into_ab.gauge("deploy.mean_health").value(), 0.4);
+}
+
 TEST(Histogram, BucketBoundariesArePowersOfTwo) {
   const Histogram h{1.0, 8};
   EXPECT_DOUBLE_EQ(h.bucket_lower_bound(0), 1.0);

@@ -71,6 +71,14 @@ TEST(SicLint, R4CatchesMutatorsInValuePositions) {
   EXPECT_TRUE(has_finding(findings, "R4", 30));  // acc += ...inc()
 }
 
+TEST(SicLint, R4CatchesTimeSeriesRecordInValuePositions) {
+  const auto findings = lint_fixture("r4_impure_timeseries.cpp");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(has_finding(findings, "R4", 17));  // return ...record()
+  EXPECT_TRUE(has_finding(findings, "R4", 21));  // e = ...record()
+  EXPECT_TRUE(has_finding(findings, "R4", 26));  // consume(...record())
+}
+
 TEST(SicLint, R3ExemptsEndInMembershipComparisons) {
   const std::string src =
       "#include <unordered_map>\n"

@@ -1,0 +1,110 @@
+/// bench_gate — CI bench-regression gate over one-line JSON bench
+/// summaries (see gate.hpp for the comparison model).
+///
+///   bench_gate --baseline bench/baselines/BENCH_scheduler.json
+///              --current BENCH_scheduler.json
+///              --pin throughput:30% --pin wall_ms:50%:lower
+/// (one command line; wrapped here for width)
+///
+/// Flags:
+///   --baseline <file>      committed baseline summary (required)
+///   --current <file>       freshly emitted summary (required)
+///   --pin key[:tol%][:lower]   key to gate; may repeat (required)
+///   --default-tol <pct>    tolerance when a pin names none (default 10)
+///   --perturb key=factor   scale the current value before comparing —
+///                          CI's synthetic-regression self-check
+///
+/// Exit codes: 0 gate passed; 1 regression (or pinned key missing);
+/// 2 usage / file error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gate.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_gate --baseline <file> --current <file>\n"
+      "                  --pin key[:tol%%][:lower] [--pin ...]\n"
+      "                  [--default-tol pct] [--perturb key=factor]\n");
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is{path};
+  if (!is) {
+    throw std::runtime_error("cannot read " + path);
+  }
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string baseline_path;
+    std::string current_path;
+    std::vector<std::string> pin_specs;
+    std::map<std::string, double> perturb;
+    double default_tol = 0.10;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::runtime_error("flag " + arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--baseline") {
+        baseline_path = next();
+      } else if (arg == "--current") {
+        current_path = next();
+      } else if (arg == "--pin") {
+        pin_specs.push_back(next());
+      } else if (arg == "--default-tol") {
+        default_tol = std::strtod(next().c_str(), nullptr) / 100.0;
+      } else if (arg == "--perturb") {
+        const std::string spec = next();
+        const std::size_t eq = spec.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          throw std::runtime_error("bad --perturb (key=factor): " + spec);
+        }
+        perturb[spec.substr(0, eq)] =
+            std::strtod(spec.c_str() + eq + 1, nullptr);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        return usage();
+      }
+    }
+    if (baseline_path.empty() || current_path.empty() || pin_specs.empty()) {
+      return usage();
+    }
+
+    std::vector<sic::bench_gate::Pin> pins;
+    pins.reserve(pin_specs.size());
+    for (const std::string& spec : pin_specs) {
+      pins.push_back(sic::bench_gate::parse_pin(spec, default_tol));
+    }
+    const auto baseline =
+        sic::bench_gate::parse_flat_json(read_file(baseline_path));
+    const auto current =
+        sic::bench_gate::parse_flat_json(read_file(current_path));
+    const auto report =
+        sic::bench_gate::run_gate(baseline, current, pins, perturb);
+    std::fputs(report.text().c_str(), stdout);
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -317,8 +317,10 @@ bool impure_prefix(std::string_view prefix) {
 /// R4 — metrics mutators used as values.
 void check_r4(const std::string& path, const std::string& text,
               const Suppressions& suppress, std::vector<Finding>& out) {
-  static const std::regex maker_re(R"(\b(counter|gauge|histogram)\s*\()");
-  static const std::set<std::string> mutators{"inc", "set", "observe"};
+  static const std::regex maker_re(
+      R"(\b(counter|gauge|histogram|series)\s*\()");
+  static const std::set<std::string> mutators{"inc", "set", "observe",
+                                              "record"};
   for (auto it = std::sregex_iterator(text.begin(), text.end(), maker_re);
        it != std::sregex_iterator(); ++it) {
     // Balance the maker's argument list.

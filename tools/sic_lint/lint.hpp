@@ -16,10 +16,10 @@
 ///       `c.find(k) == c.end()`) are deterministic membership tests and are
 ///       exempt. Observability and bench code is exempt by path.
 ///   R4  observer purity: metrics mutators (counter(...).inc, gauge(...).set,
-///       histogram(...).observe) must be statements of their own — never part
-///       of a value-producing expression (returned, assigned — including
-///       compound forms like `+=` — or nested in another call), so detaching
-///       the registry can never change behavior.
+///       histogram(...).observe, series(...).record) must be statements of
+///       their own — never part of a value-producing expression (returned,
+///       assigned — including compound forms like `+=` — or nested in
+///       another call), so detaching the registry can never change behavior.
 ///
 /// Findings can be locally suppressed with a trailing
 /// `// sic-lint: allow(R1)` comment (or a comment-only line immediately

@@ -16,10 +16,18 @@
 ///
 /// All SNRs in dB over a unit noise floor; rates on a 20 MHz channel.
 ///
-/// Global observability flags (every command):
+/// Global observability flags (every command, deploy included):
 ///   --metrics-out <file>   JSON metrics snapshot of the run
 ///   --trace-out <file>     Chrome-trace JSONL (open in ui.perfetto.dev)
 ///   --log-level <level>    off|error|warn|info|debug (default off)
+///
+/// Deploy-only forensics (see README "Reading a post-mortem"):
+///   --timeseries-out <csv> per-epoch time-series (wide CSV)
+///   --postmortem-out <json> flight-recorder post-mortem; also dumped
+///                          automatically on watchdog trip / invariant
+///                          violation (the latter exits 5)
+///   --postmortem-window N  epochs of events replayed in the dump (16)
+///   --health-summary       per-AP lifetime health table
 ///
 /// Global performance flag (montecarlo, trace-eval, report):
 ///   --threads <n>          sweep worker threads; 0 = all hardware threads
@@ -394,6 +402,12 @@ int cmd_deploy(const ArgParser& args) {
   // epoch. A violated invariant is its own exit code (5) so CI and
   // scripts can tell "the engine broke a conservation law" from an
   // ordinary failure.
+  //
+  // Flight-recorder forensics: with --postmortem-out (and/or
+  // --timeseries-out) the run records structured per-(ap,epoch) events
+  // and epoch time-series. A watchdog trip or an invariant violation
+  // dumps the post-mortem immediately — frozen at the epoch that
+  // tripped — and an untripped run writes it at the end ("requested").
   const auto adapter = make_adapter(args.get_string("table", "shannon"));
   const int n_aps = args.get_int("aps", 4);
   const int n_clients = args.get_int("clients", 24);
@@ -402,6 +416,10 @@ int cmd_deploy(const ArgParser& args) {
   if (n_clients < 1) throw UsageError("deploy needs --clients >= 1");
   if (n_epochs < 1) throw UsageError("deploy needs --epochs >= 1");
   const std::string profile = args.get_string("chaos-profile", "default");
+  const std::string timeseries_out = args.get_string("timeseries-out", "");
+  const std::string postmortem_out = args.get_string("postmortem-out", "");
+  const int window = args.get_int("postmortem-window", 16);
+  if (window < 1) throw UsageError("deploy needs --postmortem-window >= 1");
 
   mac::DeploymentEngineConfig config;
   config.scheduler.enable_power_control = args.has("power-control");
@@ -412,6 +430,31 @@ int cmd_deploy(const ArgParser& args) {
       Decibels{require_range(args, "drift-sigma", 2.0, 0.0, 60.0)};
   config.threads = args.get_threads();
   config.seed = args.get_u64("seed", 1);
+
+  // Attach the flight recorder + time-series registry only when an output
+  // asks for them — detached runs stay zero-cost.
+  const bool record = !timeseries_out.empty() || !postmortem_out.empty();
+  obs::TimeSeriesRegistry series;
+  obs::FlightRecorder recorder;
+  if (record) {
+    recorder.set_config("command", "deploy");
+    recorder.set_config("aps", std::to_string(n_aps));
+    recorder.set_config("clients", std::to_string(n_clients));
+    recorder.set_config("epochs", std::to_string(n_epochs));
+    recorder.set_config("chaos_profile", profile);
+    recorder.set_config("table", args.get_string("table", "shannon"));
+    recorder.set_config("closed_loop", config.closed_loop ? "true" : "false");
+    recorder.set_config("quarantine",
+                        config.enable_quarantine ? "true" : "false");
+    recorder.set_config("drift_sigma_db",
+                        std::to_string(config.epoch_drift_sigma.value()));
+    // No `threads` entry on purpose: the thread count is an execution
+    // detail that never changes results, and recording it would break the
+    // post-mortem's byte-identity-across-thread-counts contract.
+    recorder.set_config("seed", std::to_string(config.seed));
+    obs::set_timeseries(&series);
+    obs::set_flight(&recorder);
+  }
 
   std::vector<topology::Point> sites;
   for (int a = 0; a < n_aps; ++a) sites.push_back({60.0 * a, 0.0});
@@ -425,7 +468,53 @@ int cmd_deploy(const ArgParser& args) {
   mac::InvariantAuditor auditor;
   engine.set_auditor(&auditor);
 
-  const mac::DeploymentResult r = engine.run_epochs(n_epochs);
+  // One epoch at a time so a trip dumps the post-mortem *at* the broken
+  // epoch — the ring is frozen before later epochs can evict its events.
+  bool postmortem_written = false;
+  const auto write_postmortem = [&] {
+    if (postmortem_written) return;
+    const std::string path =
+        postmortem_out.empty() ? "sicmac-postmortem.json" : postmortem_out;
+    std::ofstream os{path};
+    if (!os) {
+      throw trace::TraceIoError("cannot open post-mortem file for write: " +
+                                path);
+    }
+    os << recorder.postmortem_json(&series,
+                                   static_cast<std::uint64_t>(window))
+       << '\n';
+    std::fprintf(stderr, "wrote post-mortem (%s) to %s\n",
+                 recorder.tripped() ? recorder.trip_reason().c_str()
+                                    : "requested",
+                 path.c_str());
+    postmortem_written = true;
+  };
+  for (int e = 0; e < n_epochs; ++e) {
+    (void)engine.run_epoch();
+    if (!record) continue;
+    if (!auditor.ok()) {
+      (void)recorder.trip(
+          "invariant violation: " + auditor.violations().front().what,
+          static_cast<std::uint64_t>(auditor.violations().front().epoch));
+    }
+    if (recorder.tripped()) write_postmortem();
+  }
+  if (record) {
+    obs::set_flight(nullptr);
+    obs::set_timeseries(nullptr);
+    if (!postmortem_out.empty()) write_postmortem();
+    if (!timeseries_out.empty()) {
+      std::ofstream os{timeseries_out};
+      if (!os) {
+        throw trace::TraceIoError("cannot open time-series file for write: " +
+                                  timeseries_out);
+      }
+      os << series.csv();
+      std::fprintf(stderr, "wrote %zu time-series to %s\n", series.n_series(),
+                   timeseries_out.c_str());
+    }
+  }
+  const mac::DeploymentResult& r = engine.result();
   std::printf("deployment (%d APs, %d clients, %s, chaos=%s, %s):\n", n_aps,
               n_clients, adapter->name().c_str(), profile.c_str(),
               config.closed_loop
@@ -450,9 +539,28 @@ int cmd_deploy(const ArgParser& args) {
               static_cast<unsigned long long>(r.readmissions));
   std::printf("  watchdog fires      : %llu\n",
               static_cast<unsigned long long>(r.watchdog_fires));
+  {
+    double mean_health = 0.0;
+    for (const auto& es : r.epochs) mean_health += es.mean_health;
+    if (!r.epochs.empty()) {
+      mean_health /= static_cast<double>(r.epochs.size());
+    }
+    std::printf("  mean epoch health   : %.3f\n", mean_health);
+  }
   std::printf("  invariant audit     : %s (%llu epochs)\n",
               auditor.ok() ? "ok" : "VIOLATED",
               static_cast<unsigned long long>(auditor.epochs_checked()));
+  if (args.has("health-summary")) {
+    std::printf("  per-AP health (health = conf x 1/(1+retry) x (1-quar) x "
+                "1/(1+flux)):\n");
+    std::printf("    %3s %8s %12s %12s %12s\n", "ap", "epochs", "mean_health",
+                "min_health", "mean_conf");
+    for (const mac::ApHealthSummary& s : engine.health_summary()) {
+      std::printf("    %3d %8llu %12.4f %12.4f %12.4f\n", s.ap,
+                  static_cast<unsigned long long>(s.epochs_served),
+                  s.mean_health, s.min_health, s.mean_confirmation);
+    }
+  }
   if (!auditor.ok()) {
     for (const auto& v : auditor.violations()) {
       std::fprintf(stderr, "invariant violation (epoch %d): %s\n", v.epoch,
@@ -567,7 +675,13 @@ int usage() {
       "  deploy      [--aps N] [--clients N] [--epochs N]\n"
       "              [--chaos-profile none|default|outage|burst|churn]\n"
       "              [--open-loop] [--no-quarantine] [--drift-sigma dB]\n"
+      "              [--timeseries-out ts.csv] [--postmortem-out pm.json]\n"
+      "              [--postmortem-window N] [--health-summary]\n"
       "              [--threads N] [--seed S]\n"
+      "              The global --metrics-out/--trace-out/--log-level flags\n"
+      "              apply here too; a watchdog trip or invariant violation\n"
+      "              dumps the flight-recorder post-mortem immediately, and\n"
+      "              a violated invariant exits with code 5.\n"
       "  report      [--trials N] [--seed S]\n"
       "exit codes: 0 ok, 1 internal, 2 usage, 3 file I/O, 4 trace format,\n"
       "            5 deployment invariant violated\n");
