@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/matching_tier.hpp"
 #include "core/upload_pair.hpp"
-#include "matching/blossom.hpp"
-#include "matching/greedy.hpp"
 #include "util/check.hpp"
 
 namespace sic::core {
@@ -112,8 +111,14 @@ BacklogSchedule schedule_backlog_upload(std::span<const BacklogClient> clients,
   const int m = odd ? n + 1 : n;
   const int dummy = odd ? n : -1;
   std::vector<DrainPlan> plans(static_cast<std::size_t>(m) * m);
+  // Per-vertex solo drain times double as the approximate tier's
+  // sparsification baseline (0 for the dummy: its edges always drop and
+  // the fallback closes them).
+  std::vector<double> solo(static_cast<std::size_t>(m), 0.0);
   matching::CostMatrix costs{m};
   for (int i = 0; i < n; ++i) {
+    solo[static_cast<std::size_t>(i)] =
+        solo_drain_airtime(clients[i], adapter, options.packet_bits);
     for (int j = i + 1; j < n; ++j) {
       const DrainPlan plan =
           best_drain_plan(clients[i], clients[j], adapter, options);
@@ -121,18 +126,17 @@ BacklogSchedule schedule_backlog_upload(std::span<const BacklogClient> clients,
       plans[static_cast<std::size_t>(i) * m + j] = plan;
     }
     if (odd) {
-      const double t =
-          solo_drain_airtime(clients[i], adapter, options.packet_bits);
-      costs.set(i, dummy, t);
+      costs.set(i, dummy, solo[static_cast<std::size_t>(i)]);
       plans[static_cast<std::size_t>(i) * m + dummy] =
-          DrainPlan{DrainMode::kSerial, t, 0};
+          DrainPlan{DrainMode::kSerial, solo[static_cast<std::size_t>(i)], 0};
     }
   }
 
-  const matching::Matching matching =
-      options.pairing == SchedulerOptions::Pairing::kBlossom
-          ? matching::min_weight_perfect_matching(costs)
-          : matching::greedy_min_weight_perfect_matching(costs);
+  std::vector<matching::WeightedEdge> edge_scratch;
+  const matching::Matching matching = run_matching_tier(
+      costs,
+      resolve_matching_tier(options.pairing, n, options.auto_tier_threshold),
+      solo, Decibels{0.0}, edge_scratch);
 
   for (const auto& [u, v] : matching.pairs) {
     const int i = std::min(u, v);

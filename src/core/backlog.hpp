@@ -55,6 +55,9 @@ struct BacklogOptions {
   double packet_bits = 12000.0;
   bool enable_packing = true;     ///< allow the packed-trains discipline
   SchedulerOptions::Pairing pairing = SchedulerOptions::Pairing::kBlossom;
+  /// kAuto crossover (same convention as SchedulerOptions): backlogs of
+  /// this many clients or more pair with the approximate tier.
+  int auto_tier_threshold = 64;
 };
 
 struct DrainPlan {

@@ -1,0 +1,41 @@
+#include "core/matching_tier.hpp"
+
+#include "matching/approx.hpp"
+#include "matching/blossom.hpp"
+#include "matching/greedy.hpp"
+
+namespace sic::core {
+
+MatchingTier resolve_matching_tier(SchedulerOptions::Pairing pairing,
+                                   int num_clients, int auto_tier_threshold) {
+  switch (pairing) {
+    case SchedulerOptions::Pairing::kBlossom:
+      return MatchingTier::kBlossom;
+    case SchedulerOptions::Pairing::kGreedy:
+      return MatchingTier::kGreedy;
+    case SchedulerOptions::Pairing::kApprox:
+      return MatchingTier::kApprox;
+    case SchedulerOptions::Pairing::kAuto:
+      return num_clients >= auto_tier_threshold ? MatchingTier::kApprox
+                                                : MatchingTier::kBlossom;
+  }
+  return MatchingTier::kBlossom;
+}
+
+matching::Matching run_matching_tier(
+    const matching::CostMatrix& costs, MatchingTier tier,
+    std::span<const double> vertex_serial_cost, Decibels sparsify_margin,
+    std::vector<matching::WeightedEdge>& edge_scratch) {
+  switch (tier) {
+    case MatchingTier::kBlossom:
+      return matching::min_weight_perfect_matching(costs);
+    case MatchingTier::kGreedy:
+      return matching::greedy_min_weight_perfect_matching(costs, edge_scratch);
+    case MatchingTier::kApprox:
+      return matching::approx_min_weight_perfect_matching(
+          costs, vertex_serial_cost, sparsify_margin, edge_scratch);
+  }
+  return matching::min_weight_perfect_matching(costs);
+}
+
+}  // namespace sic::core

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
-#include "matching/blossom.hpp"
-#include "matching/greedy.hpp"
+#include "core/multirate.hpp"
+#include "core/power_control.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
@@ -57,7 +59,12 @@ void PairCostEngine::set_clients(
 }
 
 void PairCostEngine::update_client(int client, Milliwatts rss) {
-  SIC_CHECK(client >= 0 && client < n_);
+  if (client < 0 || client >= n_) {
+    throw std::out_of_range(
+        "PairCostEngine::update_client: client index " +
+        std::to_string(client) + " outside [0, " + std::to_string(n_) +
+        ") — stale handoff against a changed topology?");
+  }
   const std::size_t c = static_cast<std::size_t>(client);
   const double old_mw = rss_[c].value();
   const double new_mw = rss.value();
@@ -83,32 +90,77 @@ void PairCostEngine::invalidate_row(int client) {
   }
 }
 
-PairPlan PairCostEngine::compute_pair(int i, int j) const {
-  const std::size_t a = static_cast<std::size_t>(i);
-  const std::size_t b = static_cast<std::size_t>(j);
-  const auto ctx =
-      UploadPairContext::make(derated_rss_[a], derated_rss_[b], noise_,
-                              *adapter_, options_.packet_bits);
-  return best_pair_plan_from_context(
-      ctx, solo_airtime_[a] + solo_airtime_[b], options_);
-}
-
-const PairPlan& PairCostEngine::pair_plan(int i, int j) {
+void PairCostEngine::compute_row(int gi, std::span<const int> cols) {
   const std::size_t n = static_cast<std::size_t>(n_);
-  const std::size_t a = static_cast<std::size_t>(std::min(i, j));
-  const std::size_t b = static_cast<std::size_t>(std::max(i, j));
-  const std::size_t at = a * n + b;
-  if (valid_[at] != 0) {
-    ++stats_.pair_cache_hits;
-    return plans_[at];
+  const std::size_t count = cols.size();
+  // Hoisted TwoSignalArrival::make preconditions: one noise check per row,
+  // not one per pair.
+  SIC_CHECK_MSG(noise_.value() > 0.0, "noise floor must be positive");
+  const double noise_mw = noise_.value();
+
+  // Pass 1 — stronger/weaker normalization and both SIC SINRs, streaming
+  // the SoA arrays. Lane layout: [0, count) stronger, [count, 2·count)
+  // weaker. The (s1 >= s2 → s1 is stronger) rule with s1 the lower client
+  // index replicates TwoSignalArrival::make called on (min, max) exactly.
+  row_sinr_.resize(2 * count);
+  row_rates_.resize(2 * count);
+  for (std::size_t t = 0; t < count; ++t) {
+    const int gj = cols[t];
+    const std::size_t a = static_cast<std::size_t>(std::min(gi, gj));
+    const std::size_t b = static_cast<std::size_t>(std::max(gi, gj));
+    const double s1 = derated_rss_[a].value();
+    const double s2 = derated_rss_[b].value();
+    SIC_CHECK_MSG(s1 >= 0.0 && s2 >= 0.0, "linear RSS must be non-negative");
+    const double stronger = s1 >= s2 ? s1 : s2;
+    const double weaker = s1 >= s2 ? s2 : s1;
+    row_sinr_[t] = stronger / (weaker + noise_mw);
+    row_sinr_[count + t] = weaker / noise_mw;
   }
-  const PairPlan plan = compute_pair(static_cast<int>(a), static_cast<int>(b));
-  plans_[at] = plan;
-  plans_[b * n + a] = plan;
-  valid_[at] = 1;
-  valid_[b * n + a] = 1;
-  ++stats_.pair_evals;
-  return plans_[at];
+
+  // Pass 2 — every rate lookup of the row in one batched call: a single
+  // virtual dispatch instead of two per pair.
+  adapter_->rate_span(row_sinr_, row_rates_);
+
+  // Pass 3 — plan selection. This replicates best_pair_plan_from_context
+  // decision-for-decision (same candidate order, same strict-< rules) so
+  // the batched row is bit-identical to the scalar path; the engine's
+  // bit-identity tests pin the two together.
+  for (std::size_t t = 0; t < count; ++t) {
+    const int gj = cols[t];
+    const std::size_t a = static_cast<std::size_t>(std::min(gi, gj));
+    const std::size_t b = static_cast<std::size_t>(std::max(gi, gj));
+    PairPlan best;
+    best.mode = PairMode::kSerial;
+    best.airtime = solo_airtime_[a] + solo_airtime_[b];
+    const double t_sic =
+        std::max(airtime_seconds(options_.packet_bits, row_rates_[t]),
+                 airtime_seconds(options_.packet_bits, row_rates_[count + t]));
+    if (t_sic < best.airtime) {
+      best = PairPlan{PairMode::kSic, t_sic, 1.0};
+    }
+    if (options_.enable_power_control || options_.enable_multirate) {
+      const auto ctx =
+          UploadPairContext::make(derated_rss_[a], derated_rss_[b], noise_,
+                                  *adapter_, options_.packet_bits);
+      if (options_.enable_power_control) {
+        const auto pc = optimize_weaker_power(ctx);
+        if (pc.applied && pc.airtime < best.airtime) {
+          best = PairPlan{PairMode::kSicPowerControl, pc.airtime, pc.scale};
+        }
+      }
+      if (options_.enable_multirate) {
+        const auto mr = multirate_airtime_detailed(ctx);
+        if (mr.boosted && mr.airtime < best.airtime) {
+          best = PairPlan{PairMode::kSicMultirate, mr.airtime, 1.0};
+        }
+      }
+    }
+    plans_[a * n + b] = best;
+    plans_[b * n + a] = best;
+    valid_[a * n + b] = 1;
+    valid_[b * n + a] = 1;
+    ++stats_.pair_evals;
+  }
 }
 
 Schedule PairCostEngine::schedule() { return schedule_indices(all_indices_); }
@@ -134,11 +186,12 @@ Schedule PairCostEngine::schedule_indices(std::span<const int> idx) {
   }
 
   // Fig. 12 reduction: complete graph over the (sub)set, dummy vertex for
-  // odd counts. Only dirty pairs reach the kernel; everything else is a
-  // cache read.
+  // odd counts. Only dirty pairs reach the kernel — a row at a time, so
+  // the batched passes amortize — everything else is a cache read.
   const bool odd = (k % 2) != 0;
   const int m = odd ? k + 1 : k;
   const int dummy = odd ? k : -1;
+  const std::size_t n = static_cast<std::size_t>(n_);
   obs::MetricsRegistry* reg = obs::metrics();
   costs_.reset(m);
   {
@@ -148,8 +201,23 @@ Schedule PairCostEngine::schedule_indices(std::span<const int> idx) {
             : nullptr};
     for (int u = 0; u < k; ++u) {
       const int gi = idx[static_cast<std::size_t>(u)];
+      row_cols_.clear();
       for (int v = u + 1; v < k; ++v) {
-        costs_.set(u, v, pair_plan(gi, idx[static_cast<std::size_t>(v)]).airtime);
+        const int gj = idx[static_cast<std::size_t>(v)];
+        const std::size_t a = static_cast<std::size_t>(std::min(gi, gj));
+        const std::size_t b = static_cast<std::size_t>(std::max(gi, gj));
+        if (valid_[a * n + b] != 0) {
+          ++stats_.pair_cache_hits;
+        } else {
+          row_cols_.push_back(gj);
+        }
+      }
+      if (!row_cols_.empty()) compute_row(gi, row_cols_);
+      for (int v = u + 1; v < k; ++v) {
+        const int gj = idx[static_cast<std::size_t>(v)];
+        const std::size_t a = static_cast<std::size_t>(std::min(gi, gj));
+        const std::size_t b = static_cast<std::size_t>(std::max(gi, gj));
+        costs_.set(u, v, plans_[a * n + b].airtime);
       }
       if (odd) {
         costs_.set(u, dummy, solo_airtime_[static_cast<std::size_t>(gi)]);
@@ -157,12 +225,40 @@ Schedule PairCostEngine::schedule_indices(std::span<const int> idx) {
     }
   }
 
-  const matching::Matching matching =
-      options_.pairing == SchedulerOptions::Pairing::kBlossom
-          ? matching::min_weight_perfect_matching(costs_)
-          : matching::greedy_min_weight_perfect_matching(costs_);
+  // Per-vertex serial (solo) cost feeding the approximate tier's
+  // sparsification; the dummy's is 0 so its edges are always dropped and
+  // the fallback pairs it.
+  serial_scratch_.resize(static_cast<std::size_t>(m));
+  for (int u = 0; u < k; ++u) {
+    serial_scratch_[static_cast<std::size_t>(u)] =
+        solo_airtime_[static_cast<std::size_t>(idx[static_cast<std::size_t>(u)])];
+  }
+  if (odd) serial_scratch_[static_cast<std::size_t>(dummy)] = 0.0;
 
-  const std::size_t n = static_cast<std::size_t>(n_);
+  const MatchingTier tier =
+      resolve_matching_tier(options_.pairing, k, options_.auto_tier_threshold);
+  last_tier_ = tier;
+  const matching::Matching matching =
+      run_matching_tier(costs_, tier, serial_scratch_,
+                        options_.admission_margin_db, edge_scratch_);
+  // kAuto below the threshold: also run the approximate matcher
+  // observationally and publish the relative total-airtime gap — the
+  // calibration signal for choosing the crossover. Observer-pure: the
+  // schedule is built from the exact matching either way, and this branch
+  // only runs with a registry attached.
+  if (options_.pairing == SchedulerOptions::Pairing::kAuto &&
+      tier == MatchingTier::kBlossom && reg != nullptr &&
+      matching.total_cost > 0.0 && std::isfinite(matching.total_cost)) {
+    const matching::Matching shadow =
+        run_matching_tier(costs_, MatchingTier::kApprox, serial_scratch_,
+                          options_.admission_margin_db, edge_scratch_);
+    if (std::isfinite(shadow.total_cost)) {
+      reg->histogram("scheduler.matching.gap")
+          .observe((shadow.total_cost - matching.total_cost) /
+                   matching.total_cost);
+    }
+  }
+
   for (const auto& [a, b] : matching.pairs) {
     const int u = std::min(a, b);
     const int v = std::max(a, b);

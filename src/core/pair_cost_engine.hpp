@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "channel/link.hpp"
+#include "core/matching_tier.hpp"
 #include "core/scheduler.hpp"
 #include "matching/graph.hpp"
 #include "phy/rate_adapter.hpp"
@@ -75,12 +76,20 @@ class PairCostEngine {
 
   /// Re-estimates one client's RSS. Invalidates the client's row only when
   /// the estimate moved beyond the invalidation epsilon; otherwise the row
-  /// keeps its fingerprinted RSS and cached plans.
+  /// keeps its fingerprinted RSS and cached plans. Throws std::out_of_range
+  /// when \p client is not a current client index — callers racing a
+  /// handoff against a topology change get a typed error instead of an
+  /// out-of-bounds write.
   void update_client(int client, Milliwatts rss);
 
   [[nodiscard]] int size() const { return n_; }
   [[nodiscard]] const SchedulerOptions& options() const { return options_; }
   [[nodiscard]] const PairCostEngineStats& stats() const { return stats_; }
+
+  /// The concrete matcher the most recent schedule()/schedule_subset()
+  /// resolved to (meaningful once a build with >= 2 clients ran); how a
+  /// kAuto policy reports which side of the threshold it landed on.
+  [[nodiscard]] MatchingTier last_matching_tier() const { return last_tier_; }
 
   /// The schedule over all clients; recomputes dirty pairs only.
   [[nodiscard]] Schedule schedule();
@@ -92,9 +101,13 @@ class PairCostEngine {
   [[nodiscard]] Schedule schedule_subset(std::span<const int> clients);
 
  private:
-  [[nodiscard]] PairPlan compute_pair(int i, int j) const;
-  /// Cache lookup-or-compute for the unordered pair {i, j}.
-  [[nodiscard]] const PairPlan& pair_plan(int i, int j);
+  /// Batched row kernel: computes and caches the pair plans of client
+  /// \p gi against every client in \p cols in three passes over SoA
+  /// scratch — (1) stronger/weaker normalization + both SIC SINRs,
+  /// (2) one rate_span() call for all rate lookups (single virtual
+  /// dispatch per row), (3) plan selection replicating
+  /// best_pair_plan_from_context bit-for-bit.
+  void compute_row(int gi, std::span<const int> cols);
   [[nodiscard]] Schedule schedule_indices(std::span<const int> idx);
   void refresh_derived(int client);
   void invalidate_row(int client);
@@ -119,6 +132,15 @@ class PairCostEngine {
   std::vector<int> all_indices_;    ///< identity map for schedule()
   matching::CostMatrix costs_{0};   ///< scratch, reused across builds
 
+  // Row-kernel and matcher scratch, reused across builds (mirrors the
+  // costs_ idiom: one allocation for the engine's lifetime).
+  std::vector<int> row_cols_;                      ///< dirty columns of a row
+  std::vector<double> row_sinr_;                   ///< both SIC SINR lanes
+  std::vector<BitsPerSecond> row_rates_;           ///< rate_span results
+  std::vector<double> serial_scratch_;             ///< per-vertex solo airtime
+  std::vector<matching::WeightedEdge> edge_scratch_;
+
+  MatchingTier last_tier_ = MatchingTier::kBlossom;
   PairCostEngineStats stats_;
   PairCostEngineStats published_;  ///< high-water mark already published
 };

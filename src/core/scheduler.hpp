@@ -53,7 +53,16 @@ struct SchedulerOptions {
   enum class Pairing {
     kBlossom,  ///< exact minimum-weight perfect matching (the paper)
     kGreedy,   ///< cheapest-pair-first heuristic (ablation baseline)
+    kApprox,   ///< sparsified greedy + 2-opt postpass (scaling tier)
+    kAuto,     ///< blossom below auto_tier_threshold clients, approx above
   } pairing = Pairing::kBlossom;
+  /// kAuto crossover: backlogs of auto_tier_threshold or more clients use
+  /// the approximate tier, smaller ones exact blossom. At sizes just below
+  /// the threshold kAuto also runs the approximate matcher observationally
+  /// and publishes the relative total-airtime gap as the
+  /// scheduler.matching.gap histogram (observer purity: the schedule
+  /// itself always comes from the exact tier there).
+  int auto_tier_threshold = 64;
   /// Margin-aware pair admission: concurrent candidates (SIC, power
   /// control, multirate) are planned as if every RSS were this many dB
   /// lower, so an admitted pair carries that much SINR headroom against
@@ -63,6 +72,16 @@ struct SchedulerOptions {
   /// paper's perfect-knowledge plan exactly.
   Decibels admission_margin_db{0.0};
 };
+
+[[nodiscard]] constexpr const char* to_string(SchedulerOptions::Pairing p) {
+  switch (p) {
+    case SchedulerOptions::Pairing::kBlossom: return "blossom";
+    case SchedulerOptions::Pairing::kGreedy: return "greedy";
+    case SchedulerOptions::Pairing::kApprox: return "approx";
+    case SchedulerOptions::Pairing::kAuto: return "auto";
+  }
+  return "?";
+}
 
 /// The chosen transmission plan for one pair (or solo client).
 struct PairPlan {

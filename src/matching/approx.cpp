@@ -1,0 +1,198 @@
+#include "matching/approx.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "matching/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "util/check.hpp"
+
+namespace sic::matching {
+
+namespace {
+
+/// Upper bound on full 2-opt sweeps. Each applied swap strictly lowers the
+/// total, so the loop terminates on its own; the cap only bounds the
+/// pathological worst case. In practice random instances converge in a
+/// handful of passes.
+constexpr std::uint64_t kMaxSwapPasses = 64;
+
+/// Greedy seed over \p edges (which may be a thin, sparsified subset of the
+/// complete graph), ascending-index fallback for vertices the thin graph
+/// left unmatched, then the deterministic 2-opt postpass over the full
+/// matrix. \p edges is consumed as heap scratch.
+Matching approx_core(const CostMatrix& costs, std::vector<WeightedEdge>& edges,
+                     ApproxMatchStats& stats) {
+  const int n = costs.size();
+  Matching out;
+  if (n == 0) return out;
+
+  // Greedy seed: identical heap-selection idiom and (weight, u, v)
+  // tie-break as greedy_min_weight_perfect_matching, but tolerant of the
+  // seed leaving vertices unmatched when the edge list is sparse.
+  const auto later = [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.u != b.u) return a.u > b.u;
+    return a.v > b.v;
+  };
+  std::make_heap(edges.begin(), edges.end(), later);
+  auto heap_end = edges.end();
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) / 2);
+  int matched = 0;
+  while (matched < n && heap_end != edges.begin()) {
+    std::pop_heap(edges.begin(), heap_end, later);
+    const WeightedEdge& e = *--heap_end;
+    if (used[static_cast<std::size_t>(e.u)] ||
+        used[static_cast<std::size_t>(e.v)]) {
+      continue;
+    }
+    used[static_cast<std::size_t>(e.u)] = true;
+    used[static_cast<std::size_t>(e.v)] = true;
+    pairs.emplace_back(e.u, e.v);
+    matched += 2;
+  }
+
+  // Dummy-edge fallback: pair the leftovers in ascending index order at
+  // their matrix cost. Always legal (the matrix is complete) and always
+  // even-sized (n and the matched count are both even).
+  if (matched < n) {
+    int prev = -1;
+    for (int v = 0; v < n; ++v) {
+      if (used[static_cast<std::size_t>(v)]) continue;
+      if (prev == -1) {
+        prev = v;
+      } else {
+        pairs.emplace_back(prev, v);
+        ++stats.fallback_pairs;
+        prev = -1;
+      }
+    }
+  }
+
+  // 2-opt local-swap postpass: for every pair of matched edges (a,b),(c,d)
+  // try the two rewirings (a,c)(b,d) and (a,d)(b,c); apply the better one
+  // when it strictly lowers the total. Fixed scan order and a strict-<
+  // acceptance rule keep the pass deterministic; ties between the two
+  // rewirings resolve to the (a,c)(b,d) form.
+  bool improved = true;
+  while (improved && stats.swap_passes < kMaxSwapPasses) {
+    improved = false;
+    ++stats.swap_passes;
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+        const auto [a, b] = pairs[i];
+        const auto [c, d] = pairs[j];
+        const double current = costs.at(a, b) + costs.at(c, d);
+        const double cross1 = costs.at(a, c) + costs.at(b, d);
+        const double cross2 = costs.at(a, d) + costs.at(b, c);
+        if (cross1 < current && cross1 <= cross2) {
+          pairs[i] = {a, c};
+          pairs[j] = {b, d};
+          improved = true;
+          ++stats.swaps_applied;
+        } else if (cross2 < current) {
+          pairs[i] = {a, d};
+          pairs[j] = {b, c};
+          improved = true;
+          ++stats.swaps_applied;
+        }
+      }
+    }
+  }
+
+  // Canonical form: each pair (lo, hi), pairs sorted by first vertex, total
+  // summed in that order — so equal matchings are bit-identical regardless
+  // of the discovery order the seed and postpass happened to take.
+  for (auto& p : pairs) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+  }
+  std::sort(pairs.begin(), pairs.end());
+  out.pairs = std::move(pairs);
+  for (const auto& [a, b] : out.pairs) out.total_cost += costs.at(a, b);
+  return out;
+}
+
+void require_even(int n) {
+  if (n % 2 != 0) {
+    throw MatchingError(
+        "approximate perfect matching requires an even vertex count, got "
+        "n = " +
+        std::to_string(n));
+  }
+}
+
+void publish(const ApproxMatchStats& stats, int n) {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg == nullptr) return;
+  reg->counter("matching.approx.kept_edges").inc(stats.kept_edges);
+  reg->counter("matching.approx.dropped_edges").inc(stats.dropped_edges);
+  reg->counter("matching.approx.fallback_pairs").inc(stats.fallback_pairs);
+  reg->counter("matching.approx.swap_passes").inc(stats.swap_passes);
+  reg->counter("matching.approx.swaps_applied").inc(stats.swaps_applied);
+  reg->counter("matching.approx.vertices").inc(static_cast<std::uint64_t>(n));
+}
+
+}  // namespace
+
+Matching approx_min_weight_perfect_matching(const CostMatrix& costs,
+                                            ApproxMatchStats* stats) {
+  const int n = costs.size();
+  require_even(n);
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("matching.approx.wall_s") : nullptr,
+      reg != nullptr ? &reg->counter("matching.approx.calls") : nullptr};
+  ApproxMatchStats local;
+  std::vector<WeightedEdge> edges;
+  costs.edges(edges);
+  local.kept_edges = edges.size();
+  Matching out = approx_core(costs, edges, local);
+  publish(local, n);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Matching approx_min_weight_perfect_matching(
+    const CostMatrix& costs, std::span<const double> vertex_serial_cost,
+    Decibels sparsify_margin, std::vector<WeightedEdge>& edge_scratch,
+    ApproxMatchStats* stats) {
+  const int n = costs.size();
+  require_even(n);
+  SIC_CHECK(static_cast<int>(vertex_serial_cost.size()) == n);
+  obs::MetricsRegistry* reg = obs::metrics();
+  obs::ScopedTimer timer{
+      reg != nullptr ? &reg->histogram("matching.approx.wall_s") : nullptr,
+      reg != nullptr ? &reg->counter("matching.approx.calls") : nullptr};
+  ApproxMatchStats local;
+  // Sparsification: keep {u, v} only when pairing beats serial by the
+  // admission margin. The dummy vertex's serial cost is 0, so its edges
+  // never survive and the fallback closes them.
+  const double margin_linear = (-sparsify_margin).linear();
+  edge_scratch.clear();
+  edge_scratch.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double cost = costs.at(i, j);
+      const double threshold =
+          (vertex_serial_cost[static_cast<std::size_t>(i)] +
+           vertex_serial_cost[static_cast<std::size_t>(j)]) *
+          margin_linear;
+      if (cost < threshold) {
+        edge_scratch.push_back(WeightedEdge{i, j, cost});
+        ++local.kept_edges;
+      } else {
+        ++local.dropped_edges;
+      }
+    }
+  }
+  Matching out = approx_core(costs, edge_scratch, local);
+  publish(local, n);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace sic::matching

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string>
 
+#include "matching/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
@@ -634,7 +636,11 @@ std::vector<int> max_weight_matching(int n,
 
 Matching min_weight_perfect_matching(const CostMatrix& costs) {
   const int n = costs.size();
-  SIC_CHECK_MSG(n % 2 == 0, "perfect matching requires an even vertex count");
+  if (n % 2 != 0) {
+    throw MatchingError(
+        "blossom perfect matching requires an even vertex count, got n = " +
+        std::to_string(n));
+  }
   Matching result;
   if (n == 0) return result;
   double max_cost = -std::numeric_limits<double>::infinity();
@@ -649,8 +655,16 @@ Matching min_weight_perfect_matching(const CostMatrix& costs) {
     }
   }
   const auto mate = max_weight_matching(n, edges, /*max_cardinality=*/true);
+  int unmatched = 0;
   for (int v = 0; v < n; ++v) {
-    SIC_CHECK_MSG(mate[v] != -1, "matching is not perfect");
+    if (mate[v] == -1) ++unmatched;
+  }
+  if (unmatched != 0) {
+    throw MatchingError("blossom matching left " + std::to_string(unmatched) +
+                        " of " + std::to_string(n) +
+                        " vertices unmatched (matching is not perfect)");
+  }
+  for (int v = 0; v < n; ++v) {
     if (v < mate[v]) {
       result.pairs.emplace_back(v, mate[v]);
       result.total_cost += costs.at(v, mate[v]);

@@ -1,0 +1,26 @@
+#ifndef SICMAC_MATCHING_ERROR_HPP
+#define SICMAC_MATCHING_ERROR_HPP
+
+/// \file error.hpp
+/// Typed error for the matching layer. The matchers used to hard-abort via
+/// SIC_CHECK (a std::logic_error) on malformed inputs; now that the
+/// matching tier is reachable from CLI-configurable paths (--pairing) the
+/// precondition failures are a distinct, catchable condition that the CLI
+/// maps to its own exit code instead of "internal error".
+
+#include <stdexcept>
+#include <string>
+
+namespace sic::matching {
+
+/// A matching precondition or postcondition failed: odd vertex count for a
+/// perfect matching, or an input graph admitting no perfect matching. The
+/// message carries the offending vertex counts.
+class MatchingError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace sic::matching
+
+#endif  // SICMAC_MATCHING_ERROR_HPP

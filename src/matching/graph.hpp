@@ -58,13 +58,23 @@ class CostMatrix {
   /// All edges {i < j} as a weighted edge list.
   [[nodiscard]] std::vector<WeightedEdge> edges() const {
     std::vector<WeightedEdge> out;
+    edges(out);
+    return out;
+  }
+
+  /// Out-parameter variant of edges() that reuses \p out's allocation
+  /// (mirroring reset): callers that rebuild the edge list every re-match
+  /// round — the matchers inside the deployment engine's epoch loop — pay
+  /// one allocation for the lifetime of their scratch vector instead of
+  /// one per round. Emits the identical row-major (i, j) order.
+  void edges(std::vector<WeightedEdge>& out) const {
+    out.clear();
     out.reserve(static_cast<std::size_t>(n_) * (n_ - 1) / 2);
     for (int i = 0; i < n_; ++i) {
       for (int j = i + 1; j < n_; ++j) {
         out.push_back(WeightedEdge{i, j, at(i, j)});
       }
     }
-    return out;
   }
 
  private:

@@ -2,21 +2,33 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
+#include "matching/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
-#include "util/check.hpp"
 
 namespace sic::matching {
 
 Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
+  std::vector<WeightedEdge> edges;
+  return greedy_min_weight_perfect_matching(costs, edges);
+}
+
+Matching greedy_min_weight_perfect_matching(
+    const CostMatrix& costs, std::vector<WeightedEdge>& edge_scratch) {
   const int n = costs.size();
-  SIC_CHECK_MSG(n % 2 == 0, "perfect matching requires an even vertex count");
+  if (n % 2 != 0) {
+    throw MatchingError(
+        "greedy perfect matching requires an even vertex count, got n = " +
+        std::to_string(n));
+  }
   obs::MetricsRegistry* reg = obs::metrics();
   obs::ScopedTimer timer{
       reg != nullptr ? &reg->histogram("matching.greedy.wall_s") : nullptr,
       reg != nullptr ? &reg->counter("matching.greedy.calls") : nullptr};
-  auto edges = costs.edges();
+  costs.edges(edge_scratch);
+  auto& edges = edge_scratch;
   // Heap selection instead of a full sort: the greedy scan stops once every
   // vertex is matched, which on a complete graph happens long before the
   // expensive tail of the edge list would ever be looked at — so most of an
@@ -49,7 +61,15 @@ Matching greedy_min_weight_perfect_matching(const CostMatrix& costs) {
     out.total_cost += e.weight;
     matched += 2;
   }
-  SIC_CHECK(static_cast<int>(out.pairs.size()) * 2 == n);
+  if (matched != n) {
+    // Unreachable on a complete cost matrix, but the sparse edge lists of
+    // the approximate tier make "no perfect matching in this graph" a real
+    // input condition rather than a programmer error.
+    throw MatchingError("greedy matching left " + std::to_string(n - matched) +
+                        " of " + std::to_string(n) +
+                        " vertices unmatched (input graph admits no perfect "
+                        "matching)");
+  }
   if (reg != nullptr) {
     reg->counter("matching.greedy.edge_visits").inc(edge_visits);
     reg->counter("matching.greedy.vertices").inc(

@@ -1,16 +1,43 @@
 #include "phy/rate_adapter.hpp"
 
 #include "phy/capacity.hpp"
+#include "util/check.hpp"
 
 namespace sic::phy {
+
+void RateAdapter::rate_span(std::span<const double> sinr_linear,
+                            std::span<BitsPerSecond> out) const {
+  SIC_CHECK(sinr_linear.size() == out.size());
+  for (std::size_t i = 0; i < sinr_linear.size(); ++i) {
+    out[i] = rate(sinr_linear[i]);
+  }
+}
 
 BitsPerSecond ShannonRateAdapter::rate(double sinr_linear) const {
   return shannon_rate(bandwidth_, sinr_linear);
 }
 
+void ShannonRateAdapter::rate_span(std::span<const double> sinr_linear,
+                                   std::span<BitsPerSecond> out) const {
+  SIC_CHECK(sinr_linear.size() == out.size());
+  for (std::size_t i = 0; i < sinr_linear.size(); ++i) {
+    out[i] = shannon_rate(bandwidth_, sinr_linear[i]);
+  }
+}
+
 BitsPerSecond DiscreteRateAdapter::rate(double sinr_linear) const {
   if (sinr_linear <= 0.0) return BitsPerSecond{0.0};
   return table_->best_rate(Decibels::from_linear(sinr_linear));
+}
+
+void DiscreteRateAdapter::rate_span(std::span<const double> sinr_linear,
+                                    std::span<BitsPerSecond> out) const {
+  SIC_CHECK(sinr_linear.size() == out.size());
+  for (std::size_t i = 0; i < sinr_linear.size(); ++i) {
+    out[i] = sinr_linear[i] <= 0.0
+                 ? BitsPerSecond{0.0}
+                 : table_->best_rate(Decibels::from_linear(sinr_linear[i]));
+  }
 }
 
 }  // namespace sic::phy

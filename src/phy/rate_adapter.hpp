@@ -10,6 +10,7 @@
 /// claim — finer rate ladders squeeze SIC's slack — is reproduced.
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "phy/rate_table.hpp"
@@ -26,6 +27,16 @@ class RateAdapter {
   /// non-decreasing in SINR and 0 for non-positive SINR.
   [[nodiscard]] virtual BitsPerSecond rate(double sinr_linear) const = 0;
 
+  /// Batched lookup: out[i] = rate(sinr_linear[i]) for every element, with
+  /// spans of equal length. The base implementation loops the virtual
+  /// rate(); the concrete adapters override with a devirtualized loop so
+  /// batch callers (the pair-cost engine's row kernel) pay one virtual
+  /// dispatch per row instead of per pair. Overrides must stay
+  /// element-wise bit-identical to rate() — the engine's bit-identity
+  /// contract rides on it.
+  virtual void rate_span(std::span<const double> sinr_linear,
+                         std::span<BitsPerSecond> out) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// True when transmitting at \p r is feasible at \p sinr_linear under this
@@ -41,6 +52,8 @@ class ShannonRateAdapter final : public RateAdapter {
   explicit ShannonRateAdapter(Hertz bandwidth) : bandwidth_(bandwidth) {}
 
   [[nodiscard]] BitsPerSecond rate(double sinr_linear) const override;
+  void rate_span(std::span<const double> sinr_linear,
+                 std::span<BitsPerSecond> out) const override;
   [[nodiscard]] std::string name() const override { return "shannon"; }
   [[nodiscard]] Hertz bandwidth() const { return bandwidth_; }
 
@@ -57,6 +70,8 @@ class DiscreteRateAdapter final : public RateAdapter {
   explicit DiscreteRateAdapter(const RateTable& table) : table_(&table) {}
 
   [[nodiscard]] BitsPerSecond rate(double sinr_linear) const override;
+  void rate_span(std::span<const double> sinr_linear,
+                 std::span<BitsPerSecond> out) const override;
   [[nodiscard]] std::string name() const override { return table_->name(); }
   [[nodiscard]] const RateTable& table() const { return *table_; }
 

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "matching/error.hpp"
 #include "matching/oracle.hpp"
 #include "util/rng.hpp"
 
@@ -278,7 +280,14 @@ TEST(MinWeightPerfect, LargerInstanceAgainstOracle) {
 
 TEST(MinWeightPerfect, OddCountRejected) {
   CostMatrix costs{5};
-  EXPECT_THROW((void)min_weight_perfect_matching(costs), std::logic_error);
+  // Typed error (not the SIC_CHECK logic_error): the CLI maps it to its
+  // own exit code, and the message names the offending count.
+  try {
+    (void)min_weight_perfect_matching(costs);
+    FAIL() << "odd vertex count must throw MatchingError";
+  } catch (const MatchingError& e) {
+    EXPECT_NE(std::string{e.what()}.find("5"), std::string::npos);
+  }
 }
 
 TEST(MinWeightPerfect, ScalesToHundredsOfVertices) {

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "matching/blossom.hpp"
+#include "matching/error.hpp"
 #include "matching/oracle.hpp"
 #include "util/rng.hpp"
 
@@ -57,8 +59,14 @@ TEST(Greedy, ProducesPerfectMatching) {
 
 TEST(Greedy, OddCountRejected) {
   CostMatrix costs{3};
-  EXPECT_THROW((void)greedy_min_weight_perfect_matching(costs),
-               std::logic_error);
+  // Typed error (not the SIC_CHECK logic_error): the CLI maps it to its
+  // own exit code, and the message names the offending count.
+  try {
+    (void)greedy_min_weight_perfect_matching(costs);
+    FAIL() << "odd vertex count must throw MatchingError";
+  } catch (const MatchingError& e) {
+    EXPECT_NE(std::string{e.what()}.find("3"), std::string::npos);
+  }
 }
 
 }  // namespace

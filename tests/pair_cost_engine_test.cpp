@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include <stdexcept>
+
+#include "core/matching_tier.hpp"
 #include "core/scheduler.hpp"
 #include "matching/blossom.hpp"
 #include "matching/greedy.hpp"
@@ -68,10 +71,20 @@ Schedule reference_schedule(std::span<const channel::LinkBudget> clients,
           PairPlan{PairMode::kSolo, t, 1.0};
     }
   }
-  const matching::Matching matching =
-      options.pairing == SchedulerOptions::Pairing::kBlossom
-          ? matching::min_weight_perfect_matching(costs)
-          : matching::greedy_min_weight_perfect_matching(costs);
+  // Per-vertex serial costs for the approximate tier's sparsification (0
+  // for the dummy), then the same tier resolution the engine uses — this
+  // keeps the reference valid for all four Pairing policies.
+  std::vector<double> serial(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < n; ++i) {
+    serial[static_cast<std::size_t>(i)] =
+        solo_airtime(clients[static_cast<std::size_t>(i)], adapter,
+                     options.packet_bits);
+  }
+  std::vector<matching::WeightedEdge> edge_scratch;
+  const matching::Matching matching = run_matching_tier(
+      costs,
+      resolve_matching_tier(options.pairing, n, options.auto_tier_threshold),
+      serial, options.admission_margin_db, edge_scratch);
   for (const auto& [u, v] : matching.pairs) {
     const int i = std::min(u, v);
     const int j = std::max(u, v);
@@ -291,6 +304,64 @@ TEST(PairCostEngine, WarmSingleDriftRematchMeetsEvalBudget) {
   // The acceptance bar: a one-client re-match must cost at least 5x fewer
   // kernel evaluations than the cold build.
   EXPECT_GE(cold_evals, 5 * warm_evals);
+}
+
+TEST(PairCostEngine, ApproxAndAutoTiersBitIdenticalToReference) {
+  // The scaling tiers run through the same engine paths as the exact ones:
+  // schedule_upload, the warm engine, and the from-scratch reference must
+  // agree bit for bit for kApprox and for kAuto on both sides of the
+  // crossover.
+  Rng rng{31};
+  for (int n = 2; n <= 9; ++n) {
+    const auto clients = random_clients(rng, n);
+    for (const int threshold : {2, 6, 64}) {
+      for (const auto pairing : {SchedulerOptions::Pairing::kApprox,
+                                 SchedulerOptions::Pairing::kAuto}) {
+        SchedulerOptions options;
+        options.enable_power_control = true;
+        options.pairing = pairing;
+        options.auto_tier_threshold = threshold;
+        options.admission_margin_db = Decibels{2.0};
+        const std::string what = std::string("n=") + std::to_string(n) +
+                                 " pairing=" + to_string(pairing) +
+                                 " n0=" + std::to_string(threshold);
+        const Schedule want = reference_schedule(clients, kShannon, options);
+        expect_identical(schedule_upload(clients, kShannon, options), want,
+                         what + " (schedule_upload)");
+        PairCostEngine engine{kShannon, options};
+        engine.set_clients(clients);
+        expect_identical(engine.schedule(), want, what + " (engine)");
+        const MatchingTier expected_tier =
+            pairing == SchedulerOptions::Pairing::kApprox
+                ? MatchingTier::kApprox
+                : (n >= threshold ? MatchingTier::kApprox
+                                  : MatchingTier::kBlossom);
+        EXPECT_EQ(engine.last_matching_tier(), expected_tier) << what;
+      }
+    }
+  }
+}
+
+TEST(PairCostEngine, UpdateClientOutOfRangeThrowsTyped) {
+  // Stale handoffs against a changed topology must surface as a typed
+  // std::out_of_range naming the bad index, and must not corrupt the
+  // engine: the schedule afterwards still matches a from-scratch build.
+  Rng rng{33};
+  const auto clients = random_clients(rng, 4);
+  PairCostEngine engine{kShannon, SchedulerOptions{}};
+  engine.set_clients(clients);
+  const auto cold = engine.schedule();
+  const Milliwatts rss = clients[0].rss;
+  EXPECT_THROW(engine.update_client(-1, rss), std::out_of_range);
+  EXPECT_THROW(engine.update_client(4, rss), std::out_of_range);
+  try {
+    engine.update_client(17, rss);
+    FAIL() << "out-of-range index must throw";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string{e.what()}.find("17"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("4"), std::string::npos);  // bound
+  }
+  expect_identical(engine.schedule(), cold, "after rejected updates");
 }
 
 TEST(PairCostEngine, SetClientsAlwaysRebuildsFromScratch) {

@@ -35,7 +35,8 @@
 ///                          value — see DESIGN.md "Parallel sweeps".
 ///
 /// Exit codes: 0 success; 1 internal error; 2 usage error; 3 file I/O
-/// error; 4 trace format error; 5 deployment invariant violated.
+/// error; 4 trace format error; 5 deployment invariant violated;
+/// 6 matching infeasible (odd vertex count / no perfect matching).
 
 #include <cstdio>
 #include <fstream>
@@ -43,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "matching/error.hpp"
 #include "obs/obs.hpp"
 #include "sicmac.hpp"
 #include "util/cli_args.hpp"
@@ -71,6 +73,27 @@ std::unique_ptr<phy::RateAdapter> make_adapter(const std::string& name) {
 
 Milliwatts from_db(double snr_db) {
   return Milliwatts{Decibels{snr_db}.linear()};
+}
+
+/// Shared --pairing / --auto-tier-n0 parsing for every command that runs
+/// the Fig. 12 matching reduction.
+core::SchedulerOptions::Pairing parse_pairing(const ArgParser& args) {
+  const std::string name = args.get_string("pairing", "blossom");
+  if (name == "blossom") return core::SchedulerOptions::Pairing::kBlossom;
+  if (name == "greedy") return core::SchedulerOptions::Pairing::kGreedy;
+  if (name == "approx") return core::SchedulerOptions::Pairing::kApprox;
+  if (name == "auto") return core::SchedulerOptions::Pairing::kAuto;
+  throw UsageError("unknown --pairing (use blossom|greedy|approx|auto): " +
+                   name);
+}
+
+int parse_auto_tier_threshold(const ArgParser& args) {
+  const int n0 = args.get_int("auto-tier-n0", 64);
+  if (n0 < 2) {
+    throw UsageError("--auto-tier-n0 must be >= 2, got " +
+                     std::to_string(n0));
+  }
+  return n0;
 }
 
 int cmd_pair(const ArgParser& args) {
@@ -159,6 +182,8 @@ int cmd_schedule(const ArgParser& args) {
   core::SchedulerOptions options;
   options.enable_power_control = args.has("power-control");
   options.enable_multirate = args.has("multirate");
+  options.pairing = parse_pairing(args);
+  options.auto_tier_threshold = parse_auto_tier_threshold(args);
   const auto schedule = core::schedule_upload(clients, *adapter, options);
   const double serial = core::serial_upload_airtime(clients, *adapter, kBits);
   std::printf("SIC-aware schedule (%zu clients, policy=%s):\n", clients.size(),
@@ -194,6 +219,8 @@ int cmd_backlog(const ArgParser& args) {
   }
   core::BacklogOptions options;
   options.enable_packing = !args.has("no-packing");
+  options.pairing = parse_pairing(args);
+  options.auto_tier_threshold = parse_auto_tier_threshold(args);
   const auto schedule =
       core::schedule_backlog_upload(clients, *adapter, options);
   const double serial =
@@ -351,6 +378,8 @@ int cmd_simulate(const ArgParser& args) {
   core::SchedulerOptions options;
   options.enable_power_control = args.has("power-control");
   options.enable_multirate = args.has("multirate");
+  options.pairing = parse_pairing(args);
+  options.auto_tier_threshold = parse_auto_tier_threshold(args);
   options.admission_margin_db =
       Decibels{require_range(args, "margin", 0.0, 0.0, 60.0)};
   const auto schedule = core::schedule_upload(clients, *adapter, options);
@@ -424,6 +453,8 @@ int cmd_deploy(const ArgParser& args) {
   mac::DeploymentEngineConfig config;
   config.scheduler.enable_power_control = args.has("power-control");
   config.scheduler.enable_multirate = args.has("multirate");
+  config.scheduler.pairing = parse_pairing(args);
+  config.scheduler.auto_tier_threshold = parse_auto_tier_threshold(args);
   config.closed_loop = !args.has("open-loop");
   config.enable_quarantine = !args.has("no-quarantine");
   config.epoch_drift_sigma =
@@ -663,7 +694,10 @@ int usage() {
       "  capacity    --s1 dB --s2 dB\n"
       "  crosslink   --s11 dB --s12 dB --s21 dB --s22 dB [--table ...]\n"
       "  schedule    --clients dB,dB,... [--power-control] [--multirate]\n"
+      "              [--pairing blossom|greedy|approx|auto]\n"
+      "              [--auto-tier-n0 N]  (auto: approx at >= N clients, 64)\n"
       "  backlog     --clients dB,... --queues n,... [--no-packing]\n"
+      "              [--pairing ...] [--auto-tier-n0 N]\n"
       "  montecarlo  --scenario upload|crosslink|deployment [--trials N]\n"
       "              [--seed S] [--clients-per-cell K]\n"
       "  trace-gen   --out file.csv [--days D] [--seed S]\n"
@@ -671,8 +705,10 @@ int usage() {
       "  mesh        --long m --short m [--exponent a]\n"
       "  simulate    --clients dB,... [--stale-sigma dB] [--stale-rho r]\n"
       "              [--cancel-prob p] [--ack-loss p] [--margin dB]\n"
+      "              [--pairing ...] [--auto-tier-n0 N]\n"
       "              [--open-loop] [--seed S]\n"
       "  deploy      [--aps N] [--clients N] [--epochs N]\n"
+      "              [--pairing ...] [--auto-tier-n0 N]\n"
       "              [--chaos-profile none|default|outage|burst|churn]\n"
       "              [--open-loop] [--no-quarantine] [--drift-sigma dB]\n"
       "              [--timeseries-out ts.csv] [--postmortem-out pm.json]\n"
@@ -684,7 +720,7 @@ int usage() {
       "              a violated invariant exits with code 5.\n"
       "  report      [--trials N] [--seed S]\n"
       "exit codes: 0 ok, 1 internal, 2 usage, 3 file I/O, 4 trace format,\n"
-      "            5 deployment invariant violated\n");
+      "            5 deployment invariant violated, 6 matching infeasible\n");
   return 2;
 }
 
@@ -786,6 +822,12 @@ int main(int argc, char** argv) {
   } catch (const trace::TraceFormatError& e) {
     std::fprintf(stderr, "trace format error: %s\n", e.what());
     return 4;
+  } catch (const matching::MatchingError& e) {
+    // The matching layer rejected its input (odd vertex count, no perfect
+    // matching) — distinct from an internal error so scripts sweeping
+    // --pairing configurations can tell the two apart.
+    std::fprintf(stderr, "matching error: %s\n", e.what());
+    return 6;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
