@@ -1,0 +1,126 @@
+#ifndef SICMAC_MAC_ASSOCIATION_HPP
+#define SICMAC_MAC_ASSOCIATION_HPP
+
+/// \file association.hpp
+/// Batched client→AP association scoring — the compute half of the
+/// deployment engine's association/handoff pass, split out so it can be
+/// driven at 100k–1M clients by bench/perf_deployment without dragging an
+/// engine along.
+///
+/// The pass is two-phase (see DESIGN.md "Large-deployment fast path"):
+///
+///  1. *Score* (this file, parallel): for every eligible client, find the
+///     best-scoring live AP against a start-of-epoch snapshot of alive
+///     flags and member counts. Clients are mapped over the ThreadPool in
+///     index chunks and every result is index-addressed, so the proposals
+///     are bit-identical at any thread count. Association scoring draws
+///     no randomness — determinism needs no substreams here, only
+///     order-independent writes.
+///  2. *Commit* (the engine, sequential): walk clients in id order,
+///     apply hysteresis against the incumbent score computed in phase 1
+///     (once per client per epoch, never re-derived), and edit member
+///     lists.
+///
+/// Two candidate enumerations produce byte-identical proposals:
+///
+///  - kGrid consults the uniform-grid AP index ring by ring and stops as
+///    soon as no unvisited AP can win: any AP in an unvisited ring is at
+///    least ring_lower_bound_m away (so its RSS is at most the RSS at
+///    that distance) and carries at least the fleet-minimum member count
+///    (so its load penalty is at least the minimum penalty). When that
+///    upper bound — minus a 1e-6 dB guard absorbing floating-point slack
+///    in the bound itself, scores are never perturbed — falls below the
+///    best score already found, no farther AP can matter. This is an
+///    exact branch-and-bound, not a fixed-k heuristic: it is pinned
+///    decision-identical to the brute-force scan by property test.
+///  - kBruteForce scans every AP in id order — the O(clients × APs)
+///    reference the fast path is measured and verified against.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "channel/pathloss.hpp"
+#include "topology/spatial_index.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+namespace sic::mac {
+
+/// Candidate enumeration strategy for the association score phase.
+enum class AssociationMode {
+  kGrid,        ///< spatial-index ring walk with exact cutoff (default)
+  kBruteForce,  ///< scan every AP — the reference path
+};
+
+/// Phase-1 output for one client, index-addressed by client id.
+struct AssociationProposal {
+  int best_ap = -1;  ///< best-scoring live AP, -1 when none is live
+  Dbm best_score{-std::numeric_limits<double>::infinity()};
+  /// Incumbent AP's score under the same snapshot (-inf when
+  /// unassigned); the commit phase's hysteresis check reuses this instead
+  /// of re-deriving it.
+  Dbm incumbent_score{-std::numeric_limits<double>::infinity()};
+  /// APs actually scored (telemetry: the fast path's whole point is that
+  /// this stays near the handful of nearby cells, not n_aps).
+  std::uint32_t candidates = 0;
+};
+
+/// Scores every client against a per-epoch AP snapshot. Construction
+/// builds the spatial index once — AP sites are fixed for the planner's
+/// lifetime, liveness and load are per-plan inputs.
+class AssociationPlanner {
+ public:
+  /// \p pathloss must outlive the planner. \p load_penalty_per_client
+  /// must be non-negative (the grid cutoff's load bound relies on it).
+  AssociationPlanner(std::span<const topology::Point> ap_sites,
+                     const channel::LogDistancePathLoss& pathloss,
+                     Dbm client_tx_power, Decibels load_penalty_per_client);
+
+  /// Association tracks slow-scale beacon RSS: geometry plus a load
+  /// penalty. Per-client drift shifts every AP's beacon equally and
+  /// transient bursts are invisible at this timescale, so neither enters
+  /// the comparison. \p members is the AP's snapshot member count.
+  [[nodiscard]] Dbm score(topology::Point client, int ap, int members) const;
+
+  /// Fills \p out (resized to the client count) with one proposal per
+  /// client. SoA inputs: client positions (\p xs / \p ys), eligibility
+  /// (\p eligible, 0 ⇒ the slot gets a default proposal), incumbent AP
+  /// ids (\p incumbent, -1 = unassigned), and the AP snapshot (\p
+  /// ap_alive / \p ap_members). Parallel over \p pool; bit-identical for
+  /// any thread count.
+  void plan(AssociationMode mode, std::span<const double> xs,
+            std::span<const double> ys,
+            std::span<const std::uint8_t> eligible,
+            std::span<const int> incumbent,
+            std::span<const std::uint8_t> ap_alive,
+            std::span<const int> ap_members, ThreadPool& pool,
+            std::vector<AssociationProposal>& out) const;
+
+  [[nodiscard]] const topology::SpatialGridIndex& index() const {
+    return index_;
+  }
+  [[nodiscard]] int n_aps() const { return index_.size(); }
+
+ private:
+  [[nodiscard]] AssociationProposal propose_brute(
+      topology::Point client, int incumbent,
+      std::span<const std::uint8_t> ap_alive,
+      std::span<const int> ap_members) const;
+  [[nodiscard]] AssociationProposal propose_grid(
+      topology::Point client, int incumbent,
+      std::span<const std::uint8_t> ap_alive,
+      std::span<const int> ap_members, int min_live_members,
+      std::vector<int>& ring_scratch) const;
+
+  topology::SpatialGridIndex index_;
+  const channel::LogDistancePathLoss* pathloss_;
+  Dbm client_tx_power_;
+  Decibels load_penalty_per_client_;
+};
+
+}  // namespace sic::mac
+
+#endif  // SICMAC_MAC_ASSOCIATION_HPP

@@ -40,6 +40,15 @@ std::string ap_health_series(int ap) {
   return buf;
 }
 
+/// Removes \p client from an always-sorted member list. The list is kept
+/// ascending by every insert (upper_bound), so removal is a binary search
+/// + single erase, not a full std::remove scan.
+void erase_member(std::vector<int>& members, int client) {
+  const auto it = std::lower_bound(members.begin(), members.end(), client);
+  SIC_CHECK(it != members.end() && *it == client);
+  members.erase(it);
+}
+
 /// Ladder level 3: serial solo slots in member order, no matching.
 core::Schedule serial_schedule(std::span<const channel::LinkBudget> budgets,
                                const phy::RateAdapter& adapter,
@@ -201,6 +210,9 @@ DeploymentEngine::DeploymentEngine(std::vector<topology::Point> ap_sites,
     ap.site = ap_sites[i];
     aps_.push_back(std::move(ap));
   }
+  assoc_planner_ = std::make_unique<AssociationPlanner>(
+      std::span<const topology::Point>(ap_sites), pathloss_,
+      config_.client_tx_power, config_.load_penalty_per_client);
 }
 
 DeploymentEngine::~DeploymentEngine() = default;
@@ -291,6 +303,8 @@ int DeploymentEngine::add_client(topology::Point position) {
   ClientState c;
   c.position = position;
   clients_.push_back(c);
+  client_x_.push_back(position.x);
+  client_y_.push_back(position.y);
   return static_cast<int>(clients_.size()) - 1;
 }
 
@@ -303,12 +317,15 @@ void DeploymentEngine::remove_client(int client) {
   c.quarantined_from = -1;
   if (c.ap >= 0) {
     ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
-    ap.members.erase(
-        std::remove(ap.members.begin(), ap.members.end(), client),
-        ap.members.end());
+    erase_member(ap.members, client);
     ap.dirty = true;
     c.ap = -1;
   }
+}
+
+const std::vector<int>& DeploymentEngine::ap_members(int ap) const {
+  SIC_CHECK(ap >= 0 && ap < n_aps());
+  return aps_[static_cast<std::size_t>(ap)].members;
 }
 
 core::SchedulerOptions DeploymentEngine::ladder_options(int level) const {
@@ -316,18 +333,6 @@ core::SchedulerOptions DeploymentEngine::ladder_options(int level) const {
   if (level >= 1) o.enable_multirate = false;
   if (level >= 2) o.enable_power_control = false;
   return o;
-}
-
-Dbm DeploymentEngine::association_score(const ClientState& c,
-                                        const ApState& a) const {
-  // Association tracks slow-scale beacon RSS: geometry plus a load
-  // penalty. Per-client drift shifts every AP's beacon equally and
-  // transient bursts are invisible at this timescale, so neither enters
-  // the comparison.
-  const double d = topology::distance(c.position, a.site);
-  return pathloss_.received_power(config_.client_tx_power, d) -
-         config_.load_penalty_per_client *
-             static_cast<double>(a.members.size());
 }
 
 void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
@@ -391,32 +396,49 @@ void DeploymentEngine::apply_chaos(const EpochChaos& chaos,
 
 void DeploymentEngine::associate_clients(EpochStats& stats,
                                          std::vector<int>& handoff_flux) {
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
+  const std::size_t n = clients_.size();
+  // Phase 1 (parallel): score every eligible client against a snapshot
+  // of the epoch-start AP state. Positions are append-only SoA mirrors
+  // (add_client); eligibility/incumbents are rebuilt in one O(clients)
+  // pass. Snapshot scoring makes every client's proposal independent of
+  // commit order — all clients compare the same AP loads this epoch —
+  // which is what lets the score phase fan out across threads while
+  // staying bit-identical.
+  assoc_eligible_.resize(n);
+  assoc_incumbent_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ClientState& c = clients_[i];
+    assoc_eligible_[i] = (c.active && !c.quarantined) ? 1 : 0;
+    assoc_incumbent_[i] = c.ap;
+  }
+  ap_alive_scratch_.clear();
+  ap_members_scratch_.clear();
+  for (const ApState& ap : aps_) {
+    ap_alive_scratch_.push_back(ap.alive ? 1 : 0);
+    ap_members_scratch_.push_back(static_cast<int>(ap.members.size()));
+  }
+  assoc_planner_->plan(config_.association_mode, client_x_, client_y_,
+                       assoc_eligible_, assoc_incumbent_, ap_alive_scratch_,
+                       ap_members_scratch_, *pool_, proposals_);
+
+  // Phase 2 (sequential, client-id order): hysteresis against the
+  // incumbent score computed once in phase 1 — never re-derived — then
+  // the member-list edits and flight events, exactly as before.
+  std::uint64_t candidates = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assoc_eligible_[i] == 0) continue;
+    const AssociationProposal& p = proposals_[i];
+    candidates += p.candidates;
     ClientState& c = clients_[i];
-    if (!c.active || c.quarantined) continue;
-    int best = -1;
-    Dbm best_score{-std::numeric_limits<double>::infinity()};
-    for (const ApState& ap : aps_) {
-      if (!ap.alive) continue;
-      const Dbm score = association_score(c, ap);
-      if (score > best_score) {  // strict: equal scores keep the lower id
-        best = ap.id;
-        best_score = score;
-      }
-    }
+    const int best = p.best_ap;
     if (best < 0 || best == c.ap) continue;
     if (c.ap >= 0) {
       // Hysteresis: leave a live AP only for a clearly better one.
-      const Dbm current =
-          association_score(c, aps_[static_cast<std::size_t>(c.ap)]);
-      if (best_score <= current + config_.handoff_hysteresis) {
+      if (p.best_score <= p.incumbent_score + config_.handoff_hysteresis) {
         continue;
       }
       ApState& old = aps_[static_cast<std::size_t>(c.ap)];
-      old.members.erase(
-          std::remove(old.members.begin(), old.members.end(),
-                      static_cast<int>(i)),
-          old.members.end());
+      erase_member(old.members, static_cast<int>(i));
       old.dirty = true;
       ++stats.handoffs;
       ++handoff_flux[static_cast<std::size_t>(c.ap)];
@@ -434,6 +456,9 @@ void DeploymentEngine::associate_clients(EpochStats& stats,
         static_cast<int>(i));
     ap.dirty = true;
     c.ap = best;
+  }
+  if (obs::MetricsRegistry* reg = obs::metrics()) {
+    reg->counter("deploy.assoc.candidates").inc(candidates);
   }
 }
 
@@ -726,9 +751,7 @@ EpochStats DeploymentEngine::run_epoch() {
       c.quarantined_from = c.ap;
       if (c.ap >= 0) {
         ApState& ap = aps_[static_cast<std::size_t>(c.ap)];
-        ap.members.erase(std::remove(ap.members.begin(), ap.members.end(),
-                                     static_cast<int>(i)),
-                         ap.members.end());
+        erase_member(ap.members, static_cast<int>(i));
         ap.dirty = true;
         c.ap = -1;
       }

@@ -35,9 +35,12 @@
 /// Rng::at). Engine-level draws (drift steps, chaos resolution, arrival
 /// placement) happen sequentially on the calling thread from one
 /// per-epoch substream; each AP-epoch's inner run gets its own substream
-/// (epoch_seed), and the parallel phase only ever runs whole APs, with
-/// per-AP scratch metric registries merged in AP order — so results and
-/// obs counter maps are bit-identical for any thread count. With one AP
+/// (epoch_seed). The two parallel phases are both order-invariant: the
+/// association score phase writes index-addressed proposals against a
+/// start-of-epoch snapshot (mac/association.hpp) and the serve phase only
+/// ever runs whole APs, with per-AP scratch metric registries merged in
+/// AP order — so results and obs counter maps are bit-identical for any
+/// thread count. With one AP
 /// and no chaos, an epoch is bit-identical to planning with
 /// core::schedule_upload and executing with run_scheduled_upload directly
 /// (pinned in tests/deployment_engine_test.cpp).
@@ -49,6 +52,7 @@
 
 #include "channel/pathloss.hpp"
 #include "core/pair_cost_engine.hpp"
+#include "mac/association.hpp"
 #include "mac/chaos.hpp"
 #include "mac/upload_sim.hpp"
 #include "topology/geometry.hpp"
@@ -131,6 +135,11 @@ struct DeploymentEngineConfig {
   // Association / handoff.
   Decibels handoff_hysteresis{4.0};  ///< candidate must win by this much
   Decibels load_penalty_per_client{0.5};  ///< effective dB per member
+  /// Candidate enumeration for the association pass: kGrid walks the
+  /// spatial AP index with an exact cutoff (the large-deployment fast
+  /// path), kBruteForce scans every AP — decision-identical, kept as the
+  /// reference (pinned in tests/association_test.cpp).
+  AssociationMode association_mode = AssociationMode::kGrid;
 
   // Quarantine ladder (closed loop only).
   bool enable_quarantine = true;
@@ -252,6 +261,9 @@ class DeploymentEngine {
   [[nodiscard]] bool quarantined(int client) const;
   /// Serving AP of \p client, or -1 when unassigned/quarantined/inactive.
   [[nodiscard]] int assignment(int client) const;
+  /// Member list of \p ap — always sorted ascending by client id (the
+  /// sorted-membership regression test pins this after churn).
+  [[nodiscard]] const std::vector<int>& ap_members(int ap) const;
   /// Cumulative result over every epoch run so far.
   [[nodiscard]] const DeploymentResult& result() const { return result_; }
   /// Inner-run result of \p ap 's most recent served epoch (for the
@@ -275,9 +287,10 @@ class DeploymentEngine {
 
   [[nodiscard]] Rng epoch_rng() const;
   [[nodiscard]] core::SchedulerOptions ladder_options(int level) const;
-  [[nodiscard]] Dbm association_score(const ClientState& c,
-                                      const ApState& a) const;
   void apply_chaos(const EpochChaos& chaos, EpochStats& stats);
+  /// Two-phase association pass: a parallel score phase over the
+  /// AssociationPlanner (SoA inputs, snapshot AP state, bit-identical at
+  /// any thread count) and a sequential commit phase in client-id order.
   /// \p handoff_flux (size n_aps) accumulates per-AP association churn
   /// this epoch: +1 on each AP a handoff touches, +1 on the AP gaining a
   /// previously unassigned client — the flux input of the health score.
@@ -294,8 +307,20 @@ class DeploymentEngine {
   channel::LogDistancePathLoss pathloss_;
   Milliwatts noise_mw_{0.0};
   std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<AssociationPlanner> assoc_planner_;
   std::vector<ApState> aps_;
   std::vector<ClientState> clients_;
+  /// SoA mirror of client positions for the batched association phase —
+  /// positions are immutable after add_client, so the mirror is
+  /// append-only; the per-epoch flags below are rebuilt in one O(clients)
+  /// pass each epoch and reused as scratch to avoid reallocation.
+  std::vector<double> client_x_;
+  std::vector<double> client_y_;
+  std::vector<std::uint8_t> assoc_eligible_;
+  std::vector<int> assoc_incumbent_;
+  std::vector<std::uint8_t> ap_alive_scratch_;
+  std::vector<int> ap_members_scratch_;
+  std::vector<AssociationProposal> proposals_;
   InvariantAuditor* auditor_ = nullptr;
   int epoch_ = 0;
   int storm_until_ = 0;  ///< churn multiplier active while epoch_ < this

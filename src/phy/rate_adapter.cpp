@@ -20,7 +20,22 @@ BitsPerSecond ShannonRateAdapter::rate(double sinr_linear) const {
 void ShannonRateAdapter::rate_span(std::span<const double> sinr_linear,
                                    std::span<BitsPerSecond> out) const {
   SIC_CHECK(sinr_linear.size() == out.size());
-  for (std::size_t i = 0; i < sinr_linear.size(); ++i) {
+  const std::size_t n = sinr_linear.size();
+  std::size_t i = 0;
+  // Four independent lanes per trip: shannon_rate is a pure log2 chain,
+  // so breaking the loop-carried store/load dependence lets the compiler
+  // pipeline the transcendentals across lanes.
+  for (; i + 4 <= n; i += 4) {
+    const BitsPerSecond r0 = shannon_rate(bandwidth_, sinr_linear[i]);
+    const BitsPerSecond r1 = shannon_rate(bandwidth_, sinr_linear[i + 1]);
+    const BitsPerSecond r2 = shannon_rate(bandwidth_, sinr_linear[i + 2]);
+    const BitsPerSecond r3 = shannon_rate(bandwidth_, sinr_linear[i + 3]);
+    out[i] = r0;
+    out[i + 1] = r1;
+    out[i + 2] = r2;
+    out[i + 3] = r3;
+  }
+  for (; i < n; ++i) {
     out[i] = shannon_rate(bandwidth_, sinr_linear[i]);
   }
 }
@@ -33,10 +48,22 @@ BitsPerSecond DiscreteRateAdapter::rate(double sinr_linear) const {
 void DiscreteRateAdapter::rate_span(std::span<const double> sinr_linear,
                                     std::span<BitsPerSecond> out) const {
   SIC_CHECK(sinr_linear.size() == out.size());
+  // Threshold lookup in the linear domain: the table's cutovers are the
+  // exact linear images of the dB thresholds (see RateTable ctor), so
+  // x >= cut decides identically to from_linear(x) >= min_sinr — no
+  // log10 per lane. Thresholds increase, so the met set is a prefix and
+  // a branchless count indexes the step table; x <= 0 and NaN meet no
+  // cutover and land on steps[0] == 0 bps, exactly like rate().
+  const std::span<const double> cuts = table_->linear_cutovers();
+  const std::span<const BitsPerSecond> steps = table_->rate_steps();
+  const std::size_t m = cuts.size();
   for (std::size_t i = 0; i < sinr_linear.size(); ++i) {
-    out[i] = sinr_linear[i] <= 0.0
-                 ? BitsPerSecond{0.0}
-                 : table_->best_rate(Decibels::from_linear(sinr_linear[i]));
+    const double x = sinr_linear[i];
+    std::size_t idx = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      idx += static_cast<std::size_t>(x >= cuts[j]);
+    }
+    out[i] = steps[idx];
   }
 }
 

@@ -1,11 +1,42 @@
 #include "phy/rate_table.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "util/check.hpp"
 #include "util/mathx.hpp"
 
 namespace sic::phy {
+
+namespace {
+
+/// Smallest positive double x with Decibels::from_linear(x) >= threshold.
+/// Starts from the analytic inverse (10^(t/10), correct to a few ulp) and
+/// walks ulp by ulp against the *exact* scalar predicate until it sits on
+/// the boundary, so a linear comparison against the result reproduces the
+/// dB comparison's decision for every representable input — the fast
+/// rate_span never disagrees with the scalar path by even one ulp.
+double linear_cutover(Decibels threshold) {
+  const auto meets = [&](double v) {
+    return Decibels::from_linear(v) >= threshold;
+  };
+  double x = threshold.linear();
+  SIC_CHECK(std::isfinite(x) && x > 0.0);
+  if (meets(x)) {
+    for (double below = std::nextafter(x, 0.0); meets(below);
+         below = std::nextafter(x, 0.0)) {
+      x = below;
+    }
+  } else {
+    while (!meets(x)) {
+      x = std::nextafter(x, std::numeric_limits<double>::infinity());
+    }
+  }
+  return x;
+}
+
+}  // namespace
 
 RateTable::RateTable(std::string name, std::vector<RateEntry> entries)
     : name_(std::move(name)), entries_(std::move(entries)) {
@@ -15,6 +46,13 @@ RateTable::RateTable(std::string name, std::vector<RateEntry> entries)
                   "rates must be strictly increasing");
     SIC_CHECK_MSG(entries_[i].min_sinr > entries_[i - 1].min_sinr,
                   "thresholds must be strictly increasing");
+  }
+  linear_cutovers_.reserve(entries_.size());
+  rate_steps_.reserve(entries_.size() + 1);
+  rate_steps_.push_back(BitsPerSecond{0.0});
+  for (const RateEntry& e : entries_) {
+    linear_cutovers_.push_back(linear_cutover(e.min_sinr));
+    rate_steps_.push_back(e.rate);
   }
 }
 

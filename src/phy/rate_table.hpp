@@ -46,6 +46,25 @@ class RateTable {
   [[nodiscard]] bool supports(BitsPerSecond rate, Decibels sinr) const;
 
   [[nodiscard]] std::span<const RateEntry> entries() const { return entries_; }
+
+  /// The thresholds translated into the *linear* SINR domain for the
+  /// batched rate_span fast path: linear_cutovers()[i] is the smallest
+  /// positive double whose dB image meets entries()[i].min_sinr, found by
+  /// ulp walk against the exact scalar predicate at construction. So
+  /// (sinr_linear >= linear_cutovers()[i]) is exactly equivalent to
+  /// (Decibels::from_linear(sinr_linear) >= entries()[i].min_sinr) for
+  /// every double — bit-identical decisions with no log10 per lane
+  /// (pinned in tests/rate_adapter_test.cpp).
+  [[nodiscard]] std::span<const double> linear_cutovers() const {
+    return linear_cutovers_;
+  }
+  /// rate_steps()[k] is the rate earned by meeting the first k cutovers
+  /// (the met set is always a prefix — thresholds increase); rate_steps()[0]
+  /// is 0 bps, "even the base rate is infeasible".
+  [[nodiscard]] std::span<const BitsPerSecond> rate_steps() const {
+    return rate_steps_;
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] BitsPerSecond top_rate() const { return entries_.back().rate; }
   [[nodiscard]] BitsPerSecond base_rate() const { return entries_.front().rate; }
@@ -60,6 +79,8 @@ class RateTable {
  private:
   std::string name_;
   std::vector<RateEntry> entries_;
+  std::vector<double> linear_cutovers_;     ///< size entries_.size()
+  std::vector<BitsPerSecond> rate_steps_;   ///< size entries_.size() + 1
 };
 
 }  // namespace sic::phy

@@ -1,0 +1,292 @@
+/// Large-deployment association fast path: the spatial-index candidate
+/// walk must be *decision-identical* to the brute-force all-AP scan —
+/// same best AP, bit-identical scores, same incumbent score — across
+/// random layouts, dead APs, load imbalance, and engineered hysteresis
+/// ties; and whole engine runs in kGrid mode must reproduce kBruteForce
+/// runs byte for byte. Also pins the sorted-membership invariant the
+/// lower_bound-based removal relies on.
+
+#include "mac/association.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mac/deployment_engine.hpp"
+#include "util/rng.hpp"
+
+namespace sic::mac {
+namespace {
+
+const phy::ShannonRateAdapter kShannon{megahertz(20.0)};
+
+struct Fleet {
+  std::vector<topology::Point> sites;
+  std::vector<std::uint8_t> alive;
+  std::vector<int> members;
+};
+
+Fleet random_fleet(Rng& rng, int n_aps, double extent) {
+  Fleet f;
+  for (int i = 0; i < n_aps; ++i) {
+    f.sites.push_back(
+        topology::Point{rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+    // Some APs dead, loads wildly imbalanced: the cutoff's load bound has
+    // to hold even when a distant AP is nearly empty.
+    f.alive.push_back(rng.uniform(0.0, 1.0) < 0.2 ? 0 : 1);
+    f.members.push_back(rng.uniform_int(0, 60));
+  }
+  return f;
+}
+
+void expect_same_proposals(const std::vector<AssociationProposal>& grid,
+                           const std::vector<AssociationProposal>& brute,
+                           std::uint64_t seed) {
+  ASSERT_EQ(grid.size(), brute.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].best_ap, brute[i].best_ap)
+        << "seed " << seed << " client " << i;
+    // Bit-identical, not approximately equal: both paths must evaluate
+    // the same winning expression.
+    EXPECT_EQ(grid[i].best_score.value(), brute[i].best_score.value())
+        << "seed " << seed << " client " << i;
+    EXPECT_EQ(grid[i].incumbent_score.value(), brute[i].incumbent_score.value())
+        << "seed " << seed << " client " << i;
+  }
+}
+
+TEST(AssociationPlanner, GridDecisionIdenticalToBruteForceAcrossLayouts) {
+  const channel::LogDistancePathLoss pathloss =
+      channel::LogDistancePathLoss::for_carrier(3.0);
+  ThreadPool pool{1};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng{seed * 6151};
+    const int n_aps = rng.uniform_int(1, 64);
+    const int n_clients = rng.uniform_int(1, 512);
+    const double extent = rng.uniform(30.0, 400.0);
+    const Fleet fleet = random_fleet(rng, n_aps, extent);
+    const AssociationPlanner planner{fleet.sites, pathloss, Dbm{15.0},
+                                     Decibels{0.5}};
+
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<std::uint8_t> eligible;
+    std::vector<int> incumbent;
+    for (int c = 0; c < n_clients; ++c) {
+      // Clients inside and well outside the AP bounding box.
+      xs.push_back(rng.uniform(-0.3 * extent, 1.3 * extent));
+      ys.push_back(rng.uniform(-0.3 * extent, 1.3 * extent));
+      eligible.push_back(rng.uniform(0.0, 1.0) < 0.9 ? 1 : 0);
+      // Incumbents only point at live APs, as in the engine.
+      int inc = -1;
+      if (rng.uniform(0.0, 1.0) < 0.7) {
+        const int cand = rng.uniform_int(0, n_aps - 1);
+        if (fleet.alive[static_cast<std::size_t>(cand)] != 0) inc = cand;
+      }
+      incumbent.push_back(inc);
+    }
+
+    std::vector<AssociationProposal> grid;
+    std::vector<AssociationProposal> brute;
+    planner.plan(AssociationMode::kGrid, xs, ys, eligible, incumbent,
+                 fleet.alive, fleet.members, pool, grid);
+    planner.plan(AssociationMode::kBruteForce, xs, ys, eligible, incumbent,
+                 fleet.alive, fleet.members, pool, brute);
+    expect_same_proposals(grid, brute, seed);
+  }
+}
+
+TEST(AssociationPlanner, ProposalsBitIdenticalAcrossThreadCounts) {
+  const channel::LogDistancePathLoss pathloss =
+      channel::LogDistancePathLoss::for_carrier(3.0);
+  Rng rng{2024};
+  const Fleet fleet = random_fleet(rng, 32, 250.0);
+  const AssociationPlanner planner{fleet.sites, pathloss, Dbm{15.0},
+                                   Decibels{0.5}};
+  std::vector<double> xs;
+  std::vector<double> ys;
+  std::vector<std::uint8_t> eligible;
+  std::vector<int> incumbent;
+  for (int c = 0; c < 700; ++c) {
+    xs.push_back(rng.uniform(0.0, 250.0));
+    ys.push_back(rng.uniform(0.0, 250.0));
+    eligible.push_back(1);
+    incumbent.push_back(-1);
+  }
+  ThreadPool one{1};
+  std::vector<AssociationProposal> base;
+  planner.plan(AssociationMode::kGrid, xs, ys, eligible, incumbent,
+               fleet.alive, fleet.members, one, base);
+  for (const int threads : {4, 7}) {
+    ThreadPool pool{threads};
+    std::vector<AssociationProposal> got;
+    planner.plan(AssociationMode::kGrid, xs, ys, eligible, incumbent,
+                 fleet.alive, fleet.members, pool, got);
+    expect_same_proposals(got, base, static_cast<std::uint64_t>(threads));
+  }
+}
+
+TEST(AssociationPlanner, EquidistantTieBreaksToLowerApIdInBothModes) {
+  const channel::LogDistancePathLoss pathloss =
+      channel::LogDistancePathLoss::for_carrier(3.0);
+  ThreadPool pool{1};
+  // Two APs mirror-symmetric about x = 0; a client on the axis scores
+  // them bit-identically (same distance, same load), so the winner is
+  // decided purely by the tie rule — and id 1 sits in a *different* grid
+  // cell walked earlier or later than id 0's, which is exactly the case
+  // where a naive ring walk would pick whichever it sees first.
+  const std::vector<topology::Point> sites = {topology::Point{-30.0, 0.0},
+                                              topology::Point{30.0, 0.0}};
+  const AssociationPlanner planner{sites, pathloss, Dbm{15.0},
+                                   Decibels{0.5}};
+  const std::vector<double> xs = {0.0};
+  const std::vector<double> ys = {7.0};
+  const std::vector<std::uint8_t> eligible = {1};
+  const std::vector<int> incumbent = {-1};
+  const std::vector<std::uint8_t> alive = {1, 1};
+  const std::vector<int> members = {5, 5};
+  for (const AssociationMode mode :
+       {AssociationMode::kGrid, AssociationMode::kBruteForce}) {
+    std::vector<AssociationProposal> out;
+    planner.plan(mode, xs, ys, eligible, incumbent, alive, members, pool,
+                 out);
+    EXPECT_EQ(out[0].best_ap, 0);
+  }
+}
+
+TEST(AssociationPlanner, HysteresisEdgeTiesMatchBruteForce) {
+  // Engineer near-tie scores: a dense AP cluster where load differences
+  // of exactly one member (0.5 dB) decide winners — the regime where a
+  // sloppy cutoff bound would prune the true winner.
+  const channel::LogDistancePathLoss pathloss =
+      channel::LogDistancePathLoss::for_carrier(3.0);
+  ThreadPool pool{1};
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng{seed * 31};
+    std::vector<topology::Point> sites;
+    std::vector<std::uint8_t> alive;
+    std::vector<int> members;
+    const int n_aps = rng.uniform_int(8, 24);
+    for (int i = 0; i < n_aps; ++i) {
+      sites.push_back(
+          topology::Point{rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)});
+      alive.push_back(1);
+      members.push_back(10 + rng.uniform_int(0, 2));
+    }
+    const AssociationPlanner planner{sites, pathloss, Dbm{15.0},
+                                     Decibels{0.5}};
+    std::vector<double> xs;
+    std::vector<double> ys;
+    std::vector<std::uint8_t> eligible;
+    std::vector<int> incumbent;
+    for (int c = 0; c < 200; ++c) {
+      xs.push_back(rng.uniform(0.0, 40.0));
+      ys.push_back(rng.uniform(0.0, 40.0));
+      eligible.push_back(1);
+      incumbent.push_back(rng.uniform_int(0, n_aps - 1));
+    }
+    std::vector<AssociationProposal> grid;
+    std::vector<AssociationProposal> brute;
+    planner.plan(AssociationMode::kGrid, xs, ys, eligible, incumbent, alive,
+                 members, pool, grid);
+    planner.plan(AssociationMode::kBruteForce, xs, ys, eligible, incumbent,
+                 alive, members, pool, brute);
+    expect_same_proposals(grid, brute, seed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level pins
+// ---------------------------------------------------------------------------
+
+DeploymentEngineConfig chaotic_config(AssociationMode mode) {
+  DeploymentEngineConfig config;
+  config.scheduler.enable_multirate = true;
+  config.upload.faults.stale_rss_sigma = Decibels{2.0};
+  config.epoch_drift_sigma = Decibels{1.5};
+  config.association_mode = mode;
+  config.seed = 71;
+  return config;
+}
+
+FaultSchedule churny_chaos() {
+  ChaosProfile p;
+  p.ap_outage_prob = 0.04;
+  p.outage_epochs = 2;
+  p.departure_prob = 0.02;
+  p.arrival_rate = 0.8;
+  return FaultSchedule{p};
+}
+
+std::vector<topology::Point> grid_sites(int side, double pitch) {
+  std::vector<topology::Point> sites;
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      sites.push_back(topology::Point{x * pitch, y * pitch});
+    }
+  }
+  return sites;
+}
+
+TEST(DeploymentEngineAssociation, GridEngineBitIdenticalToBruteForceEngine) {
+  DeploymentEngine grid{grid_sites(3, 60.0), kShannon,
+                        chaotic_config(AssociationMode::kGrid),
+                        churny_chaos()};
+  DeploymentEngine brute{grid_sites(3, 60.0), kShannon,
+                         chaotic_config(AssociationMode::kBruteForce),
+                         churny_chaos()};
+  Rng rng{5};
+  for (int c = 0; c < 48; ++c) {
+    const topology::Point p{rng.uniform(-20.0, 140.0),
+                            rng.uniform(-20.0, 140.0)};
+    (void)grid.add_client(p);
+    (void)brute.add_client(p);
+  }
+  for (int e = 0; e < 40; ++e) {
+    const EpochStats a = grid.run_epoch();
+    const EpochStats b = brute.run_epoch();
+    EXPECT_EQ(a.offered, b.offered) << "epoch " << e;
+    EXPECT_EQ(a.confirmed, b.confirmed) << "epoch " << e;
+    EXPECT_EQ(a.handoffs, b.handoffs) << "epoch " << e;
+    EXPECT_EQ(a.deferred, b.deferred) << "epoch " << e;
+    EXPECT_EQ(a.quarantines, b.quarantines) << "epoch " << e;
+    EXPECT_EQ(a.arrivals, b.arrivals) << "epoch " << e;
+    EXPECT_EQ(a.departures, b.departures) << "epoch " << e;
+    EXPECT_EQ(a.mean_health, b.mean_health) << "epoch " << e;
+  }
+  ASSERT_EQ(grid.active_clients(), brute.active_clients());
+  for (int c = 0; c < grid.active_clients(); ++c) {
+    EXPECT_EQ(grid.assignment(c), brute.assignment(c)) << "client " << c;
+  }
+}
+
+TEST(DeploymentEngineAssociation, MembershipStaysSortedUnderChurn) {
+  // The lower_bound+erase removal and upper_bound insert both rely on the
+  // member lists staying sorted through every mutation path: handoff,
+  // departure, quarantine exile, outage flush.
+  DeploymentEngineConfig config = chaotic_config(AssociationMode::kGrid);
+  config.quarantine_after = 1;  // make exile churn actually happen
+  DeploymentEngine engine{grid_sites(2, 50.0), kShannon, config,
+                          churny_chaos()};
+  Rng rng{11};
+  for (int c = 0; c < 32; ++c) {
+    (void)engine.add_client(topology::Point{rng.uniform(0.0, 50.0),
+                                            rng.uniform(0.0, 50.0)});
+  }
+  for (int e = 0; e < 30; ++e) {
+    (void)engine.run_epoch();
+    for (int ap = 0; ap < engine.n_aps(); ++ap) {
+      const std::vector<int>& members = engine.ap_members(ap);
+      EXPECT_TRUE(std::is_sorted(members.begin(), members.end()))
+          << "epoch " << e << " ap " << ap;
+      EXPECT_EQ(std::adjacent_find(members.begin(), members.end()),
+                members.end())
+          << "duplicate member, epoch " << e << " ap " << ap;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sic::mac

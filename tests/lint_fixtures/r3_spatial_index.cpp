@@ -1,0 +1,40 @@
+// Lint fixture: R3 — the spatial-index determinism contract.
+//
+// The real SpatialGridIndex (src/topology/spatial_index.*) is deterministic
+// *by construction*: flat CSR arrays, canonical cell order, sorted query
+// outputs — no unordered containers anywhere, so R3 stays hot on it with
+// nothing to flag. This fixture pins the counterfactual: the "obvious"
+// hash-bucketed index shape below iterates an unordered_map and must
+// still be caught, so nobody can drift the index back onto a container
+// whose iteration order varies across libstdc++ versions and runs.
+#include <unordered_map>
+#include <vector>
+
+struct BucketedIndex {
+  std::unordered_map<long, std::vector<int>> cells;
+
+  std::vector<int> all_ids() const {
+    std::vector<int> out;
+    for (const auto& cell : cells) {  // line 18: R3 (unordered iteration)
+      out.insert(out.end(), cell.second.begin(), cell.second.end());
+    }
+    return out;
+  }
+
+  bool cell_occupied(long key) const {
+    return cells.find(key) != cells.end();  // clean: membership, not order
+  }
+};
+
+// The CSR shape the real index uses: flat arrays, id-ordered fill —
+// nothing here for R3 to object to.
+struct CsrIndex {
+  std::vector<int> cell_start;
+  std::vector<int> ids;
+
+  std::vector<int> cell_ids(int cell) const {
+    return std::vector<int>(
+        ids.begin() + cell_start[static_cast<unsigned>(cell)],
+        ids.begin() + cell_start[static_cast<unsigned>(cell) + 1]);
+  }
+};

@@ -79,6 +79,16 @@ TEST(SicLint, R4CatchesTimeSeriesRecordInValuePositions) {
   EXPECT_TRUE(has_finding(findings, "R4", 26));  // consume(...record())
 }
 
+TEST(SicLint, R3StaysHotOnNaiveSpatialIndex) {
+  // The shipped SpatialGridIndex is deterministic by construction (flat CSR
+  // arrays, canonical order) and lints clean; this fixture pins that the
+  // hash-bucketed alternative would NOT get past R3.
+  const auto findings = lint_fixture("r3_spatial_index.cpp");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(has_finding(findings, "R3", 18));  // range-for over cells
+  // The membership lookup (find != end) and the CSR struct stay clean.
+}
+
 TEST(SicLint, R3ExemptsEndInMembershipComparisons) {
   const std::string src =
       "#include <unordered_map>\n"

@@ -1,0 +1,154 @@
+#include "topology/spatial_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sic::topology {
+namespace {
+
+std::vector<Point> random_points(std::uint64_t seed, int n, double extent) {
+  Rng rng{seed};
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(Point{rng.uniform(0.0, extent), rng.uniform(0.0, extent)});
+  }
+  return pts;
+}
+
+/// Reference k-nearest: sort every point by (distance, id).
+std::vector<int> brute_k_nearest(const std::vector<Point>& pts, Point q,
+                                 int k) {
+  std::vector<int> ids(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) ids[i] = static_cast<int>(i);
+  std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+    const double da = distance(q, pts[static_cast<std::size_t>(a)]);
+    const double db = distance(q, pts[static_cast<std::size_t>(b)]);
+    return da < db || (da == db && a < b);
+  });
+  ids.resize(std::min(ids.size(), static_cast<std::size_t>(k)));
+  return ids;
+}
+
+std::vector<int> brute_within(const std::vector<Point>& pts, Point q,
+                              double r) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (distance(q, pts[i]) <= r) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+TEST(SpatialGridIndex, KNearestMatchesBruteForceAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng{seed * 977};
+    const int n = rng.uniform_int(1, 64);
+    const std::vector<Point> pts = random_points(seed, n, 200.0);
+    const SpatialGridIndex index{pts};
+    std::vector<int> got;
+    for (int trial = 0; trial < 25; ++trial) {
+      const Point q{rng.uniform(-20.0, 220.0), rng.uniform(-20.0, 220.0)};
+      const int k = rng.uniform_int(1, n + 2);
+      index.k_nearest(q, k, got);
+      EXPECT_EQ(got, brute_k_nearest(pts, q, k))
+          << "seed " << seed << " trial " << trial << " k " << k;
+    }
+  }
+}
+
+TEST(SpatialGridIndex, WithinRadiusMatchesBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng{seed * 1231};
+    const int n = rng.uniform_int(1, 64);
+    const std::vector<Point> pts = random_points(seed + 500, n, 150.0);
+    const SpatialGridIndex index{pts};
+    std::vector<int> got;
+    for (int trial = 0; trial < 25; ++trial) {
+      const Point q{rng.uniform(-10.0, 160.0), rng.uniform(-10.0, 160.0)};
+      const double r = rng.uniform(0.0, 120.0);
+      index.within_radius(q, r, got);
+      EXPECT_EQ(got, brute_within(pts, q, r))
+          << "seed " << seed << " trial " << trial << " r " << r;
+    }
+  }
+}
+
+TEST(SpatialGridIndex, RingWalkCoversEveryPointExactlyOnce) {
+  const std::vector<Point> pts = random_points(42, 37, 80.0);
+  const SpatialGridIndex index{pts};
+  const Point q{31.0, 55.0};
+  std::vector<int> all;
+  for (int ring = 0; ring <= index.max_ring(q); ++ring) {
+    index.collect_ring(q, ring, all);
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), pts.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], static_cast<int>(i));
+  }
+}
+
+TEST(SpatialGridIndex, RingLowerBoundNeverExceedsTrueDistance) {
+  // The association cutoff's correctness rests on this: a point collected
+  // in ring r is at least ring_lower_bound_m(r) away from the query.
+  const std::vector<Point> pts = random_points(7, 50, 120.0);
+  const SpatialGridIndex index{pts};
+  Rng rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{rng.uniform(-10.0, 130.0), rng.uniform(-10.0, 130.0)};
+    std::vector<int> ring_ids;
+    for (int ring = 0; ring <= index.max_ring(q); ++ring) {
+      ring_ids.clear();
+      index.collect_ring(q, ring, ring_ids);
+      for (const int id : ring_ids) {
+        EXPECT_LE(index.ring_lower_bound_m(ring),
+                  distance(q, index.point(id)))
+            << "ring " << ring << " id " << id;
+      }
+    }
+  }
+}
+
+TEST(SpatialGridIndex, DegenerateLayouts) {
+  // Empty set: every query is empty, no crash.
+  const SpatialGridIndex empty{std::span<const Point>{}};
+  std::vector<int> out{17};
+  empty.k_nearest(Point{0.0, 0.0}, 3, out);
+  EXPECT_TRUE(out.empty());
+  empty.within_radius(Point{0.0, 0.0}, 10.0, out);
+  EXPECT_TRUE(out.empty());
+
+  // Single point and all-coincident points (zero extent).
+  const std::vector<Point> same(5, Point{3.0, 4.0});
+  const SpatialGridIndex coincident{same};
+  coincident.k_nearest(Point{0.0, 0.0}, 3, out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2}));
+  coincident.within_radius(Point{3.0, 4.0}, 0.0, out);
+  EXPECT_EQ(out.size(), 5u);
+
+  // Collinear points exercise a 1×n grid.
+  std::vector<Point> line;
+  for (int i = 0; i < 9; ++i) {
+    line.push_back(Point{static_cast<double>(i) * 10.0, 5.0});
+  }
+  const SpatialGridIndex idx{line};
+  idx.k_nearest(Point{42.0, 5.0}, 2, out);
+  EXPECT_EQ(out, (std::vector<int>{4, 5}));
+}
+
+TEST(SpatialGridIndex, ExplicitCellSizeHonored) {
+  const std::vector<Point> pts = random_points(11, 30, 100.0);
+  const SpatialGridIndex index{pts, 12.5};
+  EXPECT_DOUBLE_EQ(index.cell_size_m(), 12.5);
+  std::vector<int> got;
+  index.k_nearest(Point{50.0, 50.0}, 30, got);
+  EXPECT_EQ(got, brute_k_nearest(pts, Point{50.0, 50.0}, 30));
+}
+
+}  // namespace
+}  // namespace sic::topology
