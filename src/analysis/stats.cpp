@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 #include "util/rng.hpp"
 
 namespace sic::analysis {
@@ -66,7 +67,7 @@ std::vector<EmpiricalCdf::Point> EmpiricalCdf::curve(int points) const {
   out.reserve(static_cast<std::size_t>(points));
   const double lo = sorted_.front();
   const double hi = sorted_.back();
-  if (lo == hi) {
+  if (bitwise_equal(lo, hi)) {
     // Degenerate sample set (all values equal): the evenly-spaced grid
     // collapses to a single x, so return the step function explicitly
     // rather than `points` copies of the same coordinate.

@@ -6,6 +6,7 @@
 #include "core/matching_tier.hpp"
 #include "core/upload_pair.hpp"
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::core {
 
@@ -150,7 +151,9 @@ BacklogSchedule schedule_backlog_upload(std::span<const BacklogClient> clients,
   }
   std::sort(schedule.slots.begin(), schedule.slots.end(),
             [](const BacklogSlot& x, const BacklogSlot& y) {
-              if (x.plan.airtime != y.plan.airtime) {
+              // Bit-exact tie detection keeps the sort stable across
+              // platforms; airtimes are computed identically on all paths.
+              if (!bitwise_equal(x.plan.airtime, y.plan.airtime)) {
                 return x.plan.airtime > y.plan.airtime;
               }
               return x.first < y.first;

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::core {
 
@@ -68,7 +69,8 @@ void PairCostEngine::update_client(int client, Milliwatts rss) {
   const std::size_t c = static_cast<std::size_t>(client);
   const double old_mw = rss_[c].value();
   const double new_mw = rss.value();
-  if (new_mw == old_mw) return;
+  // Bit-exact fast path: an unchanged RSS must not touch the fingerprint.
+  if (bitwise_equal(new_mw, old_mw)) return;
   if (epsilon_ > Decibels{0.0} && old_mw > 0.0 && new_mw > 0.0) {
     const Decibels drift = Decibels::from_linear(new_mw / old_mw);
     // Within tolerance: the row keeps serving plans of the fingerprinted
@@ -280,7 +282,9 @@ Schedule PairCostEngine::schedule_indices(std::span<const int> idx) {
   // order; tests rely on a stable one).
   std::sort(schedule.slots.begin(), schedule.slots.end(),
             [](const ScheduledSlot& a, const ScheduledSlot& b) {
-              if (a.plan.airtime != b.plan.airtime) {
+              // Bit-exact tie detection keeps the sort stable across
+              // platforms; airtimes are computed identically on all paths.
+              if (!bitwise_equal(a.plan.airtime, b.plan.airtime)) {
                 return a.plan.airtime > b.plan.airtime;
               }
               return a.first < b.first;

@@ -8,6 +8,7 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::matching {
 
@@ -33,7 +34,7 @@ Matching approx_core(const CostMatrix& costs, std::vector<WeightedEdge>& edges,
   // tie-break as greedy_min_weight_perfect_matching, but tolerant of the
   // seed leaving vertices unmatched when the edge list is sparse.
   const auto later = [](const WeightedEdge& a, const WeightedEdge& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
+    if (!bitwise_equal(a.weight, b.weight)) return a.weight > b.weight;
     if (a.u != b.u) return a.u > b.u;
     return a.v > b.v;
   };

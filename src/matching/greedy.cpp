@@ -7,6 +7,7 @@
 #include "matching/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::matching {
 
@@ -36,7 +37,7 @@ Matching greedy_min_weight_perfect_matching(
   // edge costs one O(log E) pop. Ties (exactly equal weights) break in
   // (u, v) row-major order, the order edges() generates them in.
   const auto later = [](const WeightedEdge& a, const WeightedEdge& b) {
-    if (a.weight != b.weight) return a.weight > b.weight;
+    if (!bitwise_equal(a.weight, b.weight)) return a.weight > b.weight;
     if (a.u != b.u) return a.u > b.u;
     return a.v > b.v;
   };

@@ -7,6 +7,7 @@
 
 #include "obs/json_util.hpp"
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::obs {
 
@@ -165,7 +166,9 @@ std::string MetricsRegistry::json_snapshot() const {
 }
 
 void Histogram::merge_from(const Histogram& other) {
-  SIC_CHECK_MSG(min_value_ == other.min_value_ &&
+  // Layout identity is a configuration check: two histograms built from
+  // the same options have bit-identical bounds, so bit-exact is right.
+  SIC_CHECK_MSG(bitwise_equal(min_value_, other.min_value_) &&
                     buckets_.size() == other.buckets_.size(),
                 "histogram merge requires identical bucket layouts");
   if (other.count_ == 0) return;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/mathx.hpp"
 
 namespace sic::topology {
 
@@ -15,7 +16,7 @@ struct Near {
   double dist;
   int id;
   friend bool operator<(const Near& a, const Near& b) {
-    return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+    return a.dist < b.dist || (bitwise_equal(a.dist, b.dist) && a.id < b.id);
   }
 };
 

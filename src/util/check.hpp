@@ -10,17 +10,29 @@
 #include <stdexcept>
 #include <string>
 
-namespace sic::detail {
+namespace sic {
+
+/// Thrown by SIC_CHECK / SIC_CHECK_MSG on a violated precondition. Derives
+/// from std::logic_error so existing catch sites (and tests) that catch the
+/// standard type keep working, while callers can catch the project type by
+/// category (sic_lint R8).
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
   std::ostringstream os;
   os << "SIC_CHECK failed: " << expr << " at " << file << ':' << line;
   if (!msg.empty()) os << " — " << msg;
-  throw std::logic_error(os.str());
+  throw CheckError(os.str());
 }
 
-}  // namespace sic::detail
+}  // namespace detail
+}  // namespace sic
 
 #define SIC_CHECK(expr)                                               \
   do {                                                                \

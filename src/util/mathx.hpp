@@ -26,6 +26,16 @@ namespace sic {
   return a + (b - a) * t;
 }
 
+/// Intentional bit-exact double comparison. The engine's determinism
+/// contract is *bitwise* reproducibility, so a handful of sites genuinely
+/// want `a == b` (cache-hit tests, stable-sort tie detection, "value
+/// unchanged" fast paths) rather than a tolerance. Routing them through
+/// this helper states that intent and is the sanctioned exemption to
+/// sic_lint R7's ban on raw ==/!= between computed doubles.
+[[nodiscard]] inline bool bitwise_equal(double a, double b) {
+  return a == b;
+}
+
 }  // namespace sic
 
 #endif  // SICMAC_UTIL_MATHX_HPP

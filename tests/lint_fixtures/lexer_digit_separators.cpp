@@ -1,0 +1,10 @@
+// Lint fixture: lexer regression — digit separators. A naive scanner takes
+// the ' in 1'000'000 as opening a char literal and desyncs: everything up
+// to the next apostrophe is swallowed, so the string literal below leaks
+// into the code channel and its log10( text would be flagged.
+constexpr long kIterations = 1'000'000;
+constexpr double kSpeedOfLight = 299'792'458.0;
+const char* kNote = "log10( and pow(10, x/10) live in a string here";
+constexpr unsigned kMask = 0xFF'FF;
+
+int still_in_sync() { return 1; }

@@ -1,0 +1,12 @@
+// Lint fixture: lexer regression — a backslash-newline splices the next
+// physical line INTO a // comment (C++ translation phase 2 runs before
+// comment removal). The pow() on line 7 is therefore comment text, not
+// code; the old blanking scanner treated it as code and flagged it.
+#include <cmath>
+
+// dB conversion like this: \
+   std::pow(10.0, x / 10.0) stays inside this comment
+
+double real_violation(double db) {
+  return std::pow(10.0, db / 10.0);  // line 11: R1 violation (real code)
+}

@@ -1,0 +1,12 @@
+// Lint fixture: R5 — an include back-edge against the layer DAG.
+// This file sits in the `channel` layer (the fixture path contains
+// src/channel/) but reaches UP into `mac`, five layers above it.
+#pragma once
+
+#include "mac/frame.hpp"   // line 6: R5 violation (channel -> mac back-edge)
+#include "util/units.hpp"  // clean: util is below channel
+#include <vector>          // clean: system includes are out of scope
+
+struct FixtureChannelThing {
+  std::vector<int> taps;
+};

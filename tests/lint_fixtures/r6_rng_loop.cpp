@@ -1,0 +1,31 @@
+// Lint fixture: R6 — RNG substream discipline in a parallel TU.
+// The mention of parallel_for below marks this translation unit as
+// parallel; from then on, per-iteration randomness must come from the
+// counter-based Rng::at(seed, index).
+
+struct Rng {
+  explicit Rng(unsigned long seed);
+  static Rng at(unsigned long seed, unsigned long index);
+  Rng fork();
+  double uniform();
+};
+
+void parallel_for(int n, void (*body)(int));
+
+double sweep(unsigned long seed, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Rng rng(seed + static_cast<unsigned long>(i));  // line 18: R6 (ctor in loop)
+    acc += rng.uniform();
+  }
+  Rng outer(seed);  // clean: top-of-function construction, not in a loop
+  for (int i = 0; i < n; ++i) {
+    Rng forked = outer.fork();  // line 23: R6 (.fork() in loop)
+    acc += forked.uniform();
+  }
+  for (int i = 0; i < n; ++i) {
+    Rng sub = Rng::at(seed, static_cast<unsigned long>(i));  // clean: counter-based
+    acc += sub.uniform();
+  }
+  return acc;
+}

@@ -1,0 +1,20 @@
+// Lint fixture: R7 — FP-determinism hazards.
+#include <unordered_map>
+
+float narrow(float x) { return x; }  // line 4: R7 violation (float, twice)
+
+double sum_airtime(const std::unordered_map<int, double>& airtime) {
+  double total = 0.0;
+  for (const auto& kv : airtime) {  // (R3 flags the iteration itself)
+    total += kv.second;  // line 9: R7 violation (double reduction, unordered)
+  }
+  return total;
+}
+
+bool converged(double prev_mw, double next_mw) {
+  return prev_mw == next_mw;  // line 15: R7 violation (computed double ==)
+}
+
+bool at_sentinel(double prev_mw) {
+  return prev_mw == 0.0;  // clean: comparison against a literal sentinel
+}

@@ -1,0 +1,23 @@
+// Lint fixture: R8 — bare standard exceptions instead of project errors.
+#include <stdexcept>
+#include <string>
+
+struct TraceIoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void bad_runtime(const std::string& path) {
+  throw std::runtime_error("cannot open " + path);  // line 10: R8 violation
+}
+
+void bad_logic() {
+  throw std::logic_error("unreachable");  // line 14: R8 violation
+}
+
+void bad_string_literal() {
+  throw "boom";  // line 18: R8 violation (string literal)
+}
+
+void good_typed(const std::string& path) {
+  throw TraceIoError("cannot open " + path);  // clean: project error type
+}

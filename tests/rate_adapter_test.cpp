@@ -98,7 +98,6 @@ std::vector<double> adversarial_sinrs(const RateAdapter& adapter) {
       // Deliberately the raw conversion, not Decibels::linear(): the point
       // is to probe inputs an independent computation would produce.
       const double analytic =
-          // sic-lint: allow(R1)
           std::pow(10.0, Decibels::from_linear(cut).value() / 10.0);
       sinrs.push_back(std::nextafter(analytic, 0.0));
       sinrs.push_back(analytic);

@@ -1,0 +1,481 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace sic::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Multi-character punctuators the rules care about, longest first so the
+/// scan is maximal-munch. Everything else lexes as a single character.
+constexpr std::array<std::string_view, 22> kPuncts = {
+    "<<=", ">>=", "...", "->*", "::", "==", "!=", "<=", ">=", "+=", "-=",
+    "*=", "/=",  "%=",  "&&", "||", "->", "&=", "|=", "^=", "++", "--"};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexedFile run() {
+    while (i_ < src_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  char at(std::size_t k = 0) const {
+    return i_ + k < src_.size() ? src_[i_ + k] : '\0';
+  }
+
+  /// True if a backslash-newline splice starts at absolute position `p`;
+  /// sets `len` to its length (handles \r\n).
+  bool splice_at(std::size_t p, std::size_t& len) const {
+    if (p >= src_.size() || src_[p] != '\\') return false;
+    if (p + 1 < src_.size() && src_[p + 1] == '\n') {
+      len = 2;
+      return true;
+    }
+    if (p + 2 < src_.size() && src_[p + 1] == '\r' && src_[p + 2] == '\n') {
+      len = 3;
+      return true;
+    }
+    return false;
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t k = 0; k < n && i_ < src_.size(); ++k, ++i_) {
+      if (src_[i_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+    }
+  }
+
+  Token make(TokKind kind, std::size_t start, int line, int col) const {
+    Token t;
+    t.kind = kind;
+    t.text = std::string{src_.substr(start, i_ - start)};
+    t.offset = start;
+    t.line = line;
+    t.col = col;
+    t.brace_depth = brace_;
+    t.paren_depth = paren_;
+    t.pp = pp_;
+    return t;
+  }
+
+  void emit(Token t) {
+    if (t.kind == TokKind::kComment) {
+      out_.comments.push_back(std::move(t));
+      return;
+    }
+    // #include target extraction: the string (or <...> header-name) right
+    // after the `include` directive identifier.
+    if (pp_ && pending_include_ && t.kind == TokKind::kString &&
+        t.text.size() >= 2) {
+      IncludeDirective inc;
+      inc.target = t.text.substr(1, t.text.size() - 2);
+      inc.quoted = t.text.front() == '"';
+      inc.line = t.line;
+      out_.includes.push_back(std::move(inc));
+      pending_include_ = false;
+    }
+    if (pp_ && pp_hash_ && t.kind == TokKind::kIdent) {
+      pending_include_ = t.text == "include";
+      pp_hash_ = false;
+    }
+    out_.tokens.push_back(std::move(t));
+  }
+
+  void step() {
+    const char c = at();
+    if (c == '\n') {
+      if (pp_) {
+        pp_ = false;
+        pp_hash_ = false;
+        pending_include_ = false;
+      }
+      line_start_ = true;
+      advance(1);
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      advance(1);
+      return;
+    }
+    std::size_t splice_len = 0;
+    if (splice_at(i_, splice_len)) {
+      // A splice glues the next physical line onto this logical line: a
+      // preprocessor directive continues, ordinary code just flows on.
+      advance(splice_len);
+      return;
+    }
+    if (c == '/' && at(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && at(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && line_start_ && !pp_) {
+      pp_ = true;
+      pp_hash_ = true;
+      const std::size_t start = i_;
+      const int line = line_, col = col_;
+      advance(1);
+      emit(make(TokKind::kPunct, start, line, col));
+      line_start_ = false;
+      return;
+    }
+    line_start_ = false;
+    if (pp_ && pending_include_ && c == '<') {
+      header_name();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier_or_prefixed_literal();
+      return;
+    }
+    if (digit(c) || (c == '.' && digit(at(1)))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal(0);
+      return;
+    }
+    if (c == '\'') {
+      char_literal(0);
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    advance(2);
+    while (i_ < src_.size()) {
+      std::size_t len = 0;
+      if (splice_at(i_, len)) {
+        // Backslash-newline continues the comment onto the next physical
+        // line (C++ phase 2 runs before comment removal).
+        advance(len);
+        continue;
+      }
+      if (at() == '\n') break;
+      advance(1);
+    }
+    emit(make(TokKind::kComment, start, line, col));
+  }
+
+  void block_comment() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    advance(2);
+    while (i_ < src_.size() && !(at() == '*' && at(1) == '/')) advance(1);
+    advance(2);
+    emit(make(TokKind::kComment, start, line, col));
+  }
+
+  void header_name() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    advance(1);
+    while (i_ < src_.size() && at() != '>' && at() != '\n') advance(1);
+    if (at() == '>') advance(1);
+    emit(make(TokKind::kString, start, line, col));
+  }
+
+  void identifier_or_prefixed_literal() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    while (i_ < src_.size() && ident_char(at())) advance(1);
+    const std::string_view text = src_.substr(start, i_ - start);
+    const bool raw_prefix =
+        text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+        text == "LR";
+    const bool enc_prefix =
+        text == "u8" || text == "u" || text == "U" || text == "L";
+    if (raw_prefix && at() == '"') {
+      raw_string(start, line, col);
+      return;
+    }
+    if (enc_prefix && at() == '"') {
+      string_body();
+      emit(make(TokKind::kString, start, line, col));
+      return;
+    }
+    if (enc_prefix && at() == '\'') {
+      char_body();
+      emit(make(TokKind::kChar, start, line, col));
+      return;
+    }
+    emit(make(TokKind::kIdent, start, line, col));
+  }
+
+  /// Consumes `"..."` starting at the opening quote (escapes honored).
+  void string_body() {
+    advance(1);
+    while (i_ < src_.size() && at() != '"') {
+      advance(at() == '\\' ? 2 : 1);
+    }
+    advance(1);
+  }
+
+  void char_body() {
+    advance(1);
+    while (i_ < src_.size() && at() != '\'') {
+      advance(at() == '\\' ? 2 : 1);
+    }
+    advance(1);
+  }
+
+  void string_literal(std::size_t) {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    string_body();
+    emit(make(TokKind::kString, start, line, col));
+  }
+
+  void char_literal(std::size_t) {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    char_body();
+    emit(make(TokKind::kChar, start, line, col));
+  }
+
+  void raw_string(std::size_t start, int line, int col) {
+    // at() == '"' here; delimiter runs to the '('.
+    advance(1);
+    std::string delim = ")";
+    while (i_ < src_.size() && at() != '(') {
+      delim.push_back(at());
+      advance(1);
+    }
+    advance(1);  // '('
+    delim.push_back('"');
+    while (i_ < src_.size() && src_.compare(i_, delim.size(), delim) != 0) {
+      advance(1);
+    }
+    advance(delim.size());
+    emit(make(TokKind::kString, start, line, col));
+  }
+
+  void number() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    // pp-number: digits, letters (hex/bin/suffix), '.', digit separators,
+    // and exponent signs after e/E/p/P.
+    while (i_ < src_.size()) {
+      const char c = at();
+      if (ident_char(c) || c == '.') {
+        advance(1);
+        continue;
+      }
+      if (c == '\'' && ident_char(at(1)) && i_ > start &&
+          ident_char(src_[i_ - 1])) {
+        advance(1);  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > start) {
+        const char prev = src_[i_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance(1);
+          continue;
+        }
+      }
+      break;
+    }
+    emit(make(TokKind::kNumber, start, line, col));
+  }
+
+  void punct() {
+    const std::size_t start = i_;
+    const int line = line_, col = col_;
+    const char c = at();
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (src_.compare(i_, p.size(), p) == 0) {
+        len = p.size();
+        break;
+      }
+    }
+    // Depth bookkeeping ignores preprocessor lines: a macro body may be
+    // deliberately unbalanced and must not corrupt scope tracking.
+    if (!pp_) {
+      if (c == '}') brace_ = brace_ > 0 ? brace_ - 1 : 0;
+      if (c == ')') paren_ = paren_ > 0 ? paren_ - 1 : 0;
+    }
+    advance(len);
+    emit(make(TokKind::kPunct, start, line, col));
+    if (!pp_) {
+      if (c == '{') ++brace_;
+      if (c == '(') ++paren_;
+    }
+  }
+
+  std::string_view src_;
+  LexedFile out_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  int brace_ = 0;
+  int paren_ = 0;
+  bool pp_ = false;
+  bool pp_hash_ = false;          ///< just emitted the directive '#'
+  bool pending_include_ = false;  ///< directive is #include, target pending
+  bool line_start_ = true;        ///< nothing but whitespace since newline
+};
+
+bool is_kw(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+}  // namespace
+
+LexedFile lex(std::string_view source) { return Lexer{source}.run(); }
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != TokKind::kPunct ||
+      tokens[open].text.size() != 1) {
+    return tokens.size();
+  }
+  const char o = tokens[open].text[0];
+  const char c = o == '(' ? ')' : o == '{' ? '}' : o == '[' ? ']' : '\0';
+  if (c == '\0') return tokens.size();
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.pp || t.kind != TokKind::kPunct || t.text.size() != 1) continue;
+    if (t.text[0] == o) ++depth;
+    if (t.text[0] == c) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+namespace {
+
+/// Best-effort function name for the body opened by the `{` at `open`:
+/// walk back over cv/ref/noexcept qualifiers to a `)`, match its `(`, and
+/// take the identifier in front — unless it is a control-flow keyword.
+std::string function_name_before(const std::vector<Token>& tokens,
+                                 std::size_t open) {
+  std::size_t i = open;
+  while (i > 0) {
+    const Token& t = tokens[i - 1];
+    if (t.pp) {
+      --i;
+      continue;
+    }
+    if (is_kw(t, "const") || is_kw(t, "noexcept") || is_kw(t, "override") ||
+        is_kw(t, "final") || is_kw(t, "mutable")) {
+      --i;
+      continue;
+    }
+    break;
+  }
+  if (i == 0 || !is_punct(tokens[i - 1], ")")) return {};
+  // Match the ')' backwards to its '('.
+  int depth = 0;
+  std::size_t j = i - 1;
+  while (true) {
+    const Token& t = tokens[j];
+    if (!t.pp && t.kind == TokKind::kPunct) {
+      if (t.text == ")") ++depth;
+      if (t.text == "(") {
+        --depth;
+        if (depth == 0) break;
+      }
+    }
+    if (j == 0) return {};
+    --j;
+  }
+  if (j == 0) return {};
+  const Token& name = tokens[j - 1];
+  if (name.kind != TokKind::kIdent) return {};
+  if (name.text == "if" || name.text == "for" || name.text == "while" ||
+      name.text == "switch" || name.text == "catch" || name.text == "return") {
+    return {};
+  }
+  return name.text;
+}
+
+}  // namespace
+
+ScopeInfo analyze_scopes(const std::vector<Token>& tokens) {
+  ScopeInfo info;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.pp) continue;
+    if (is_punct(t, "{")) {
+      std::string name = function_name_before(tokens, i);
+      if (!name.empty()) {
+        const std::size_t close = match_forward(tokens, i);
+        if (close < tokens.size() && close > i + 1) {
+          info.functions.push_back(FunctionSpan{
+              std::move(name), TokenSpan{i + 1, close - 1}});
+        }
+      }
+      continue;
+    }
+    const bool is_for = is_kw(t, "for");
+    const bool is_while = is_kw(t, "while");
+    const bool is_do = is_kw(t, "do");
+    if (!is_for && !is_while && !is_do) continue;
+    // `.for` / `::while` member-ish uses can't occur; keywords are safe.
+    std::size_t body = tokens.size();
+    if (is_do) {
+      body = i + 1;
+    } else {
+      // Skip the parenthesized header.
+      std::size_t p = i + 1;
+      while (p < tokens.size() && tokens[p].pp) ++p;
+      if (p >= tokens.size() || !is_punct(tokens[p], "(")) continue;
+      const std::size_t close = match_forward(tokens, p);
+      if (close >= tokens.size()) continue;
+      body = close + 1;
+    }
+    while (body < tokens.size() && tokens[body].pp) ++body;
+    if (body >= tokens.size()) continue;
+    if (is_punct(tokens[body], "{")) {
+      const std::size_t close = match_forward(tokens, body);
+      if (close < tokens.size() && close > body + 1) {
+        info.loop_bodies.push_back(TokenSpan{body + 1, close - 1});
+      }
+    } else {
+      // Single-statement body: up to the ';' at the same depth.
+      std::size_t e = body;
+      while (e < tokens.size() &&
+             !(is_punct(tokens[e], ";") &&
+               tokens[e].brace_depth == tokens[body].brace_depth &&
+               tokens[e].paren_depth == tokens[body].paren_depth)) {
+        ++e;
+      }
+      if (e > body) info.loop_bodies.push_back(TokenSpan{body, e});
+    }
+  }
+  return info;
+}
+
+}  // namespace sic::lint

@@ -1,0 +1,100 @@
+/// sic_lint lexer — single-pass tokenizer for the lint engine.
+///
+/// PR 5's rules ran on a regex view of the source with comments and string
+/// literals blanked. That was enough for per-line idiom checks but not for
+/// the scope-aware rule families (include-layer DAG, RNG discipline inside
+/// loop bodies, computed-double comparisons): those need real tokens with
+/// positions, brace/paren depth, the enclosing function, and preprocessor
+/// structure. This lexer provides exactly that — it is still not a compiler
+/// front end (no phase-2 splice normalization outside the contexts that
+/// matter, no macro expansion), but every construct the rules inspect is
+/// tokenized faithfully:
+///
+///   - `//` and `/* */` comments, including backslash-newline continuations
+///     inside `//` comments (a phase-2 splice keeps the next physical line
+///     inside the comment — the old blanking scanner got this wrong).
+///   - string/char literals with escapes, encoding prefixes (u8/u/U/L) and
+///     raw strings with arbitrary delimiters.
+///   - pp-numbers with digit separators (1'000'000), hex floats, exponent
+///     signs — a separator quote never opens a char literal.
+///   - preprocessor directives: tokens carry an `pp` flag, directive
+///     continuations via backslash-newline are tracked, and `#include`
+///     targets are extracted with their line numbers for the layer-DAG rule.
+///   - brace and paren depth per token (preprocessor tokens excluded so an
+///     unbalanced macro body cannot corrupt the scope tracking).
+///
+/// On top of the raw stream, analyze_scopes() derives the spans the rules
+/// need: enclosing-function names (best-effort: the identifier before the
+/// parameter list of a brace-introduced body) and loop-body token ranges
+/// (for/while/do, brace-delimited or single-statement).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sic::lint {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords
+  kNumber,   ///< pp-numbers (integer/float, any base, digit separators)
+  kString,   ///< string literals incl. raw/encoded; text is the full spelling
+  kChar,     ///< character literals
+  kPunct,    ///< operators and punctuation (maximal munch)
+  kComment,  ///< // or /* */ comment, full text incl. delimiters
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;           ///< exact source spelling
+  std::size_t offset = 0;     ///< byte offset of the first character
+  int line = 1;               ///< 1-based physical line of the first char
+  int col = 1;                ///< 1-based column of the first char
+  int brace_depth = 0;        ///< `{}` nesting at the token (pp excluded)
+  int paren_depth = 0;        ///< `()` nesting at the token (pp excluded)
+  bool pp = false;            ///< inside a preprocessor directive
+};
+
+/// One `#include` directive.
+struct IncludeDirective {
+  std::string target;  ///< path between the delimiters
+  bool quoted = false; ///< `"..."` (project include) vs `<...>` (system)
+  int line = 1;
+};
+
+/// Lexing result: code tokens and comments in separate channels (rules scan
+/// code; suppression parsing scans comments), plus the include directives.
+struct LexedFile {
+  std::vector<Token> tokens;    ///< code tokens in source order (no comments)
+  std::vector<Token> comments;  ///< comment tokens in source order
+  std::vector<IncludeDirective> includes;
+};
+
+[[nodiscard]] LexedFile lex(std::string_view source);
+
+/// Inclusive token-index range [begin, end] into LexedFile::tokens.
+struct TokenSpan {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// A function body: the tokens between (and excluding) its outermost braces.
+struct FunctionSpan {
+  std::string name;  ///< best-effort identifier before the parameter list
+  TokenSpan body;
+};
+
+struct ScopeInfo {
+  std::vector<FunctionSpan> functions;  ///< in order of opening brace
+  std::vector<TokenSpan> loop_bodies;   ///< for/while/do bodies, in order
+};
+
+[[nodiscard]] ScopeInfo analyze_scopes(const std::vector<Token>& tokens);
+
+/// Index of the token matching the opener at `open` (same kind of bracket,
+/// pp tokens ignored), or tokens.size() when unbalanced.
+[[nodiscard]] std::size_t match_forward(const std::vector<Token>& tokens,
+                                        std::size_t open);
+
+}  // namespace sic::lint

@@ -1,17 +1,27 @@
 /// sic_lint CLI — lints the given files and exits non-zero on findings.
 ///
-///   sic_lint [--baseline FILE] [--print-baseline] FILE...
+///   sic_lint [options] FILE...
 ///
 ///   --baseline FILE    R2 findings listed in FILE (path:identifier lines)
 ///                      are accepted debt; stale entries fail the run.
 ///   --print-baseline   Instead of failing, print the R2 findings in
 ///                      baseline format (to regenerate the baseline file).
+///   --only RULES       Run only these rule ids (comma-separated, e.g.
+///                      R5,R7). Repeatable.
+///   --exclude RULES    Skip these rule ids. Repeatable.
+///   --json FILE        Also write the findings as deterministic JSON
+///                      (sorted by file, line, col, rule) to FILE, or to
+///                      stdout when FILE is `-`. Written even when the run
+///                      fails, so CI can always upload the artifact.
 ///
-/// Output format: path:line: [rule] message
+/// Output format: path:line:col: [rule] message
+/// On findings the exit status is 1 and the summary line on stderr reports
+/// per-rule counts plus the number of files scanned.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,31 +39,50 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+void split_rules(const std::string& arg, std::vector<std::string>& out) {
+  std::stringstream ss{arg};
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    if (!rule.empty()) out.push_back(rule);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string baseline_path;
+  std::string json_path;
   bool print_baseline = false;
-  std::vector<std::string> files;
+  sic::lint::LintOptions options;
+  std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    const bool needs_value = arg == "--baseline" || arg == "--only" ||
+                             arg == "--exclude" || arg == "--json";
+    if (needs_value && i + 1 >= argc) {
+      std::cerr << "sic_lint: " << arg << " needs an argument\n";
+      return 2;
+    }
     if (arg == "--baseline") {
-      if (i + 1 >= argc) {
-        std::cerr << "sic_lint: --baseline needs a file argument\n";
-        return 2;
-      }
       baseline_path = argv[++i];
+    } else if (arg == "--only") {
+      split_rules(argv[++i], options.only);
+    } else if (arg == "--exclude") {
+      split_rules(argv[++i], options.exclude);
+    } else if (arg == "--json") {
+      json_path = argv[++i];
     } else if (arg == "--print-baseline") {
       print_baseline = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: sic_lint [--baseline FILE] [--print-baseline] "
+                   "[--only RULES] [--exclude RULES] [--json FILE|-] "
                    "FILE...\n";
       return 0;
     } else {
-      files.push_back(arg);
+      paths.push_back(arg);
     }
   }
-  if (files.empty()) {
+  if (paths.empty()) {
     std::cerr << "sic_lint: no input files\n";
     return 2;
   }
@@ -68,18 +97,18 @@ int main(int argc, char** argv) {
     baseline = sic::lint::parse_baseline(text);
   }
 
-  std::vector<sic::lint::Finding> findings;
-  for (const std::string& file : files) {
+  std::vector<sic::lint::FileInput> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
     std::string source;
-    if (!read_file(file, source)) {
-      std::cerr << "sic_lint: cannot read " << file << "\n";
+    if (!read_file(path, source)) {
+      std::cerr << "sic_lint: cannot read " << path << "\n";
       return 2;
     }
-    auto file_findings = sic::lint::lint_file(file, source);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    files.push_back(sic::lint::FileInput{path, std::move(source)});
   }
+
+  auto findings = sic::lint::lint_tree(files, options);
 
   if (print_baseline) {
     std::cout << "# sic_lint R2 baseline — accepted raw-double unit-suffix "
@@ -91,12 +120,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  findings = sic::lint::apply_baseline(std::move(findings), baseline);
+  findings = sic::lint::apply_baseline(
+      std::move(findings), baseline,
+      baseline_path.empty() ? std::string{"<none>"} : baseline_path);
+
+  if (!json_path.empty()) {
+    const std::string json = sic::lint::to_json(findings, files.size());
+    if (json_path == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out{json_path, std::ios::binary};
+      if (!out) {
+        std::cerr << "sic_lint: cannot write " << json_path << "\n";
+        return 2;
+      }
+      out << json;
+    }
+  }
+
   for (const auto& f : findings) {
     std::cout << sic::lint::format_finding(f) << "\n";
   }
   if (!findings.empty()) {
-    std::cerr << "sic_lint: " << findings.size() << " finding(s)\n";
+    std::map<std::string, int> counts;
+    for (const auto& f : findings) ++counts[f.rule];
+    std::cerr << "sic_lint: " << findings.size() << " finding(s) across "
+              << files.size() << " file(s) scanned [";
+    bool first = true;
+    for (const auto& [rule, n] : counts) {
+      if (!first) std::cerr << ", ";
+      first = false;
+      std::cerr << rule << ": " << n;
+    }
+    std::cerr << "]\n";
     return 1;
   }
   return 0;
